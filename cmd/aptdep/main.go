@@ -1,0 +1,151 @@
+// Command aptdep runs the full pipeline on a mini-C source file: parse,
+// analyze access paths, and answer dependence queries between labeled
+// statements.
+//
+// Examples:
+//
+//	aptdep -fn subr -from S -to T prog.c          straight-line dependence
+//	aptdep -fn update -loop U prog.c              loop-carried dependence
+//	aptdep -fn subr -apm prog.c                   dump the APM tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/prover"
+	"repro/internal/ptdp"
+)
+
+func main() {
+	fn := flag.String("fn", "", "function to analyze (default: the only function)")
+	from := flag.String("from", "", "label of statement S")
+	to := flag.String("to", "", "label of statement T")
+	loop := flag.String("loop", "", "label for a loop-carried self-dependence query")
+	crossIter := flag.Bool("cross-iteration", false, "with -from/-to in one loop: compare S at iteration i against T at a later iteration")
+	usePTDP := flag.Bool("ptdp", false, "run the named-variable points-to test instead of APT (Figure 1's left problem)")
+	apm := flag.Bool("apm", false, "print the access path matrix at every label")
+	trace := flag.Bool("trace", false, "print proof traces")
+	assumeInv := flag.Bool("assume-invariants", false, "assume loops re-establish axioms despite structural modifications (the 'full' analysis of §5)")
+	verify := flag.Bool("verify", false, "independently re-check every proof before trusting a No")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fatalf("usage: aptdep [flags] file.c")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	name := *fn
+	if name == "" {
+		if len(prog.Funcs) != 1 {
+			fatalf("file has %d functions; pick one with -fn", len(prog.Funcs))
+		}
+		name = prog.Funcs[0].Name
+	}
+
+	if *usePTDP {
+		if *from == "" || *to == "" {
+			fatalf("-ptdp needs -from and -to")
+		}
+		r, err := ptdp.Analyze(prog, name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := r.DepTest(*from, *to)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%v  (points-to intersection, %s → %s)\n", res, *from, *to)
+		if env := r.PointsTo[*from]; env != nil {
+			for v, pts := range env {
+				fmt.Printf("    at %s: %s -> %s\n", *from, v, pts)
+			}
+		}
+		if res != core.No {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := analysis.Analyze(prog, name, analysis.Options{
+		InferTypeAxioms:      true,
+		AssumeLoopInvariants: *assumeInv,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *apm {
+		var labels []string
+		for l := range res.APMs {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Printf("at %s:\n%s\n", l, res.APMs[l])
+		}
+		if *from == "" && *loop == "" {
+			return
+		}
+	}
+
+	var queries []core.Query
+	switch {
+	case *loop != "":
+		queries, err = res.LoopCarriedQueries(*loop)
+	case *from != "" && *to != "" && *crossIter:
+		queries, err = res.LoopCarriedBetween(*from, *to)
+	case *from != "" && *to != "":
+		queries, err = res.QueriesBetween(*from, *to)
+	default:
+		fatalf("provide -from/-to or -loop")
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	tester := core.NewTester(res.Axioms, prover.Options{})
+	tester.VerifyProofs = *verify
+	exit := 0
+	for _, q := range queries {
+		out := tester.DepTest(q)
+		fmt.Printf("%v  [%s]  S: %v  T: %v\n    %s\n", out.Result, out.Kind, q.S, q.T, out.Reason)
+		if *trace && out.Proof != nil {
+			fmt.Println(indent(out.Proof.Render()))
+		}
+		if out.Result != core.No {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if start < i {
+				out += "    " + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aptdep: "+format+"\n", args...)
+	os.Exit(2)
+}

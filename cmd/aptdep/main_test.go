@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndent(t *testing.T) {
+	got := indent("a\nb\n")
+	if got != "    a\n    b\n" {
+		t.Errorf("indent = %q", got)
+	}
+	if indent("") != "" {
+		t.Error("indent of empty string")
+	}
+	if !strings.HasPrefix(indent("x"), "    x") {
+		t.Error("single line")
+	}
+}

@@ -1,0 +1,130 @@
+// Command aptprove proves disjointness theorems directly: given an axiom
+// set and two access paths, it runs APT's theorem prover and prints the
+// verdict with the derivation.
+//
+// Examples:
+//
+//	aptprove -structure leaf-linked-tree 'L.L.N' 'L.R.N'
+//	aptprove -structure sparse-matrix-core 'ncolE+' 'nrowE+ncolE+'
+//	aptprove -axioms axioms.txt -form diff 'relem.ncolE*' 'relem.ncolE*'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/axiom"
+	"repro/internal/pathexpr"
+	"repro/internal/prover"
+)
+
+var builtins = map[string]func() *axiom.Set{
+	"leaf-linked-tree":   axiom.LeafLinkedBinaryTree,
+	"sparse-matrix":      axiom.SparseMatrix,
+	"sparse-matrix-core": axiom.SparseMatrixCore,
+	"range-tree-2d":      axiom.TwoDRangeTree,
+	"binary-tree":        func() *axiom.Set { return axiom.BinaryTree("L", "R") },
+	"linked-list":        func() *axiom.Set { return axiom.SinglyLinkedList("next") },
+	"doubly-linked-list": func() *axiom.Set { return axiom.DoublyLinkedList("next", "prev") },
+	"circular-list":      func() *axiom.Set { return axiom.CircularList("next") },
+	"skip-list":          func() *axiom.Set { return axiom.SkipList("n0", "n1", "n2") },
+	"quadtree":           func() *axiom.Set { return axiom.NaryTree("c0", "c1", "c2", "c3") },
+	"octree":             func() *axiom.Set { return axiom.NaryTree("o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7") },
+}
+
+func main() {
+	structure := flag.String("structure", "", "built-in axiom set (see -list)")
+	axiomFile := flag.String("axioms", "", "file of axioms, one per line")
+	form := flag.String("form", "same", "quantifier form: same (∀h) or diff (∀h<>k)")
+	list := flag.Bool("list", false, "list built-in structures and exit")
+	quiet := flag.Bool("q", false, "print only the verdict")
+	steps := flag.Int("maxsteps", 0, "proof step budget (0 = default)")
+	check := flag.Bool("check", false, "re-validate the derivation with the independent proof checker")
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for n := range builtins {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-20s %d axioms\n", n, builtins[n]().Len())
+		}
+		return
+	}
+
+	var set *axiom.Set
+	switch {
+	case *structure != "":
+		mk, ok := builtins[*structure]
+		if !ok {
+			fatalf("unknown structure %q (use -list)", *structure)
+		}
+		set = mk()
+	case *axiomFile != "":
+		data, err := os.ReadFile(*axiomFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		set, err = axiom.ParseSet(*axiomFile, string(data))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("provide -structure or -axioms (and two path expressions)")
+	}
+
+	if flag.NArg() != 2 {
+		fatalf("need exactly two path expressions, got %d", flag.NArg())
+	}
+	x, err := pathexpr.ParseAlphabet(flag.Arg(0), set.Fields())
+	if err != nil {
+		fatalf("left path: %v", err)
+	}
+	y, err := pathexpr.ParseAlphabet(flag.Arg(1), set.Fields())
+	if err != nil {
+		fatalf("right path: %v", err)
+	}
+
+	var goalForm prover.Form
+	switch *form {
+	case "same":
+		goalForm = prover.SameSrc
+	case "diff":
+		goalForm = prover.DiffSrc
+	default:
+		fatalf("-form must be same or diff")
+	}
+
+	if !*quiet {
+		fmt.Print(set)
+		fmt.Println()
+	}
+	p := prover.New(set, prover.Options{MaxSteps: *steps})
+	proof := p.Prove(goalForm, x, y)
+	if *quiet {
+		fmt.Println(proof.Result)
+	} else {
+		fmt.Print(proof.Render())
+	}
+	if *check && proof.Result == prover.Proved {
+		if err := p.CheckProof(proof); err != nil {
+			fmt.Fprintf(os.Stderr, "aptprove: derivation FAILED independent checking: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Println("derivation independently re-validated ✓")
+		}
+	}
+	if proof.Result != prover.Proved {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aptprove: "+format+"\n", args...)
+	os.Exit(2)
+}

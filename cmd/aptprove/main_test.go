@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestBuiltinsAreWellFormed: every built-in structure yields a nonempty
+// axiom set with a nonempty field alphabet.
+func TestBuiltinsAreWellFormed(t *testing.T) {
+	for name, mk := range builtins {
+		set := mk()
+		if set.Len() == 0 {
+			t.Errorf("%s: empty axiom set", name)
+		}
+		if len(set.Fields()) == 0 {
+			t.Errorf("%s: no fields", name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command sparsebench regenerates Figure 7: speedups of the parallelized
+// sparse-matrix kernels (partial vs full analysis) on the simulated
+// multiprocessor, for the paper's 1000×1000 / N=10,000 configuration.
+//
+//	sparsebench                        the paper's configuration
+//	sparsebench -pattern grid -n 900   a 30×30 grid Laplacian instead
+//	sparsebench -sweep                 size/pattern sweep of the 7-PE column
+//	sparsebench -detail                per-phase work breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "matrix dimension")
+	nnz := flag.Int("nnz", 10000, "approximate nonzeros (the paper's N; circuit pattern only)")
+	pattern := flag.String("pattern", "circuit", "workload pattern: circuit | grid")
+	seed := flag.Int64("seed", 1994, "workload random seed")
+	barrier := flag.Int64("barrier", sched.DefaultBarrierCost, "per-phase synchronization cost in work units")
+	sweep := flag.Bool("sweep", false, "sweep sizes and patterns, reporting 7-PE speedups")
+	detail := flag.Bool("detail", false, "print the per-phase work breakdown")
+	flag.Parse()
+
+	if *sweep {
+		runSweep(*seed, *barrier)
+		return
+	}
+
+	m, desc := build(*pattern, *n, *nnz, *seed)
+	fmt.Printf("workload: %s, %d nonzeros\n", desc, m.NNZ())
+
+	lu, err := m.Factor()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "factor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("factor: %d fill-ins, %d total elements\n", lu.Trace.Fills, lu.M.NNZ())
+	if *detail {
+		printDetail(lu.Trace)
+	}
+
+	w := sched.Workload{Scale: m.ScaleTrace(), Factor: lu.Trace, Solve: lu.SolveTrace()}
+	pes := []int{2, 4, 7}
+	rows := sched.Figure7(w, pes, *barrier)
+	fmt.Println()
+	fmt.Print(sched.RenderTable(
+		fmt.Sprintf("Figure 7 — sparse matrix speedup results (%s, barrier=%d)", desc, *barrier),
+		rows, pes))
+	fmt.Println()
+	fmt.Println("paper reported (1000×1000, N=10,000 on an 8-PE Sequent):")
+	fmt.Println("                                    2 PEs  4 PEs  7 PEs")
+	fmt.Println("Factor only (partial)                 1.7    2.5    3.1")
+	fmt.Println("Scale, Factor, Solve (partial)        1.7    2.4    3.0")
+	fmt.Println("Factor only (full)                    1.8    3.3    5.2")
+	fmt.Println("Scale, Factor, Solve (full)           1.8    3.3    5.2")
+}
+
+func build(pattern string, n, nnz int, seed int64) (*sparse.Matrix, string) {
+	switch pattern {
+	case "circuit":
+		rng := rand.New(rand.NewSource(seed))
+		return sparse.RandomCircuit(rng, n, nnz),
+			fmt.Sprintf("%d×%d circuit pattern (N≈%d)", n, n, nnz)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return sparse.GridLaplacian(side),
+			fmt.Sprintf("%d×%d grid Laplacian (%d×%d mesh)", side*side, side*side, side, side)
+	}
+	fmt.Fprintf(os.Stderr, "sparsebench: unknown pattern %q\n", pattern)
+	os.Exit(2)
+	return nil, ""
+}
+
+func printDetail(tr *sparse.Trace) {
+	var h, s, a, f, e int64
+	for _, st := range tr.Steps {
+		h += st.Heuristic.Total()
+		s += st.Search.Total()
+		a += int64(st.Adjust)
+		f += st.Fillin.Total()
+		e += st.Elim.Total()
+	}
+	total := h + s + a + f + e
+	pct := func(x int64) float64 { return 100 * float64(x) / float64(total) }
+	fmt.Printf("phase work: heuristic %.1f%%, search %.1f%%, adjust %.1f%%, fillin %.1f%%, elim %.1f%% (total %d units)\n",
+		pct(h), pct(s), pct(a), pct(f), pct(e), total)
+}
+
+func runSweep(seed, barrier int64) {
+	fmt.Printf("%-38s %8s %8s %10s %10s\n", "workload", "nnz", "fills", "partial@7", "full@7")
+	type cfg struct {
+		pattern string
+		n, nnz  int
+	}
+	cfgs := []cfg{
+		{"circuit", 250, 2500},
+		{"circuit", 500, 5000},
+		{"circuit", 1000, 10000},
+		{"circuit", 1000, 20000},
+		{"grid", 400, 0},
+		{"grid", 900, 0},
+	}
+	for _, c := range cfgs {
+		m, desc := build(c.pattern, c.n, c.nnz, seed)
+		lu, err := m.Factor()
+		if err != nil {
+			fmt.Printf("%-38s factor failed: %v\n", desc, err)
+			continue
+		}
+		partial := sched.Speedup(lu.Trace, 7, sched.Partial, barrier)
+		full := sched.Speedup(lu.Trace, 7, sched.Full, barrier)
+		fmt.Printf("%-38s %8d %8d %10.1f %10.1f\n", desc, m.NNZ(), lu.Trace.Fills, partial, full)
+	}
+	fmt.Println("\nshape invariant: full ≥ partial at every configuration (the paper's headline).")
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestBuildPatterns(t *testing.T) {
+	m, desc := build("circuit", 60, 300, 1)
+	if m.N != 60 || desc == "" {
+		t.Errorf("circuit build: n=%d desc=%q", m.N, desc)
+	}
+	g, desc := build("grid", 100, 0, 1)
+	if g.N != 100 || desc == "" {
+		t.Errorf("grid build: n=%d desc=%q", g.N, desc)
+	}
+	// Grid rounds up to the next square.
+	g2, _ := build("grid", 90, 0, 1)
+	if g2.N != 100 {
+		t.Errorf("grid rounding: n=%d, want 100", g2.N)
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	J. Hummel, L. J. Hendren, A. Nicolau,
+//	"A General Data Dependence Test for Dynamic, Pointer-Based Data
+//	Structures", PLDI 1994
+//
+// — the APT axiom-based pointer dependence test, together with every
+// substrate its evaluation depends on: the path-expression language and
+// automata layer, the theorem prover, the access-path-matrix flow analysis
+// over a mini-C frontend, the Larus-Hilfinger and k-limited baselines, the
+// orthogonal-list sparse matrix kernels of §5, and the simulated
+// multiprocessor that regenerates Figure 7.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The root package holds no code; bench_test.go hosts one benchmark per
+// table/figure plus the ablations called out in DESIGN.md.
+package repro

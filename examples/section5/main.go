@@ -1,0 +1,107 @@
+// The complete §5 pipeline in one program: the sparse-matrix kernel is
+// written in mini-C, the flow analysis collects its access paths (handles,
+// two levels of loop induction, star widening), APT proves Theorem T for
+// both loops, the independent checker re-validates the derivation, and the
+// interpreter then executes the same source on a concrete orthogonal-list
+// structure to witness the independence the prover established.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/prover"
+)
+
+const src = `
+struct Elem {
+	struct Elem *ncolE;
+	struct Elem *nrowE;
+	double val;
+	axioms {
+		A1: forall p <> q, p.ncolE <> q.ncolE;
+		A2: forall p, p.ncolE+ <> p.nrowE+;
+		A3: forall p, p.(ncolE|nrowE)+ <> p.eps;
+	}
+};
+
+void scaleRows(struct Elem *first) {
+	struct Elem *r;
+	struct Elem *e;
+	r = first;
+	while (r != NULL) {
+		e = r->ncolE;
+		while (e != NULL) {
+S:			e->val = e->val * 2.0;
+			e = e->ncolE;
+		}
+		r = r->nrowE;
+	}
+}
+`
+
+func main() {
+	prog := lang.MustParse(src)
+
+	// --- Static side: analysis + proof ------------------------------------
+	res, err := analysis.Analyze(prog, "scaleRows", analysis.Options{})
+	if err != nil {
+		panic(err)
+	}
+	queries, err := res.LoopCarriedQueries("S")
+	if err != nil {
+		panic(err)
+	}
+	tester := core.NewTester(res.Axioms, prover.Options{})
+	tester.VerifyProofs = true // every No below is independently checked
+	fmt.Printf("loop-carried queries extracted from source: %d (one per loop level)\n", len(queries))
+	for _, q := range queries {
+		out := tester.DepTest(q)
+		fmt.Printf("  S at iteration i vs %s at a later iteration: %v\n", q.T.Path, out.Result)
+		if out.Result != core.No {
+			panic("expected both loop levels provably parallel")
+		}
+	}
+	fmt.Println("both loops of the §5 kernel are provably parallel (Theorem T).")
+
+	// --- Dynamic side: run the same source concretely ---------------------
+	var pos [][2]int
+	const rows, cols = 4, 5
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			pos = append(pos, [2]int{i, j})
+		}
+	}
+	g, lay := heap.BuildSparseMatrix(rows, cols, pos)
+	in := interp.New(prog, g, interp.Options{})
+	for p, v := range lay.Elem {
+		in.SetData(v, "val", float64(p[0]*cols+p[1]))
+	}
+	first := lay.Elem[[2]int{0, 0}]
+	if _, trace, err := in.Run("scaleRows", interp.Ptr(first)); err != nil {
+		panic(err)
+	} else {
+		writes := map[heap.Vertex]int{}
+		for _, e := range trace.At("S") {
+			if e.IsWrite {
+				writes[e.Vertex]++
+			}
+		}
+		for v, n := range writes {
+			if n != 1 {
+				panic(fmt.Sprintf("vertex %d written %d times", v, n))
+			}
+		}
+		fmt.Printf("\nconcrete run on a %d×%d element grid: %d elements written, each exactly once —\n", rows, cols, len(writes))
+		fmt.Println("the execution witnesses the independence the prover established.")
+	}
+	// Spot-check a scaled value: element (1,2) held 1*5+2=7, now 14.
+	if got := in.Data(lay.Elem[[2]int{1, 2}], "val"); got != 14 {
+		panic(fmt.Sprintf("element (1,2) = %v, want 14", got))
+	}
+	fmt.Println("values scaled correctly (spot check passed).")
+}

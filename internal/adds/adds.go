@@ -1,0 +1,427 @@
+// Package adds implements an ADDS-style data structure description language
+// (Hendren, Hummel, Nicolau, PLDI 1992 — cited by the paper in §3.2 as the
+// higher level of abstraction from which aliasing axioms can be generated).
+//
+// A declaration names the *dimensions* of a structure, assigns each pointer
+// field a dimension, and states global properties; the translator compiles
+// the declaration into the aliasing axioms of package axiom.
+//
+// Syntax:
+//
+//	structure LLBinaryTree {
+//	    dimension down is tree;
+//	    dimension leaves is chain;
+//	    field L along down;
+//	    field R along down;
+//	    field N along leaves;
+//	    acyclic;
+//	}
+//
+// Dimension kinds:
+//
+//	tree   — the dimension's fields form a tree: sibling fields from one
+//	         vertex are distinct, and no vertex is reachable along the
+//	         dimension from two different vertices.
+//	chain  — each field is injective (a linked list per field).
+//	ring   — injective like chain, but cycles are permitted, so no
+//	         acyclicity can be derived through this dimension.
+//
+// Properties:
+//
+//	acyclic;                  — no path over all fields returns to its origin
+//	interacting D1 D2;        — the two chain dimensions interleave through
+//	                            shared vertices but never wrap into each
+//	                            other: ∀p, p.(F1)+ <> p.(F2)+
+//
+// The Figure 3 leaf-linked tree and the §5 sparse element substructure both
+// translate to exactly the axiom sets the paper uses (see the tests).
+package adds
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/axiom"
+	"repro/internal/pathexpr"
+)
+
+// Kind classifies a dimension.
+type Kind int
+
+// Dimension kinds.
+const (
+	Tree Kind = iota
+	Chain
+	Ring
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Tree:
+		return "tree"
+	case Chain:
+		return "chain"
+	case Ring:
+		return "ring"
+	}
+	return "invalid"
+}
+
+// Dimension is one declared traversal dimension.
+type Dimension struct {
+	Name   string
+	Kind   Kind
+	Fields []string // in declaration order
+}
+
+// Structure is a parsed ADDS declaration.
+type Structure struct {
+	Name       string
+	Dimensions []*Dimension
+	// Acyclic states that no traversal over any fields returns to its
+	// origin.
+	Acyclic bool
+	// Interacting lists pairs of chain dimensions that interleave without
+	// wrapping.
+	Interacting [][2]string
+}
+
+// Dimension returns the named dimension, or nil.
+func (s *Structure) Dimension(name string) *Dimension {
+	for _, d := range s.Dimensions {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Fields returns all pointer fields in declaration order.
+func (s *Structure) Fields() []string {
+	var out []string
+	for _, d := range s.Dimensions {
+		out = append(out, d.Fields...)
+	}
+	return out
+}
+
+// Parse parses an ADDS declaration.
+func Parse(src string) (*Structure, error) {
+	toks := tokenize(src)
+	p := &parser{toks: toks}
+	s, err := p.structure()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) *Structure {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func tokenize(src string) []string {
+	src = strings.NewReplacer("{", " { ", "}", " } ", ";", " ; ", ",", " , ").Replace(src)
+	// Strip // comments line by line.
+	var lines []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		lines = append(lines, line)
+	}
+	return strings.Fields(strings.Join(lines, "\n"))
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) at() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) advance() string {
+	t := p.at()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if p.at() != tok {
+		return fmt.Errorf("adds: expected %q, found %q", tok, p.at())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.at()
+	if t == "" || strings.ContainsAny(t, "{};,") {
+		return "", fmt.Errorf("adds: expected identifier, found %q", t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) structure() (*Structure, error) {
+	if err := p.expect("structure"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	s := &Structure{Name: name}
+	for p.at() != "}" {
+		switch p.at() {
+		case "":
+			return nil, fmt.Errorf("adds: unterminated structure %s", name)
+		case "dimension":
+			p.advance()
+			dname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("is"); err != nil {
+				return nil, err
+			}
+			kindName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			var kind Kind
+			switch kindName {
+			case "tree":
+				kind = Tree
+			case "chain":
+				kind = Chain
+			case "ring":
+				kind = Ring
+			default:
+				return nil, fmt.Errorf("adds: unknown dimension kind %q (tree, chain, or ring)", kindName)
+			}
+			if s.Dimension(dname) != nil {
+				return nil, fmt.Errorf("adds: dimension %q declared twice", dname)
+			}
+			s.Dimensions = append(s.Dimensions, &Dimension{Name: dname, Kind: kind})
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "field":
+			p.advance()
+			var fields []string
+			for {
+				f, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				fields = append(fields, f)
+				if p.at() != "," {
+					break
+				}
+				p.advance()
+			}
+			if err := p.expect("along"); err != nil {
+				return nil, err
+			}
+			dname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			d := s.Dimension(dname)
+			if d == nil {
+				return nil, fmt.Errorf("adds: field %v along undeclared dimension %q", fields, dname)
+			}
+			for _, f := range fields {
+				for _, existing := range s.Fields() {
+					if existing == f {
+						return nil, fmt.Errorf("adds: field %q declared twice", f)
+					}
+				}
+				d.Fields = append(d.Fields, f)
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "acyclic":
+			p.advance()
+			s.Acyclic = true
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "interacting":
+			p.advance()
+			d1, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			d2, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Interacting = append(s.Interacting, [2]string{d1, d2})
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("adds: unexpected %q in structure body", p.at())
+		}
+	}
+	p.advance() // "}"
+	if p.at() != "" && p.at() != ";" {
+		return nil, fmt.Errorf("adds: trailing input %q", p.at())
+	}
+	for _, pair := range s.Interacting {
+		for _, dn := range pair {
+			d := s.Dimension(dn)
+			if d == nil {
+				return nil, fmt.Errorf("adds: interacting references undeclared dimension %q", dn)
+			}
+			if d.Kind == Tree {
+				return nil, fmt.Errorf("adds: interacting applies to chain/ring dimensions, %q is a tree", dn)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Axioms compiles the declaration into aliasing axioms.
+func (s *Structure) Axioms() *axiom.Set {
+	set := &axiom.Set{StructName: s.Name}
+
+	for _, d := range s.Dimensions {
+		switch d.Kind {
+		case Tree:
+			// Sibling fields from one vertex are distinct.
+			for i, f := range d.Fields {
+				for _, g := range d.Fields[i+1:] {
+					set.Add(axiom.Axiom{
+						Form: axiom.SameSrcDisjoint,
+						RE1:  pathexpr.F(f),
+						RE2:  pathexpr.F(g),
+					})
+				}
+			}
+			// Unshared: distinct vertices never reach a common child along
+			// the dimension.
+			any := fieldAlt(d.Fields)
+			set.Add(axiom.Axiom{
+				Form: axiom.DiffSrcDisjoint,
+				RE1:  any,
+				RE2:  any,
+			})
+		case Chain, Ring:
+			for _, f := range d.Fields {
+				set.Add(axiom.Axiom{
+					Form: axiom.DiffSrcDisjoint,
+					RE1:  pathexpr.F(f),
+					RE2:  pathexpr.F(f),
+				})
+			}
+			// Distinct chain fields of one dimension never coincide from
+			// the same vertex.
+			for i, f := range d.Fields {
+				for _, g := range d.Fields[i+1:] {
+					set.Add(axiom.Axiom{
+						Form: axiom.SameSrcDisjoint,
+						RE1:  pathexpr.F(f),
+						RE2:  pathexpr.F(g),
+					})
+				}
+			}
+		}
+	}
+
+	for _, pair := range s.Interacting {
+		f1 := s.Dimension(pair[0]).Fields
+		f2 := s.Dimension(pair[1]).Fields
+		if len(f1) == 0 || len(f2) == 0 {
+			continue
+		}
+		set.Add(axiom.Axiom{
+			Form: axiom.SameSrcDisjoint,
+			RE1:  pathexpr.Rep1(fieldAlt(f1)),
+			RE2:  pathexpr.Rep1(fieldAlt(f2)),
+		})
+	}
+
+	if s.Acyclic {
+		ringFree := true
+		for _, d := range s.Dimensions {
+			if d.Kind == Ring {
+				ringFree = false
+			}
+		}
+		fields := s.Fields()
+		if ringFree && len(fields) > 0 {
+			set.Add(axiom.Axiom{
+				Form: axiom.SameSrcDisjoint,
+				RE1:  pathexpr.Rep1(fieldAlt(fields)),
+				RE2:  pathexpr.Eps,
+			})
+		} else if !ringFree {
+			// Acyclicity can only be asserted outside the ring dimensions.
+			var nonRing []string
+			for _, d := range s.Dimensions {
+				if d.Kind != Ring {
+					nonRing = append(nonRing, d.Fields...)
+				}
+			}
+			if len(nonRing) > 0 {
+				set.Add(axiom.Axiom{
+					Form: axiom.SameSrcDisjoint,
+					RE1:  pathexpr.Rep1(fieldAlt(nonRing)),
+					RE2:  pathexpr.Eps,
+				})
+			}
+		}
+	}
+	return set
+}
+
+func fieldAlt(fields []string) pathexpr.Expr {
+	sorted := append([]string{}, fields...)
+	sort.Strings(sorted)
+	alts := make([]pathexpr.Expr, len(sorted))
+	for i, f := range sorted {
+		alts[i] = pathexpr.F(f)
+	}
+	return pathexpr.Or(alts...)
+}
+
+// String renders the declaration back into ADDS syntax.
+func (s *Structure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "structure %s {\n", s.Name)
+	for _, d := range s.Dimensions {
+		fmt.Fprintf(&b, "\tdimension %s is %s;\n", d.Name, d.Kind)
+	}
+	for _, d := range s.Dimensions {
+		for _, f := range d.Fields {
+			fmt.Fprintf(&b, "\tfield %s along %s;\n", f, d.Name)
+		}
+	}
+	for _, pair := range s.Interacting {
+		fmt.Fprintf(&b, "\tinteracting %s %s;\n", pair[0], pair[1])
+	}
+	if s.Acyclic {
+		b.WriteString("\tacyclic;\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,250 @@
+// Package analysis implements APT's memory-reference analysis (paper §3.3):
+// a flow-sensitive, intraprocedural abstract interpretation of mini-C
+// functions that maintains an Access Path Matrix (APM) at every program
+// point.
+//
+// An APM row is a handle — a fixed (but unknown) vertex of the data
+// structure, created whenever a pointer variable is assigned a new value.
+// An APM cell APM[h][v] is a path expression describing how the current
+// value of pointer variable v was reached from handle h.  Assigning a
+// pointer relative to itself (p = p->f) extends p's existing paths instead
+// of creating a handle — the rule that makes loop induction variables
+// analyzable.  Loop bodies are widened with Kleene stars and re-analyzed at
+// the fixpoint, where a synthetic per-iteration handle is planted so that
+// loop-carried queries can be phrased exactly as §5 does: iteration i
+// accesses h.A, any later iteration accesses h.δ⁺A.
+//
+// Structural modifications (stores to pointer fields) are tracked per §3.4:
+// they invalidate access paths that traverse the stored field, and
+// dependence queries spanning a modification use the intersection of the
+// axiom sets valid before and after — implemented as dropping every axiom
+// that constrains a modified field.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/axiom"
+	"repro/internal/lang"
+	"repro/internal/pathexpr"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// CallsModifyStructure treats every opaque call as a potential
+	// structural modification of every pointer field.  The default (false)
+	// assumes callees maintain the declared axioms — the paper's Figure 1
+	// implicitly assumes insert() preserves list-ness.
+	CallsModifyStructure bool
+	// AssumeLoopInvariants models the paper's "more sophisticated analysis
+	// capable of handling modifications" (the fully-parallel configuration
+	// of §5): structural modifications inside a loop are assumed to
+	// re-establish the axioms at each iteration boundary, so loop-carried
+	// queries keep the full axiom set.
+	AssumeLoopInvariants bool
+	// InferTypeAxioms adds the Appendix A style inferred axioms: pointer
+	// fields with different target types lead to different vertices.
+	InferTypeAxioms bool
+}
+
+// Access records one memory reference var->Field observed by the analysis.
+type Access struct {
+	Label   string
+	Stmt    int // statement ordinal within the function walk
+	Var     string
+	Field   string
+	Type    string // struct type of *var
+	IsWrite bool
+	// Paths maps handle name to the access path of Var at this point.
+	Paths map[string]pathexpr.Expr
+	// IterDeltas maps a synthetic loop-iteration handle (present in Paths)
+	// to the loop's per-iteration increment for Var's anchor.
+	IterDeltas map[string]pathexpr.Expr
+	// ModEpoch is the number of structural modification sites executed
+	// before this access (in straight-line order).
+	ModEpoch int
+	// LoopModFields lists pointer fields structurally modified anywhere in
+	// the loops enclosing this access (empty when not in a loop or no mods).
+	LoopModFields []string
+	Pos           lang.Pos
+}
+
+// ModSite is one structural modification: a store to a pointer field.
+type ModSite struct {
+	Epoch int
+	Field string
+	Label string
+	Pos   lang.Pos
+}
+
+// Result is the analysis outcome for one function.
+type Result struct {
+	Fn       *lang.FuncDecl
+	Accesses []Access
+	Mods     []ModSite
+	// APMs holds the access path matrix captured just before each labeled
+	// statement, keyed by label.
+	APMs map[string]*APM
+	// Axioms is the merged axiom set of every struct the function touches,
+	// plus inferred type-disjointness axioms when enabled.
+	Axioms *axiom.Set
+	opts   Options
+}
+
+// APM is a snapshot of the access path matrix: rows are handles, columns are
+// pointer variables.
+type APM struct {
+	// Cells maps handle -> var -> path.
+	Cells map[string]map[string]pathexpr.Expr
+}
+
+// Lookup returns the path for (handle, variable), if present.
+func (m *APM) Lookup(handle, v string) (pathexpr.Expr, bool) {
+	row, ok := m.Cells[handle]
+	if !ok {
+		return nil, false
+	}
+	p, ok := row[v]
+	return p, ok
+}
+
+// Handles returns the sorted handle names.
+func (m *APM) Handles() []string {
+	out := make([]string, 0, len(m.Cells))
+	for h := range m.Cells {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vars returns the sorted variable names mentioned in any row.
+func (m *APM) Vars() []string {
+	set := map[string]bool{}
+	for _, row := range m.Cells {
+		for v := range row {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the APM as the paper's tables do.
+func (m *APM) String() string {
+	vars := m.Vars()
+	var b strings.Builder
+	b.WriteString("APM")
+	for _, v := range vars {
+		fmt.Fprintf(&b, "\t%s", v)
+	}
+	b.WriteByte('\n')
+	for _, h := range m.Handles() {
+		b.WriteString(h)
+		for _, v := range vars {
+			b.WriteByte('\t')
+			if p, ok := m.Cells[h][v]; ok {
+				b.WriteString(pathexpr.Compact(p))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// state is the in-flight abstract state.
+type state struct {
+	// cells[handle][var] = path from handle to var's target.
+	cells map[string]map[string]pathexpr.Expr
+	// modEpoch counts structural modification sites executed so far.
+	modEpoch int
+}
+
+func newState() *state {
+	return &state{cells: make(map[string]map[string]pathexpr.Expr)}
+}
+
+func (s *state) clone() *state {
+	c := &state{cells: make(map[string]map[string]pathexpr.Expr, len(s.cells)), modEpoch: s.modEpoch}
+	for h, row := range s.cells {
+		nr := make(map[string]pathexpr.Expr, len(row))
+		for v, p := range row {
+			nr[v] = p
+		}
+		c.cells[h] = nr
+	}
+	return c
+}
+
+func (s *state) set(handle, v string, p pathexpr.Expr) {
+	row := s.cells[handle]
+	if row == nil {
+		row = make(map[string]pathexpr.Expr)
+		s.cells[handle] = row
+	}
+	row[v] = pathexpr.Simplify(p)
+}
+
+// dropVar removes every entry for v and garbage-collects empty handles.
+func (s *state) dropVar(v string) {
+	for h, row := range s.cells {
+		delete(row, v)
+		if len(row) == 0 {
+			delete(s.cells, h)
+		}
+	}
+}
+
+// pathsOf returns a copy of v's handle→path map.
+func (s *state) pathsOf(v string) map[string]pathexpr.Expr {
+	out := make(map[string]pathexpr.Expr)
+	for h, row := range s.cells {
+		if p, ok := row[v]; ok {
+			out[h] = p
+		}
+	}
+	return out
+}
+
+func (s *state) snapshot() *APM {
+	return &APM{Cells: s.clone().cells}
+}
+
+// join merges two states at a control-flow merge: equal paths survive,
+// differing paths join by alternation, entries present on only one side are
+// dropped (their value on the other path is unknown).
+func join(a, b *state) *state {
+	out := newState()
+	for h, rowA := range a.cells {
+		rowB, ok := b.cells[h]
+		if !ok {
+			continue
+		}
+		for v, pa := range rowA {
+			pb, ok := rowB[v]
+			if !ok {
+				continue
+			}
+			if pathexpr.Equal(pa, pb) {
+				out.set(h, v, pa)
+			} else {
+				out.set(h, v, pathexpr.Or(pa, pb))
+			}
+		}
+	}
+	out.modEpoch = maxInt(a.modEpoch, b.modEpoch)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/axiom"
+	"repro/internal/core"
+	"repro/internal/pathexpr"
+)
+
+// AccessesAt returns the accesses recorded at the given statement label.
+func (r *Result) AccessesAt(label string) []Access {
+	var out []Access
+	for _, a := range r.Accesses {
+		if a.Label == label {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// windowAxioms returns the axiom set valid across the window between two
+// access epochs (§3.4): the declared axioms minus every axiom constraining
+// a field structurally modified in between, plus any extra fields to drop
+// (e.g. fields modified somewhere in an enclosing loop for loop-carried
+// queries).
+func (r *Result) windowAxioms(epochS, epochT int, extraFields []string) *axiom.Set {
+	lo, hi := epochS, epochT
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	drop := map[string]bool{}
+	for _, m := range r.Mods {
+		if m.Epoch >= lo && m.Epoch < hi {
+			drop[m.Field] = true
+		}
+	}
+	for _, f := range extraFields {
+		drop[f] = true
+	}
+	if drop["*"] {
+		// An opaque structural modification invalidates everything.
+		return &axiom.Set{StructName: r.Axioms.StructName}
+	}
+	if len(drop) == 0 {
+		return r.Axioms
+	}
+	fields := make([]string, 0, len(drop))
+	for f := range drop {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	return r.Axioms.WithoutFields(fields...)
+}
+
+// commonHandle picks a handle shared by both path maps.  Synthetic
+// iteration handles are preferred: for two accesses in the same iteration
+// they anchor the shortest (most precise) paths.  Straight-line code has no
+// iteration handles, so the choice is inert there.  Names sort for
+// determinism.  ok is false when the accesses share no anchor.
+func commonHandle(a, b map[string]pathexpr.Expr) (string, bool) {
+	var shared []string
+	for h := range a {
+		if _, ok := b[h]; ok {
+			shared = append(shared, h)
+		}
+	}
+	if len(shared) == 0 {
+		return "", false
+	}
+	sort.Slice(shared, func(i, j int) bool {
+		ii, ij := strings.HasPrefix(shared[i], "_it"), strings.HasPrefix(shared[j], "_it")
+		if ii != ij {
+			return ii
+		}
+		return shared[i] < shared[j]
+	})
+	return shared[0], true
+}
+
+// QueriesBetween builds the dependence queries from statement S to statement
+// T along straight-line execution: one per (access at S, access at T) pair
+// with at least one write.  Both accesses must share a handle — the paper's
+// "scan the APMs for a handle common to both p and q".
+func (r *Result) QueriesBetween(labelS, labelT string) ([]core.Query, error) {
+	sAccs := r.AccessesAt(labelS)
+	tAccs := r.AccessesAt(labelT)
+	if len(sAccs) == 0 {
+		return nil, fmt.Errorf("analysis: no accesses at label %q", labelS)
+	}
+	if len(tAccs) == 0 {
+		return nil, fmt.Errorf("analysis: no accesses at label %q", labelT)
+	}
+	var out []core.Query
+	for _, s := range sAccs {
+		for _, t := range tAccs {
+			if !s.IsWrite && !t.IsWrite {
+				continue
+			}
+			axioms := r.windowAxioms(s.ModEpoch, t.ModEpoch, nil)
+			if h, ok := commonHandle(s.Paths, t.Paths); ok {
+				out = append(out, core.Query{
+					Axioms: axioms,
+					S: core.Access{
+						Handle: h, Path: s.Paths[h], Field: s.Field,
+						Type: s.Type, IsWrite: s.IsWrite,
+					},
+					T: core.Access{
+						Handle: h, Path: t.Paths[h], Field: t.Field,
+						Type: t.Type, IsWrite: t.IsWrite,
+					},
+				})
+				continue
+			}
+			// No common handle: fall back to the unknown-relation form
+			// (§4.1: "the test for different handles is nearly identical,
+			// although its accuracy depends on knowing the relationship
+			// between the two handles").  deptest then requires proofs for
+			// both the same- and distinct-anchor cases.
+			hs, okS := anyHandle(s.Paths)
+			ht, okT := anyHandle(t.Paths)
+			if !okS || !okT {
+				continue
+			}
+			out = append(out, core.Query{
+				Axioms:   axioms,
+				Relation: core.UnknownHandles,
+				S: core.Access{
+					Handle: hs, Path: s.Paths[hs], Field: s.Field,
+					Type: s.Type, IsWrite: s.IsWrite,
+				},
+				T: core.Access{
+					Handle: ht, Path: t.Paths[ht], Field: t.Field,
+					Type: t.Type, IsWrite: t.IsWrite,
+				},
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no conflicting access pair with usable handles between %q and %q", labelS, labelT)
+	}
+	return out, nil
+}
+
+// anyHandle picks the deterministic first handle of a path map, preferring
+// the longest path (most structural information).
+func anyHandle(paths map[string]pathexpr.Expr) (string, bool) {
+	best := ""
+	bestSize := -1
+	for h, p := range paths {
+		if s := p.Size(); s > bestSize || (s == bestSize && h < best) {
+			best, bestSize = h, s
+		}
+	}
+	return best, best != ""
+}
+
+// LoopCarriedQueries builds the loop-carried self-dependence queries for the
+// statement at the given label, which must lie inside a loop with an
+// analyzable induction variable.  For an access with per-iteration path A
+// and increment δ, iterations i < j access h.A and h.δ⁺A from the synthetic
+// iteration handle h (§5's formulation).
+func (r *Result) LoopCarriedQueries(label string) ([]core.Query, error) {
+	accs := r.AccessesAt(label)
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("analysis: no accesses at label %q", label)
+	}
+	var out []core.Query
+	for _, a := range accs {
+		if !a.IsWrite {
+			// A read conflicts across iterations only with writes; the
+			// write access at the same label produces those queries.
+			continue
+		}
+		for ih, delta := range a.IterDeltas {
+			axioms := r.Axioms
+			if !r.opts.AssumeLoopInvariants {
+				axioms = r.windowAxioms(0, 0, a.LoopModFields)
+			}
+			q := core.LoopCarried(axioms, ih, delta, a.Paths[ih], a.Field, a.IsWrite)
+			q.S.Type, q.T.Type = a.Type, a.Type
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: label %q has no written access inside an analyzable loop", label)
+	}
+	return out, nil
+}
+
+// LoopCarriedBetween builds cross-iteration queries between two statements
+// in the same loop: statement S at iteration i against statement T at a
+// later iteration j > i.
+func (r *Result) LoopCarriedBetween(labelS, labelT string) ([]core.Query, error) {
+	sAccs := r.AccessesAt(labelS)
+	tAccs := r.AccessesAt(labelT)
+	var out []core.Query
+	for _, s := range sAccs {
+		for _, t := range tAccs {
+			if !s.IsWrite && !t.IsWrite {
+				continue
+			}
+			for ih, delta := range s.IterDeltas {
+				tPath, ok := t.Paths[ih]
+				if !ok {
+					continue
+				}
+				if td, ok := t.IterDeltas[ih]; !ok || !pathexpr.Equal(td, delta) {
+					continue
+				}
+				axioms := r.Axioms
+				if !r.opts.AssumeLoopInvariants {
+					axioms = r.windowAxioms(0, 0, append(append([]string{}, s.LoopModFields...), t.LoopModFields...))
+				}
+				out = append(out, core.Query{
+					Axioms: axioms,
+					S: core.Access{
+						Handle: ih, Path: s.Paths[ih], Field: s.Field,
+						Type: s.Type, IsWrite: s.IsWrite,
+					},
+					T: core.Access{
+						Handle: ih,
+						Path:   pathexpr.Cat(pathexpr.Rep1(delta), tPath),
+						Field:  t.Field,
+						Type:   t.Type, IsWrite: t.IsWrite,
+					},
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no loop-carried pair between %q and %q", labelS, labelT)
+	}
+	return out, nil
+}

@@ -1,0 +1,620 @@
+package automata
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/pathexpr"
+)
+
+// DFA is a deterministic finite automaton over an Alphabet.  DFAs produced
+// by this package are always total: every state has a transition on every
+// symbol (a dead state absorbs failures).  State 0 is the start state.
+type DFA struct {
+	alphabet *Alphabet
+	// trans[s*k+c] is the successor of state s on symbol c, where
+	// k = alphabet.Size().
+	trans  []int
+	accept []bool
+}
+
+// ErrStateLimit is returned by Compile when subset construction exceeds the
+// configured state budget.  The prover treats it as "unable to decide",
+// which degrades an answer towards Maybe — never towards an unsound No.
+type ErrStateLimit struct {
+	Limit int
+}
+
+func (e ErrStateLimit) Error() string {
+	return fmt.Sprintf("automata: DFA exceeds state limit %d", e.Limit)
+}
+
+// DefaultStateLimit bounds subset construction.  Path expressions in
+// practice are tiny (the paper: n on the order of ten), so this is far above
+// anything a realistic proof needs.
+const DefaultStateLimit = 1 << 14
+
+// Compile builds a total DFA recognizing e over the given alphabet, via
+// Thompson construction and subset construction.  Fields of e not in the
+// alphabet yield the empty language contribution (see buildNFA).
+func Compile(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
+	return CompileLimit(e, a, DefaultStateLimit)
+}
+
+// CompileLimit is Compile with an explicit subset-construction state budget.
+func CompileLimit(e pathexpr.Expr, a *Alphabet, limit int) (*DFA, error) {
+	n := newNFA(a)
+	start, accept := n.build(e)
+	n.start, n.accept = start, accept
+
+	k := a.Size()
+	d := &DFA{alphabet: a}
+	// Subset construction.  States are identified by the canonical string of
+	// their sorted NFA state set.
+	type pending struct {
+		id  int
+		set []int
+	}
+	stateID := make(map[string]int)
+	var work []pending
+
+	intern := func(set []int) int {
+		key := intsKey(set)
+		if id, ok := stateID[key]; ok {
+			return id
+		}
+		id := len(d.accept)
+		if id >= limit {
+			panic(ErrStateLimit{Limit: limit})
+		}
+		stateID[key] = id
+		d.accept = append(d.accept, containsInt(set, n.accept))
+		d.trans = append(d.trans, make([]int, k)...)
+		work = append(work, pending{id: id, set: set})
+		return id
+	}
+
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(ErrStateLimit); ok {
+					err = e
+					return
+				}
+				panic(r)
+			}
+		}()
+		intern(n.epsClosure([]int{n.start}))
+		for len(work) > 0 {
+			cur := work[len(work)-1]
+			work = work[:len(work)-1]
+			for c := 0; c < k; c++ {
+				var next []int
+				for _, s := range cur.set {
+					next = append(next, n.trans[s][c]...)
+				}
+				var id int
+				if len(next) == 0 {
+					id = intern(nil) // dead state: empty subset
+				} else {
+					id = intern(n.epsClosure(dedupInts(next)))
+				}
+				d.trans[cur.id*k+c] = id
+			}
+		}
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustCompile is Compile, panicking on error.
+func MustCompile(e pathexpr.Expr, a *Alphabet) *DFA {
+	d, err := Compile(e, a)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func intsKey(set []int) string {
+	var b strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
+	return b.String()
+}
+
+func containsInt(set []int, x int) bool {
+	for _, s := range set {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Alphabet returns the DFA's alphabet.
+func (d *DFA) Alphabet() *Alphabet { return d.alphabet }
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.accept) }
+
+// Step returns the successor of state s on symbol name, or -1 if the symbol
+// is not in the alphabet.
+func (d *DFA) Step(s int, name string) int {
+	c := d.alphabet.Index(name)
+	if c < 0 {
+		return -1
+	}
+	return d.trans[s*d.alphabet.Size()+c]
+}
+
+// Accepting reports whether state s accepts.
+func (d *DFA) Accepting(s int) bool { return d.accept[s] }
+
+// Accepts reports whether the DFA accepts the word (a sequence of field
+// names).  Words containing symbols outside the alphabet are rejected.
+func (d *DFA) Accepts(word []string) bool {
+	s := 0
+	for _, f := range word {
+		s = d.Step(s, f)
+		if s < 0 {
+			return false
+		}
+	}
+	return d.accept[s]
+}
+
+// Complement returns a DFA for the complement language over the same
+// alphabet.  The receiver must be total, which Compile guarantees.
+func (d *DFA) Complement() *DFA {
+	acc := make([]bool, len(d.accept))
+	for i, a := range d.accept {
+		acc[i] = !a
+	}
+	return &DFA{alphabet: d.alphabet, trans: d.trans, accept: acc}
+}
+
+// Intersect returns the product DFA recognizing L(d) ∩ L(o).  Both automata
+// must share the alphabet (same Key); otherwise Intersect panics, since a
+// silent mismatch would make prover answers meaningless.
+func (d *DFA) Intersect(o *DFA) *DFA {
+	if d.alphabet.Key() != o.alphabet.Key() {
+		panic("automata: Intersect over mismatched alphabets")
+	}
+	k := d.alphabet.Size()
+	type pair struct{ a, b int }
+	id := map[pair]int{}
+	var order []pair
+	intern := func(p pair) int {
+		if n, ok := id[p]; ok {
+			return n
+		}
+		n := len(order)
+		id[p] = n
+		order = append(order, p)
+		return n
+	}
+	intern(pair{0, 0})
+	out := &DFA{alphabet: d.alphabet}
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		out.accept = append(out.accept, d.accept[p.a] && o.accept[p.b])
+		base := len(out.trans)
+		out.trans = append(out.trans, make([]int, k)...)
+		for c := 0; c < k; c++ {
+			out.trans[base+c] = intern(pair{d.trans[p.a*k+c], o.trans[p.b*k+c]})
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether the DFA's language is empty.
+func (d *DFA) IsEmpty() bool {
+	return d.shortestAccepted() == nil && !d.accept[0]
+}
+
+// Witness returns a shortest accepted word, or nil and false when the
+// language is empty.
+func (d *DFA) Witness() ([]string, bool) {
+	if d.accept[0] {
+		return []string{}, true
+	}
+	w := d.shortestAccepted()
+	if w == nil {
+		return nil, false
+	}
+	return w, true
+}
+
+// shortestAccepted performs BFS from the start state and returns a shortest
+// accepted word, or nil when no accepting state is reachable (ignores the
+// start state's own acceptance).
+func (d *DFA) shortestAccepted() []string {
+	k := d.alphabet.Size()
+	type edge struct {
+		prev int
+		sym  int
+	}
+	seen := make([]bool, len(d.accept))
+	from := make([]edge, len(d.accept))
+	queue := []int{0}
+	seen[0] = true
+	goal := -1
+	for len(queue) > 0 && goal < 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for c := 0; c < k; c++ {
+			t := d.trans[s*k+c]
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			from[t] = edge{prev: s, sym: c}
+			if d.accept[t] {
+				goal = t
+				break
+			}
+			queue = append(queue, t)
+		}
+	}
+	if goal < 0 {
+		return nil
+	}
+	var rev []string
+	for s := goal; s != 0; s = from[s].prev {
+		rev = append(rev, d.alphabet.symbols[from[s].sym])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Includes reports whether L(d) ⊆ L(o): decided as L(d) ∩ complement(L(o))
+// being empty, exactly as the paper prescribes.
+func (d *DFA) Includes(o *DFA) bool {
+	return d.Intersect(o.Complement()).IsEmpty()
+}
+
+// Equivalent reports whether the two DFAs recognize the same language.
+func (d *DFA) Equivalent(o *DFA) bool {
+	return d.Includes(o) && o.Includes(d)
+}
+
+// Cardinality classifies the size of the language.
+type Cardinality int
+
+// Language cardinality classes.
+const (
+	CardEmpty    Cardinality = iota // no words
+	CardOne                         // exactly one word
+	CardFinite                      // more than one word, finitely many
+	CardInfinite                    // infinitely many words
+)
+
+func (c Cardinality) String() string {
+	switch c {
+	case CardEmpty:
+		return "empty"
+	case CardOne:
+		return "one"
+	case CardFinite:
+		return "finite"
+	case CardInfinite:
+		return "infinite"
+	}
+	return "unknown"
+}
+
+// Cardinality returns the language-size class and, when the class is
+// CardOne, the unique word.
+func (d *DFA) Cardinality() (Cardinality, []string) {
+	k := d.alphabet.Size()
+	useful := d.usefulStates()
+	if !useful[0] {
+		return CardEmpty, nil
+	}
+	// Detect a cycle among useful states: any cycle implies infinitely many
+	// words (every useful state lies on a path from start to accept).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(d.accept))
+	var cyclic bool
+	var dfs func(s int)
+	dfs = func(s int) {
+		color[s] = gray
+		for c := 0; c < k; c++ {
+			t := d.trans[s*k+c]
+			if !useful[t] {
+				continue
+			}
+			switch color[t] {
+			case gray:
+				cyclic = true
+			case white:
+				dfs(t)
+			}
+		}
+		color[s] = black
+	}
+	dfs(0)
+	if cyclic {
+		return CardInfinite, nil
+	}
+	// Acyclic: count accepted words by memoized DAG counting, capped at 2.
+	counts := make([]int, len(d.accept))
+	for i := range counts {
+		counts[i] = -1
+	}
+	var count func(s int) int
+	count = func(s int) int {
+		if counts[s] >= 0 {
+			return counts[s]
+		}
+		n := 0
+		if d.accept[s] {
+			n = 1
+		}
+		for c := 0; c < k; c++ {
+			t := d.trans[s*k+c]
+			if useful[t] {
+				n += count(t)
+			}
+			if n > 2 {
+				n = 3
+				break
+			}
+		}
+		counts[s] = n
+		return n
+	}
+	switch n := count(0); {
+	case n == 0:
+		return CardEmpty, nil
+	case n == 1:
+		w, _ := d.uniqueWord(useful)
+		return CardOne, w
+	default:
+		return CardFinite, nil
+	}
+}
+
+// uniqueWord extracts the single accepted word from a DFA already known to
+// accept exactly one word.
+func (d *DFA) uniqueWord(useful []bool) ([]string, bool) {
+	k := d.alphabet.Size()
+	var word []string
+	s := 0
+	for steps := 0; steps <= len(d.accept)*k+1; steps++ {
+		if d.accept[s] {
+			// The unique word ends here unless a useful continuation exists;
+			// with exactly one word there cannot be both.
+			hasNext := false
+			for c := 0; c < k; c++ {
+				if useful[d.trans[s*k+c]] {
+					hasNext = true
+				}
+			}
+			if !hasNext {
+				return word, true
+			}
+		}
+		advanced := false
+		for c := 0; c < k; c++ {
+			t := d.trans[s*k+c]
+			if useful[t] {
+				word = append(word, d.alphabet.symbols[c])
+				s = t
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return word, d.accept[s]
+		}
+	}
+	return nil, false
+}
+
+// usefulStates marks states that are both reachable from the start state and
+// can reach an accepting state.
+func (d *DFA) usefulStates() []bool {
+	k := d.alphabet.Size()
+	n := len(d.accept)
+	reach := make([]bool, n)
+	stack := []int{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := 0; c < k; c++ {
+			t := d.trans[s*k+c]
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	// Reverse reachability from accepting states.
+	rev := make([][]int, n)
+	for s := 0; s < n; s++ {
+		for c := 0; c < k; c++ {
+			t := d.trans[s*k+c]
+			rev[t] = append(rev[t], s)
+		}
+	}
+	coreach := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if d.accept[s] && !coreach[s] {
+			coreach[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !coreach[p] {
+				coreach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	useful := make([]bool, n)
+	for s := 0; s < n; s++ {
+		useful[s] = reach[s] && coreach[s]
+	}
+	return useful
+}
+
+// Minimize returns the Hopcroft-minimal DFA equivalent to d.
+func (d *DFA) Minimize() *DFA {
+	k := d.alphabet.Size()
+	n := len(d.accept)
+	if n == 0 {
+		return d
+	}
+	// Partition refinement (Hopcroft).  part[s] is the block of state s.
+	part := make([]int, n)
+	for s := 0; s < n; s++ {
+		if d.accept[s] {
+			part[s] = 1
+		}
+	}
+	numBlocks := 2
+	if allSameBool(d.accept) {
+		numBlocks = 1
+		for s := range part {
+			part[s] = 0
+		}
+	}
+	for {
+		// Refine: signature of a state is (block, successor blocks).
+		sig := make(map[string][]int)
+		var order []string
+		for s := 0; s < n; s++ {
+			var b strings.Builder
+			b.WriteString(strconv.Itoa(part[s]))
+			for c := 0; c < k; c++ {
+				b.WriteByte(':')
+				b.WriteString(strconv.Itoa(part[d.trans[s*k+c]]))
+			}
+			key := b.String()
+			if _, ok := sig[key]; !ok {
+				order = append(order, key)
+			}
+			sig[key] = append(sig[key], s)
+		}
+		if len(order) == numBlocks {
+			break
+		}
+		numBlocks = len(order)
+		for i, key := range order {
+			for _, s := range sig[key] {
+				part[s] = i
+			}
+		}
+	}
+	// Rebuild with block of start state first.
+	remap := make([]int, numBlocks)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := 0
+	assign := func(b int) int {
+		if remap[b] < 0 {
+			remap[b] = next
+			next++
+		}
+		return remap[b]
+	}
+	assign(part[0])
+	out := &DFA{
+		alphabet: d.alphabet,
+		trans:    make([]int, numBlocks*k),
+		accept:   make([]bool, numBlocks),
+	}
+	for s := 0; s < n; s++ {
+		b := assign(part[s])
+		out.accept[b] = d.accept[s]
+		for c := 0; c < k; c++ {
+			out.trans[b*k+c] = assign(part[d.trans[s*k+c]])
+		}
+	}
+	return out
+}
+
+func allSameBool(xs []bool) bool {
+	for _, x := range xs {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxWordLen returns the length of the longest accepted word, or
+// math.MaxInt for infinite languages, or -1 for the empty language.
+func (d *DFA) MaxWordLen() int {
+	card, _ := d.Cardinality()
+	switch card {
+	case CardEmpty:
+		return -1
+	case CardInfinite:
+		return math.MaxInt
+	}
+	// Longest path in the useful-state DAG.
+	k := d.alphabet.Size()
+	useful := d.usefulStates()
+	memo := make([]int, len(d.accept))
+	for i := range memo {
+		memo[i] = -2
+	}
+	var longest func(s int) int
+	longest = func(s int) int {
+		if memo[s] != -2 {
+			return memo[s]
+		}
+		best := -1
+		if d.accept[s] {
+			best = 0
+		}
+		memo[s] = best // provisional; DAG so no revisits on a cycle
+		for c := 0; c < k; c++ {
+			t := d.trans[s*k+c]
+			if !useful[t] {
+				continue
+			}
+			if l := longest(t); l >= 0 && l+1 > best {
+				best = l + 1
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return longest(0)
+}

@@ -1,0 +1,92 @@
+package automata
+
+import (
+	"repro/internal/pathexpr"
+)
+
+// Cache memoizes compiled DFAs keyed by (expression, alphabet).  The prover
+// tests the same small expressions against many axioms; caching makes the
+// paper's "proof attempt is never repeated" complexity argument hold for the
+// automata layer too.  A Cache is not safe for concurrent use; each prover
+// instance owns one.
+type Cache struct {
+	limit      int
+	noMinimize bool
+	dfas       map[string]*DFA
+}
+
+// NewCache returns a cache whose compilations use the given subset
+// construction state limit (DefaultStateLimit if limit <= 0).
+func NewCache(limit int) *Cache {
+	if limit <= 0 {
+		limit = DefaultStateLimit
+	}
+	return &Cache{limit: limit, dfas: make(map[string]*DFA)}
+}
+
+// NewCacheNoMinimize returns a cache that skips Hopcroft minimization after
+// subset construction.  Exists for the minimization ablation benchmark.
+func NewCacheNoMinimize(limit int) *Cache {
+	c := NewCache(limit)
+	c.noMinimize = true
+	return c
+}
+
+// DFA returns the compiled, minimized DFA for e over alphabet a.
+func (c *Cache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
+	key := a.Key() + "\x00" + e.String()
+	if d, ok := c.dfas[key]; ok {
+		return d, nil
+	}
+	d, err := CompileLimit(e, a, c.limit)
+	if err != nil {
+		return nil, err
+	}
+	if !c.noMinimize {
+		d = d.Minimize()
+	}
+	c.dfas[key] = d
+	return d, nil
+}
+
+// Len reports the number of cached DFAs.
+func (c *Cache) Len() int { return len(c.dfas) }
+
+// Includes reports L(sub) ⊆ L(sup) over alphabet a.
+func (c *Cache) Includes(sub, sup pathexpr.Expr, a *Alphabet) (bool, error) {
+	ds, err := c.DFA(sub, a)
+	if err != nil {
+		return false, err
+	}
+	dp, err := c.DFA(sup, a)
+	if err != nil {
+		return false, err
+	}
+	return ds.Includes(dp), nil
+}
+
+// Disjoint reports L(x) ∩ L(y) = ∅ over alphabet a.
+func (c *Cache) Disjoint(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
+	dx, err := c.DFA(x, a)
+	if err != nil {
+		return false, err
+	}
+	dy, err := c.DFA(y, a)
+	if err != nil {
+		return false, err
+	}
+	return dx.Intersect(dy).IsEmpty(), nil
+}
+
+// Equivalent reports L(x) = L(y) over alphabet a.
+func (c *Cache) Equivalent(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
+	dx, err := c.DFA(x, a)
+	if err != nil {
+		return false, err
+	}
+	dy, err := c.DFA(y, a)
+	if err != nil {
+		return false, err
+	}
+	return dx.Equivalent(dy), nil
+}

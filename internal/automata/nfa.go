@@ -1,0 +1,188 @@
+// Package automata provides the finite-automata machinery behind APT's
+// decidable theorem proving: Thompson NFA construction from path
+// expressions, subset construction to DFAs, boolean language operations
+// (complement, intersection), Hopcroft minimization, and the language
+// queries the prover needs (emptiness, inclusion, equivalence, cardinality,
+// witnesses).
+//
+// The paper (§4.1) decides RE1 ⊆ RE2 by checking
+// L(M1) ∩ complement(L(M2)) = ∅ over DFAs M1, M2; this package implements
+// exactly that, over an explicit field alphabet.
+package automata
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pathexpr"
+)
+
+// Alphabet is an ordered set of field names.  All automata operations that
+// combine two machines require them to share an alphabet.
+type Alphabet struct {
+	symbols []string
+	index   map[string]int
+}
+
+// NewAlphabet builds an alphabet from the given field names, deduplicating
+// and sorting them.
+func NewAlphabet(fields ...string) *Alphabet {
+	seen := make(map[string]bool, len(fields))
+	var syms []string
+	for _, f := range fields {
+		if f == "" || seen[f] {
+			continue
+		}
+		seen[f] = true
+		syms = append(syms, f)
+	}
+	sort.Strings(syms)
+	idx := make(map[string]int, len(syms))
+	for i, s := range syms {
+		idx[s] = i
+	}
+	return &Alphabet{symbols: syms, index: idx}
+}
+
+// AlphabetOf builds the alphabet of all fields mentioned in the expressions.
+func AlphabetOf(exprs ...pathexpr.Expr) *Alphabet {
+	return NewAlphabet(pathexpr.Fields(exprs...)...)
+}
+
+// Union returns an alphabet containing the symbols of both alphabets.
+func (a *Alphabet) Union(b *Alphabet) *Alphabet {
+	return NewAlphabet(append(append([]string{}, a.symbols...), b.symbols...)...)
+}
+
+// Size returns the number of symbols.
+func (a *Alphabet) Size() int { return len(a.symbols) }
+
+// Symbols returns the symbols in sorted order.  The caller must not modify
+// the returned slice.
+func (a *Alphabet) Symbols() []string { return a.symbols }
+
+// Index returns the index of symbol s, or -1 if s is not in the alphabet.
+func (a *Alphabet) Index(s string) int {
+	i, ok := a.index[s]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Contains reports whether s is a symbol of the alphabet.
+func (a *Alphabet) Contains(s string) bool { _, ok := a.index[s]; return ok }
+
+// Key returns a canonical string identifying the alphabet, for caching.
+func (a *Alphabet) Key() string {
+	return fmt.Sprint(a.symbols)
+}
+
+// nfa is a Thompson-construction NFA with ε-transitions.  States are dense
+// integers; state 0 is always the start state after Build.
+type nfa struct {
+	alphabet *Alphabet
+	// eps[s] lists ε-successors of state s.
+	eps [][]int
+	// trans[s][sym] lists sym-successors of state s.
+	trans []map[int][]int
+	start int
+	// accept is the single accepting state of the Thompson construction.
+	accept int
+}
+
+func newNFA(a *Alphabet) *nfa {
+	return &nfa{alphabet: a}
+}
+
+func (n *nfa) newState() int {
+	n.eps = append(n.eps, nil)
+	n.trans = append(n.trans, nil)
+	return len(n.eps) - 1
+}
+
+func (n *nfa) addEps(from, to int) {
+	n.eps[from] = append(n.eps[from], to)
+}
+
+func (n *nfa) addTrans(from int, sym int, to int) {
+	if n.trans[from] == nil {
+		n.trans[from] = make(map[int][]int)
+	}
+	n.trans[from][sym] = append(n.trans[from][sym], to)
+}
+
+// buildNFA compiles e into a Thompson NFA fragment and returns (start,
+// accept) states.  Symbols absent from the alphabet make the fragment
+// unmatchable (they become the empty language), which is the correct
+// interpretation: a path using an undeclared field traverses no edge of the
+// modeled structure.
+func (n *nfa) build(e pathexpr.Expr) (start, accept int) {
+	start = n.newState()
+	accept = n.newState()
+	switch v := e.(type) {
+	case nil, pathexpr.Epsilon:
+		n.addEps(start, accept)
+	case pathexpr.Empty:
+		// no transitions: accept unreachable
+	case pathexpr.Field:
+		sym := n.alphabet.Index(v.Name)
+		if sym >= 0 {
+			n.addTrans(start, sym, accept)
+		}
+	case pathexpr.Concat:
+		cur := start
+		for _, p := range v.Parts {
+			s, a := n.build(p)
+			n.addEps(cur, s)
+			cur = a
+		}
+		n.addEps(cur, accept)
+	case pathexpr.Alt:
+		for _, p := range v.Alts {
+			s, a := n.build(p)
+			n.addEps(start, s)
+			n.addEps(a, accept)
+		}
+	case pathexpr.Star:
+		s, a := n.build(v.Inner)
+		n.addEps(start, s)
+		n.addEps(a, s)
+		n.addEps(start, accept)
+		n.addEps(a, accept)
+	case pathexpr.Plus:
+		s, a := n.build(v.Inner)
+		n.addEps(start, s)
+		n.addEps(a, s)
+		n.addEps(a, accept)
+	default:
+		panic(fmt.Sprintf("automata: unknown expression type %T", e))
+	}
+	return start, accept
+}
+
+// epsClosure expands the set of states with everything reachable over
+// ε-transitions.  The set is represented as a sorted slice.
+func (n *nfa) epsClosure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int{}, states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

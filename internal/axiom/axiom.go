@@ -1,0 +1,201 @@
+// Package axiom defines aliasing axioms: universally quantified statements
+// about access paths that hold uniformly throughout a data structure
+// (paper, §3.1).  An axiom takes one of three forms:
+//
+//  1. ∀p,    p.RE1 <> p.RE2   — paths from the same vertex never collide
+//  2. ∀p<>q, p.RE1 <> q.RE2   — paths from distinct vertices never collide
+//  3. ∀p,    p.RE1 =  p.RE2   — paths from the same vertex always coincide
+//
+// The package also carries the paper's worked axiom sets (Figure 3's
+// leaf-linked binary tree, §5's sparse-matrix subset, Appendix A's full
+// twelve-axiom sparse matrix) and axiom inference from type declarations.
+package axiom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pathexpr"
+)
+
+// Form distinguishes the three axiom shapes.
+type Form int
+
+// Axiom forms.
+const (
+	// SameSrcDisjoint is ∀p, p.RE1 <> p.RE2.
+	SameSrcDisjoint Form = iota
+	// DiffSrcDisjoint is ∀p<>q, p.RE1 <> q.RE2.
+	DiffSrcDisjoint
+	// SameSrcEqual is ∀p, p.RE1 = p.RE2.
+	SameSrcEqual
+)
+
+func (f Form) String() string {
+	switch f {
+	case SameSrcDisjoint:
+		return "∀p, p.RE1 <> p.RE2"
+	case DiffSrcDisjoint:
+		return "∀p<>q, p.RE1 <> q.RE2"
+	case SameSrcEqual:
+		return "∀p, p.RE1 = p.RE2"
+	}
+	return "unknown form"
+}
+
+// Axiom is one aliasing axiom.  Name is optional and used in proof traces
+// (e.g. "A1").
+type Axiom struct {
+	Name string
+	Form Form
+	RE1  pathexpr.Expr
+	RE2  pathexpr.Expr
+}
+
+// String renders the axiom in the paper's concrete syntax.
+func (a Axiom) String() string {
+	var head, rel string
+	switch a.Form {
+	case SameSrcDisjoint:
+		head, rel = "∀p, p.%s <> p.%s", "<>"
+	case DiffSrcDisjoint:
+		head, rel = "∀p<>q, p.%s <> q.%s", "<>"
+	case SameSrcEqual:
+		head, rel = "∀p, p.%s = p.%s", "="
+	}
+	_ = rel
+	s := fmt.Sprintf(head, a.RE1, a.RE2)
+	if a.Name != "" {
+		s = a.Name + ": " + s
+	}
+	return s
+}
+
+// Fields returns the sorted field names mentioned by the axiom.
+func (a Axiom) Fields() []string {
+	return pathexpr.Fields(a.RE1, a.RE2)
+}
+
+// Set is an ordered collection of axioms describing one data structure.
+type Set struct {
+	// StructName optionally names the described structure type.
+	StructName string
+	Axioms     []Axiom
+}
+
+// NewSet builds a set from axioms.
+func NewSet(name string, axioms ...Axiom) *Set {
+	return &Set{StructName: name, Axioms: axioms}
+}
+
+// Add appends an axiom, auto-naming it A<n> when unnamed, and returns the
+// set for chaining.
+func (s *Set) Add(a Axiom) *Set {
+	if a.Name == "" {
+		a.Name = fmt.Sprintf("A%d", len(s.Axioms)+1)
+	}
+	s.Axioms = append(s.Axioms, a)
+	return s
+}
+
+// Fields returns the sorted union of field names mentioned by all axioms.
+func (s *Set) Fields() []string {
+	set := make(map[string]bool)
+	for _, a := range s.Axioms {
+		for _, f := range a.Fields() {
+			set[f] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByForm returns the axioms with the given form, in declaration order.
+func (s *Set) ByForm(f Form) []Axiom {
+	var out []Axiom
+	for _, a := range s.Axioms {
+		if a.Form == f {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical fingerprint of the set, used in proof-cache keys.
+func (s *Set) Key() string {
+	parts := make([]string, len(s.Axioms))
+	for i, a := range s.Axioms {
+		parts[i] = fmt.Sprintf("%d\x01%s\x01%s", a.Form, a.RE1, a.RE2)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x02")
+}
+
+// WithoutFields returns a new set containing only axioms that mention none
+// of the given fields.  This implements the §3.4 rule: a structural
+// modification to field f invalidates (conservatively) every axiom
+// constraining f, and a dependence test spanning the modification must use
+// the intersection of the axiom sets valid before and after — which is
+// exactly the before-set minus the f-constraining axioms.
+func (s *Set) WithoutFields(fields ...string) *Set {
+	drop := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		drop[f] = true
+	}
+	out := &Set{StructName: s.StructName}
+	for _, a := range s.Axioms {
+		touched := false
+		for _, f := range a.Fields() {
+			if drop[f] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			out.Axioms = append(out.Axioms, a)
+		}
+	}
+	return out
+}
+
+// Intersect returns the axioms present in both sets (by form and language
+// text).  Used to combine validity windows across modification sites.
+func (s *Set) Intersect(o *Set) *Set {
+	have := make(map[string]bool, len(o.Axioms))
+	for _, a := range o.Axioms {
+		have[fingerprint(a)] = true
+	}
+	out := &Set{StructName: s.StructName}
+	for _, a := range s.Axioms {
+		if have[fingerprint(a)] {
+			out.Axioms = append(out.Axioms, a)
+		}
+	}
+	return out
+}
+
+func fingerprint(a Axiom) string {
+	return fmt.Sprintf("%d\x01%s\x01%s", a.Form, a.RE1, a.RE2)
+}
+
+// Len returns the number of axioms.
+func (s *Set) Len() int { return len(s.Axioms) }
+
+// String renders the whole set, one axiom per line.
+func (s *Set) String() string {
+	var b strings.Builder
+	if s.StructName != "" {
+		fmt.Fprintf(&b, "axioms of %s:\n", s.StructName)
+	}
+	for _, a := range s.Axioms {
+		b.WriteString("  ")
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

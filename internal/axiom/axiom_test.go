@@ -1,0 +1,265 @@
+package axiom
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pathexpr"
+)
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		form Form
+		re1  string
+		re2  string
+	}{
+		{"forall p, p.L <> p.R", SameSrcDisjoint, "L", "R"},
+		{"forall p <> q, p.N <> q.N", DiffSrcDisjoint, "N", "N"},
+		{"forall p, p.next.prev = p.ε", SameSrcEqual, "next.prev", "ε"},
+		{"∀p, p.(L|R|N)+ <> p.ε", SameSrcDisjoint, "(L|R|N)+", "ε"},
+		{"forall p, p.ncolE+ <> p.nrowE+", SameSrcDisjoint, "ncolE+", "nrowE+"},
+		{"A1: forall p, p.L <> p.R", SameSrcDisjoint, "L", "R"},
+		{"forall p : p.L <> p.R", SameSrcDisjoint, "L", "R"},
+	}
+	for _, c := range cases {
+		a, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if a.Form != c.form {
+			t.Errorf("Parse(%q).Form = %v, want %v", c.src, a.Form, c.form)
+		}
+		if got := a.RE1.String(); got != c.re1 {
+			t.Errorf("Parse(%q).RE1 = %q, want %q", c.src, got, c.re1)
+		}
+		if got := a.RE2.String(); got != c.re2 {
+			t.Errorf("Parse(%q).RE2 = %q, want %q", c.src, got, c.re2)
+		}
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	a := MustParse("A3: forall p <> q, p.N <> q.N")
+	if a.Name != "A3" {
+		t.Errorf("name = %q, want A3", a.Name)
+	}
+	if !strings.Contains(a.String(), "A3:") {
+		t.Errorf("String() = %q lacks name", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"p.L <> p.R",
+		"forall x, x.L <> x.R",
+		"forall p, q.L <> p.R",
+		"forall p, p.L >< p.R",
+		"forall p <> q, p.L = q.R",
+		"forall p, p.L <> q.R",
+		"forall p <> q, p.L <> p.R",
+		"forall p, p.L <> p.R ~",
+		"forall p, p.( <> p.R",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseWithFieldsCompactStyle(t *testing.T) {
+	a, err := ParseWithFields("forall p, p.LLN <> p.LRN", []string{"L", "R", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, ok1 := pathexpr.Word(a.RE1)
+	w2, ok2 := pathexpr.Word(a.RE2)
+	if !ok1 || !ok2 {
+		t.Fatal("expected word paths")
+	}
+	if !reflect.DeepEqual(w1, []string{"L", "L", "N"}) || !reflect.DeepEqual(w2, []string{"L", "R", "N"}) {
+		t.Errorf("words = %v, %v", w1, w2)
+	}
+}
+
+func TestParseSetSkipsCommentsAndBlanks(t *testing.T) {
+	s, err := ParseSet("T", `
+		// tree-ness
+		A1: forall p, p.L <> p.R
+
+		# acyclic
+		forall p, p.(L|R)+ <> p.ε
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("parsed %d axioms, want 2", s.Len())
+	}
+	if s.Axioms[0].Name != "A1" || s.Axioms[1].Name != "A2" {
+		t.Errorf("names = %q, %q", s.Axioms[0].Name, s.Axioms[1].Name)
+	}
+}
+
+func TestLibrarySets(t *testing.T) {
+	llt := LeafLinkedBinaryTree()
+	if llt.Len() != 4 {
+		t.Errorf("leaf-linked tree has %d axioms, want 4", llt.Len())
+	}
+	if got := llt.Fields(); !reflect.DeepEqual(got, []string{"L", "N", "R"}) {
+		t.Errorf("fields = %v", got)
+	}
+
+	sm := SparseMatrix()
+	if sm.Len() != 12 {
+		t.Errorf("sparse matrix has %d axioms, want 12 (Appendix A)", sm.Len())
+	}
+	wantFields := []string{"celem", "cols", "ncolE", "ncolH", "nrowE", "nrowH", "relem", "rows"}
+	if got := sm.Fields(); !reflect.DeepEqual(got, wantFields) {
+		t.Errorf("sparse fields = %v, want %v", got, wantFields)
+	}
+
+	core := SparseMatrixCore()
+	if core.Len() != 3 {
+		t.Errorf("sparse core has %d axioms, want 3 (§5)", core.Len())
+	}
+
+	if got := BinaryTree("l", "r").Len(); got != 3 {
+		t.Errorf("binary tree has %d axioms", got)
+	}
+	if got := SinglyLinkedList("next").Len(); got != 2 {
+		t.Errorf("list has %d axioms", got)
+	}
+	if got := TwoDRangeTree().Len(); got != 9 {
+		t.Errorf("range tree has %d axioms", got)
+	}
+
+	cor := SparseMatrixDisjointness()
+	if cor.Form != DiffSrcDisjoint {
+		t.Errorf("corollary form = %v", cor.Form)
+	}
+}
+
+func TestRingOf(t *testing.T) {
+	r := RingOf("next", 3)
+	var eq []Axiom
+	for _, a := range r.Axioms {
+		if a.Form == SameSrcEqual {
+			eq = append(eq, a)
+		}
+	}
+	if len(eq) != 1 {
+		t.Fatalf("ring has %d equality axioms, want 1", len(eq))
+	}
+	if got := eq[0].RE1.String(); got != "next.next.next" {
+		t.Errorf("cycle path = %q", got)
+	}
+}
+
+func TestWithoutFields(t *testing.T) {
+	llt := LeafLinkedBinaryTree()
+	noN := llt.WithoutFields("N")
+	if noN.Len() != 2 {
+		t.Fatalf("dropping N left %d axioms, want 2 (A1, A2)", noN.Len())
+	}
+	for _, a := range noN.Axioms {
+		for _, f := range a.Fields() {
+			if f == "N" {
+				t.Errorf("axiom %v still mentions N", a)
+			}
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := LeafLinkedBinaryTree()
+	b := LeafLinkedBinaryTree().WithoutFields("N")
+	got := a.Intersect(b)
+	if got.Len() != 2 {
+		t.Fatalf("intersection has %d axioms, want 2", got.Len())
+	}
+	if !reflect.DeepEqual(a.Intersect(a).Key(), a.Key()) {
+		t.Error("self-intersection changed the set")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := MustParseSet("x", "forall p, p.L <> p.R\nforall p <> q, p.N <> q.N")
+	b := MustParseSet("y", "forall p <> q, p.N <> q.N\nforall p, p.L <> p.R")
+	if a.Key() != b.Key() {
+		t.Error("Key should be order-independent")
+	}
+}
+
+func TestInferTypeDisjointness(t *testing.T) {
+	structs := map[string][]FieldDecl{
+		"Matrix": {{Name: "rows", Target: "Header"}, {Name: "cols", Target: "Header"}},
+		"Header": {{Name: "nrowH", Target: "Header"}, {Name: "relem", Target: "Elem"}},
+	}
+	inf := InferTypeDisjointness(structs)
+	// Pairs with differing targets: (nrowH,relem), (relem,rows), (relem,cols)
+	// — 3 pairs × 2 axioms each.
+	if inf.Len() != 6 {
+		t.Fatalf("inferred %d axioms, want 6:\n%s", inf.Len(), inf)
+	}
+	for _, a := range inf.Axioms {
+		if len(a.Fields()) != 2 {
+			t.Errorf("inferred axiom %v should mention exactly 2 fields", a)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	m := Merge(SparseMatrixCore(), SinglyLinkedList("next"))
+	if m.Len() != 5 {
+		t.Fatalf("merged %d axioms, want 5", m.Len())
+	}
+	seen := map[string]bool{}
+	for _, a := range m.Axioms {
+		if seen[a.Name] {
+			t.Errorf("duplicate axiom name %q after merge", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestByForm(t *testing.T) {
+	s := LeafLinkedBinaryTree()
+	if got := len(s.ByForm(SameSrcDisjoint)); got != 2 {
+		t.Errorf("same-src axioms = %d, want 2", got)
+	}
+	if got := len(s.ByForm(DiffSrcDisjoint)); got != 2 {
+		t.Errorf("diff-src axioms = %d, want 2", got)
+	}
+	if got := len(s.ByForm(SameSrcEqual)); got != 0 {
+		t.Errorf("equality axioms = %d, want 0", got)
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := LeafLinkedBinaryTree()
+	out := s.String()
+	for _, want := range []string{"LLBinaryTree", "A1:", "A4:", "∀p<>q"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Set.String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSkipListAxioms(t *testing.T) {
+	s := SkipList("n0", "n1", "n2")
+	// One injectivity axiom per level plus global acyclicity.
+	if s.Len() != 4 {
+		t.Fatalf("skip list has %d axioms, want 4", s.Len())
+	}
+	forms := map[Form]int{}
+	for _, a := range s.Axioms {
+		forms[a.Form]++
+	}
+	if forms[DiffSrcDisjoint] != 3 || forms[SameSrcDisjoint] != 1 {
+		t.Errorf("form counts = %v", forms)
+	}
+}

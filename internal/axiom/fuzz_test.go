@@ -1,0 +1,32 @@
+package axiom
+
+import "testing"
+
+// FuzzParse: the axiom parser must never panic; accepted axioms must
+// re-parse from their printed form with the same content.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"forall p, p.L <> p.R",
+		"forall p <> q, p.(L|R) <> q.(L|R)",
+		"forall p, p.next.prev = p.ε",
+		"∀p, p.(a|b)+ <> p.ε",
+		"A1: forall p, p.x <> p.y",
+		"forall p", "", "forall p, p.L", "forall p <> q, p.L = q.R",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(src)
+		if err != nil {
+			return
+		}
+		re, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", src, a.String(), err)
+		}
+		if re.Form != a.Form || re.RE1.String() != a.RE1.String() || re.RE2.String() != a.RE2.String() {
+			t.Fatalf("round trip changed the axiom: %q -> %q", src, re.String())
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package axiom
+
+import (
+	"sort"
+
+	"repro/internal/pathexpr"
+)
+
+// FieldDecl describes one pointer field of a structure type: its name and
+// the structure type it points to.
+type FieldDecl struct {
+	Name   string
+	Target string
+}
+
+// InferTypeDisjointness derives the axioms the paper calls "inferred since
+// pointer fields of different types should lead to different vertices"
+// (Appendix A).  For every pair of declared pointer fields f, g whose target
+// types differ it adds
+//
+//	∀p,    p.f <> p.g
+//	∀p<>q, p.f <> q.g
+//
+// The input maps a struct type name to its pointer fields; fields of all
+// structs participate, since a vertex of type A can never alias a vertex of
+// type B.
+func InferTypeDisjointness(structs map[string][]FieldDecl) *Set {
+	var all []FieldDecl
+	var names []string
+	for name := range structs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		all = append(all, structs[name]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+
+	out := &Set{StructName: "inferred"}
+	seen := make(map[string]bool)
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			f, g := all[i], all[j]
+			if f.Name == g.Name || f.Target == g.Target {
+				continue
+			}
+			key := f.Name + "\x00" + g.Name
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.Add(Axiom{
+				Form: SameSrcDisjoint,
+				RE1:  pathexpr.F(f.Name),
+				RE2:  pathexpr.F(g.Name),
+			})
+			out.Add(Axiom{
+				Form: DiffSrcDisjoint,
+				RE1:  pathexpr.F(f.Name),
+				RE2:  pathexpr.F(g.Name),
+			})
+		}
+	}
+	return out
+}
+
+// Merge returns a new set holding the axioms of s followed by those of
+// others, renaming unnamed axioms to stay unique.
+func Merge(s *Set, others ...*Set) *Set {
+	out := &Set{StructName: s.StructName}
+	for _, a := range s.Axioms {
+		out.Add(a)
+	}
+	for _, o := range others {
+		for _, a := range o.Axioms {
+			a.Name = "" // re-number in the merged set
+			out.Add(a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package axiom
+
+import (
+	"fmt"
+
+	"repro/internal/pathexpr"
+)
+
+// This file carries the axiom sets used throughout the paper, plus the other
+// regular structures §3.1 mentions.  All are built with the parser so the
+// texts below read exactly like the paper.
+
+// SinglyLinkedList returns axioms for an acyclic singly linked list over the
+// given next field: next edges are injective and never return to their
+// origin.
+func SinglyLinkedList(next string) *Set {
+	return MustParseSet("SinglyLinkedList", fmt.Sprintf(`
+		forall p <> q, p.%[1]s <> q.%[1]s
+		forall p, p.%[1]s+ <> p.ε
+	`, next))
+}
+
+// CircularList returns axioms for a circular singly linked list: next edges
+// are injective, but cycles are allowed (so no acyclicity axiom).
+func CircularList(next string) *Set {
+	return MustParseSet("CircularList", fmt.Sprintf(`
+		forall p <> q, p.%[1]s <> q.%[1]s
+	`, next))
+}
+
+// RingOf returns axioms for a circular list with exactly n vertices: the
+// CircularList axioms plus the SameSrcEqual cycle axiom
+// ∀p, p.next^n = p.ε, which the prover's prefix-equality reasoning uses.
+func RingOf(next string, n int) *Set {
+	s := CircularList(next)
+	s.StructName = fmt.Sprintf("Ring%d", n)
+	cycle := make([]pathexpr.Expr, n)
+	for i := range cycle {
+		cycle[i] = pathexpr.F(next)
+	}
+	s.Add(Axiom{
+		Form: SameSrcEqual,
+		RE1:  pathexpr.Cat(cycle...),
+		RE2:  pathexpr.Eps,
+	})
+	// Vertices strictly inside the cycle are distinct from the origin.
+	for k := 1; k < n; k++ {
+		walk := make([]pathexpr.Expr, k)
+		for i := range walk {
+			walk[i] = pathexpr.F(next)
+		}
+		s.Add(Axiom{
+			Form: SameSrcDisjoint,
+			RE1:  pathexpr.Cat(walk...),
+			RE2:  pathexpr.Eps,
+		})
+	}
+	return s
+}
+
+// DoublyLinkedList returns axioms for an acyclic doubly linked list.  The
+// inverse relationship between next and prev cannot be stated exactly with
+// set-equality axioms at the endpoints of an acyclic list (p.next.prev is
+// empty at the tail), so the set describes each direction as an injective,
+// acyclic chain and marks the two chains as converses only via disjointness
+// of nontrivial mixed cycles.
+func DoublyLinkedList(next, prev string) *Set {
+	return MustParseSet("DoublyLinkedList", fmt.Sprintf(`
+		forall p <> q, p.%[1]s <> q.%[1]s
+		forall p <> q, p.%[2]s <> q.%[2]s
+		forall p, p.%[1]s+ <> p.ε
+		forall p, p.%[2]s+ <> p.ε
+		forall p, p.%[1]s <> p.%[2]s
+	`, next, prev))
+}
+
+// CyclicDoublyLinkedRing returns axioms for a doubly linked ring, where the
+// converse relation next.prev = ε holds exactly and is expressible as the
+// paper's third axiom form.
+func CyclicDoublyLinkedRing(next, prev string) *Set {
+	return MustParseSet("CyclicDoublyLinkedRing", fmt.Sprintf(`
+		forall p <> q, p.%[1]s <> q.%[1]s
+		forall p <> q, p.%[2]s <> q.%[2]s
+		forall p, p.%[1]s.%[2]s = p.ε
+		forall p, p.%[2]s.%[1]s = p.ε
+	`, next, prev))
+}
+
+// BinaryTree returns the classic three-axiom description of binary trees
+// over child fields l and r: siblings differ, children are unshared, and no
+// descending path returns to its origin.
+func BinaryTree(l, r string) *Set {
+	return MustParseSet("BinaryTree", fmt.Sprintf(`
+		forall p, p.%[1]s <> p.%[2]s
+		forall p <> q, p.(%[1]s|%[2]s) <> q.(%[1]s|%[2]s)
+		forall p, p.(%[1]s|%[2]s)+ <> p.ε
+	`, l, r))
+}
+
+// NaryTree returns tree axioms for an arbitrary child-field list — e.g.
+// NaryTree("c0", "c1", "c2", "c3") describes the quadtrees of computational
+// geometry and NaryTree over eight fields the octrees of N-body simulation
+// (§1's motivating structures).
+func NaryTree(children ...string) *Set {
+	s := &Set{StructName: fmt.Sprintf("%dAryTree", len(children))}
+	for i, f := range children {
+		for _, g := range children[i+1:] {
+			s.Add(Axiom{
+				Form: SameSrcDisjoint,
+				RE1:  pathexpr.F(f),
+				RE2:  pathexpr.F(g),
+			})
+		}
+	}
+	alts := make([]pathexpr.Expr, len(children))
+	for i, f := range children {
+		alts[i] = pathexpr.F(f)
+	}
+	any := pathexpr.Or(alts...)
+	s.Add(Axiom{Form: DiffSrcDisjoint, RE1: any, RE2: any})
+	s.Add(Axiom{Form: SameSrcDisjoint, RE1: pathexpr.Rep1(any), RE2: pathexpr.Eps})
+	return s
+}
+
+// LeafLinkedBinaryTree returns Figure 3's four axioms for a leaf-linked
+// binary tree with child fields L and R and leaf-chain field N:
+//
+//	A1: ∀p, p.L <> p.R
+//	A2: ∀p<>q, p.(L|R) <> q.(L|R)
+//	A3: ∀p<>q, p.N <> q.N
+//	A4: ∀p, p.(L|R|N)+ <> p.ε
+func LeafLinkedBinaryTree() *Set {
+	return MustParseSet("LLBinaryTree", `
+		A1: forall p, p.L <> p.R
+		A2: forall p <> q, p.(L|R) <> q.(L|R)
+		A3: forall p <> q, p.N <> q.N
+		A4: forall p, p.(L|R|N)+ <> p.ε
+	`)
+}
+
+// SparseMatrixCore returns the three axioms §5 gives as sufficient for
+// Theorem T:
+//
+//	A1: ∀p<>q, p.ncolE <> q.ncolE      (rows form linked lists)
+//	A2: ∀p, p.ncolE+ <> p.nrowE+       (end of a row/col does not wrap)
+//	A3: ∀p, p.(ncolE|nrowE)+ <> p.ε    (the sub-structure is acyclic)
+func SparseMatrixCore() *Set {
+	return MustParseSet("SparseMatrixCore", `
+		A1: forall p <> q, p.ncolE <> q.ncolE
+		A2: forall p, p.ncolE+ <> p.nrowE+
+		A3: forall p, p.(ncolE|nrowE)+ <> p.ε
+	`)
+}
+
+// SparseMatrix returns the twelve Appendix A axioms describing the full
+// orthogonal-list sparse matrix of Figure 6.  Field names follow the
+// appendix: matrix root fields rows/cols; header chain fields nrowH/ncolH;
+// header-to-first-element fields relem/celem; element chain fields
+// nrowE/ncolE.  (The appendix's acyclicity axiom spells the element fields
+// "relems|celems" once; we use the declaration spelling relem/celem
+// throughout.)
+func SparseMatrix() *Set {
+	return MustParseSet("SparseMatrix", `
+		A1: forall p <> q, p.nrowE <> q.nrowE
+		A2: forall p <> q, p.ncolE <> q.ncolE
+		A3: forall p, p.nrowE <> p.ncolE
+		A4: forall p, p.ncolE* <> p.nrowE+ncolE*
+		A5: forall p, p.nrowE* <> p.ncolE+nrowE*
+		A6: forall p <> q, p.nrowH <> q.nrowH
+		A7: forall p <> q, p.ncolH <> q.ncolH
+		A8: forall p <> q, p.relem(ncolE)* <> q.relem(ncolE)*
+		A9: forall p <> q, p.celem(nrowE)* <> q.celem(nrowE)*
+		A10: forall p <> q, p.rows <> q.nrowH
+		A11: forall p <> q, p.cols <> q.ncolH
+		A12: forall p, p.(rows|cols|relem|celem|nrowH|ncolH|nrowE|ncolE)+ <> p.ε
+	`)
+}
+
+// SparseMatrixDisjointness returns Appendix A's closing corollary: distinct
+// matrix roots reach disjoint structures.
+func SparseMatrixDisjointness() Axiom {
+	return MustParse(`forall p <> q,
+		p.(rows|cols)(relem|celem|nrowH|ncolH|nrowE|ncolE)* <>
+		q.(rows|cols)(relem|celem|nrowH|ncolH|nrowE|ncolE)*`)
+}
+
+// SkipList returns axioms for a skip list with the given level fields
+// (level 0 is the full base chain; higher levels are sparser express
+// chains over the same vertices).  Each level is injective, and no
+// traversal over any mix of levels returns to its origin; higher-level hops
+// always advance along the base order, which is exactly what makes the
+// level chains interleave through shared vertices — the same interacting-
+// chains situation as the sparse matrix (§5), here in the systems-software
+// setting §1 mentions.
+func SkipList(levels ...string) *Set {
+	s := &Set{StructName: fmt.Sprintf("SkipList%d", len(levels))}
+	for _, f := range levels {
+		s.Add(Axiom{Form: DiffSrcDisjoint, RE1: pathexpr.F(f), RE2: pathexpr.F(f)})
+	}
+	alts := make([]pathexpr.Expr, len(levels))
+	for i, f := range levels {
+		alts[i] = pathexpr.F(f)
+	}
+	s.Add(Axiom{
+		Form: SameSrcDisjoint,
+		RE1:  pathexpr.Rep1(pathexpr.Or(alts...)),
+		RE2:  pathexpr.Eps,
+	})
+	return s
+}
+
+// TwoDRangeTree returns axioms for a two-dimensional range tree (§3.1): a
+// leaf-linked tree whose leaves each own a second leaf-linked tree through
+// an aux field.  Outer fields are L/R/N, inner fields are l/r/n.
+func TwoDRangeTree() *Set {
+	return MustParseSet("RangeTree2D", `
+		forall p, p.L <> p.R
+		forall p <> q, p.(L|R) <> q.(L|R)
+		forall p <> q, p.N <> q.N
+		forall p, p.l <> p.r
+		forall p <> q, p.(l|r) <> q.(l|r)
+		forall p <> q, p.n <> q.n
+		forall p <> q, p.aux <> q.aux
+		forall p, p.(L|R|N|l|r|n|aux)+ <> p.ε
+		forall p <> q, p.aux(l|r|n)* <> q.aux(l|r|n)*
+	`)
+}

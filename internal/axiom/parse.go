@@ -1,0 +1,244 @@
+package axiom
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pathexpr"
+)
+
+// Parse parses one axiom written in the paper's concrete syntax:
+//
+//	forall p, p.RE1 <> p.RE2
+//	forall p <> q, p.RE1 <> q.RE2
+//	forall p, p.RE1 = p.RE2
+//
+// "∀" may be used for "forall", and ":" for the comma.  RE1/RE2 are path
+// expressions (see package pathexpr); "ε" or "eps" denotes the empty path.
+func Parse(src string) (Axiom, error) {
+	return parse(src, nil)
+}
+
+// ParseWithFields is Parse with a declared field alphabet, enabling the
+// compact single-letter path style (p.LLN meaning p.L.L.N).
+func ParseWithFields(src string, fields []string) (Axiom, error) {
+	return parse(src, fields)
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) Axiom {
+	a, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func parse(src string, fields []string) (Axiom, error) {
+	orig := src
+	fail := func(format string, args ...any) (Axiom, error) {
+		return Axiom{}, fmt.Errorf("axiom: %s in %q", fmt.Sprintf(format, args...), orig)
+	}
+
+	s := strings.TrimSpace(src)
+	// Optional leading name: "A1: forall ...".  A name is an identifier
+	// followed by ':' followed by a quantifier.
+	name := ""
+	if i := strings.Index(s, ":"); i >= 0 {
+		head := strings.TrimSpace(s[:i])
+		tail := strings.TrimSpace(s[i+1:])
+		if isIdent(head) && (strings.HasPrefix(tail, "forall") || strings.HasPrefix(tail, "∀")) {
+			name, s = head, tail
+		}
+	}
+
+	switch {
+	case strings.HasPrefix(s, "forall"):
+		s = strings.TrimSpace(s[len("forall"):])
+	case strings.HasPrefix(s, "∀"):
+		s = strings.TrimSpace(s[len("∀"):])
+	default:
+		return fail("missing quantifier (forall / ∀)")
+	}
+
+	// Quantified variables: "p" or "p <> q".
+	form := SameSrcDisjoint
+	if !strings.HasPrefix(s, "p") {
+		return fail("quantifier must bind p")
+	}
+	s = strings.TrimSpace(s[1:])
+	diffSrc := false
+	if strings.HasPrefix(s, "<>") {
+		s = strings.TrimSpace(s[2:])
+		if !strings.HasPrefix(s, "q") {
+			return fail("expected q after p <>")
+		}
+		s = strings.TrimSpace(s[1:])
+		diffSrc = true
+	}
+	if len(s) == 0 || (s[0] != ',' && s[0] != ':') {
+		return fail("expected ',' after quantifier")
+	}
+	s = strings.TrimSpace(s[1:])
+
+	// Body: p.RE1 <relop> {p|q}.RE2
+	lhsVar, lhs, rest, err := scanAccessPath(s)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if lhsVar != "p" {
+		return fail("left access path must be anchored at p, got %s", lhsVar)
+	}
+	rest = strings.TrimSpace(rest)
+	var rel string
+	switch {
+	case strings.HasPrefix(rest, "<>"):
+		rel, rest = "<>", rest[2:]
+	case strings.HasPrefix(rest, "="):
+		rel, rest = "=", rest[1:]
+	default:
+		return fail("expected '<>' or '=' between access paths")
+	}
+	rhsVar, rhs, tail, err := scanAccessPath(strings.TrimSpace(rest))
+	if err != nil {
+		return fail("%v", err)
+	}
+	if strings.TrimSpace(tail) != "" {
+		return fail("trailing input %q", tail)
+	}
+
+	switch {
+	case diffSrc && rel == "<>":
+		form = DiffSrcDisjoint
+		if rhsVar != "q" {
+			return fail("∀p<>q axiom must relate p and q paths")
+		}
+	case !diffSrc && rel == "<>":
+		form = SameSrcDisjoint
+		if rhsVar != "p" {
+			return fail("∀p axiom must anchor both paths at p")
+		}
+	case !diffSrc && rel == "=":
+		form = SameSrcEqual
+		if rhsVar != "p" {
+			return fail("∀p equality axiom must anchor both paths at p")
+		}
+	default:
+		return fail("equality axioms must quantify a single vertex p")
+	}
+
+	parsePath := func(src string) (pathexpr.Expr, error) {
+		if fields != nil {
+			return pathexpr.ParseAlphabet(src, fields)
+		}
+		return pathexpr.Parse(src)
+	}
+	re1, err := parsePath(lhs)
+	if err != nil {
+		return fail("left path: %v", err)
+	}
+	re2, err := parsePath(rhs)
+	if err != nil {
+		return fail("right path: %v", err)
+	}
+	return Axiom{Name: name, Form: form, RE1: re1, RE2: re2}, nil
+}
+
+// scanAccessPath scans "v.PATH" returning the anchor variable, the path
+// source text, and the remaining input.  The path extends until the next
+// top-level "<>" or "=" or end of string.
+func scanAccessPath(s string) (anchor, path, rest string, err error) {
+	if len(s) == 0 {
+		return "", "", "", fmt.Errorf("expected access path")
+	}
+	i := 0
+	for i < len(s) && (isIdentByte(s[i])) {
+		i++
+	}
+	if i == 0 {
+		return "", "", "", fmt.Errorf("expected anchor variable")
+	}
+	anchor = s[:i]
+	s = s[i:]
+	if !strings.HasPrefix(s, ".") {
+		return "", "", "", fmt.Errorf("expected '.' after anchor %s", anchor)
+	}
+	s = s[1:]
+	// Scan path text up to a top-level relational operator.
+	depth := 0
+	j := 0
+	for j < len(s) {
+		switch s[j] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '<':
+			if depth == 0 && j+1 < len(s) && s[j+1] == '>' {
+				return anchor, strings.TrimSpace(s[:j]), s[j:], nil
+			}
+		case '=':
+			if depth == 0 {
+				return anchor, strings.TrimSpace(s[:j]), s[j:], nil
+			}
+		}
+		j++
+	}
+	return anchor, strings.TrimSpace(s), "", nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i]) {
+			return false
+		}
+		if i == 0 && s[i] >= '0' && s[i] <= '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// ParseSet parses a sequence of axioms, one per line (or separated by ';').
+// Blank lines and lines starting with "//" or "#" are skipped.
+func ParseSet(name, src string) (*Set, error) {
+	return parseSet(name, src, nil)
+}
+
+// ParseSetWithFields is ParseSet with a declared field alphabet.
+func ParseSetWithFields(name, src string, fields []string) (*Set, error) {
+	return parseSet(name, src, fields)
+}
+
+func parseSet(name, src string, fields []string) (*Set, error) {
+	set := &Set{StructName: name}
+	split := func(r rune) bool { return r == '\n' || r == ';' }
+	for _, line := range strings.FieldsFunc(src, split) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := parse(line, fields)
+		if err != nil {
+			return nil, err
+		}
+		set.Add(a)
+	}
+	return set, nil
+}
+
+// MustParseSet is ParseSet, panicking on error.
+func MustParseSet(name, src string) *Set {
+	s, err := ParseSet(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

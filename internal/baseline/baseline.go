@@ -1,0 +1,173 @@
+// Package baseline implements the two prior-art dependence tests the paper
+// compares against (§2):
+//
+//   - The Larus–Hilfinger path-expression intersection test [LH88]: access
+//     paths are mapped to path expressions and the test intersects their
+//     languages.  For trees the mapping is exact and the test precise; for
+//     DAGs the mapping must widen (the paper's example: root.LLN and
+//     root.LRN both widen to (L|R)+N+), producing non-empty intersections
+//     and thus Maybe for queries APT can prove independent.
+//
+//   - The k-limited store-based test [JM82-style]: heap vertices within k
+//     steps of a handle get unique names, everything further collapses into
+//     one summary node.  Any two accesses that can both reach beyond k
+//     conflict, so at best the first k loop iterations can be proved
+//     independent.
+//
+// Both baselines receive the same structural knowledge as APT, distilled
+// into the only form they can consume: a tree-ness certificate derived by
+// querying the APT prover itself.  This is deliberately generous to the
+// baselines — it mirrors the paper's assumption that prior analyses handle
+// linked lists and trees well.
+package baseline
+
+import (
+	"repro/internal/automata"
+	"repro/internal/axiom"
+	"repro/internal/pathexpr"
+	"repro/internal/prover"
+)
+
+// TreeCertified reports whether the given fields provably form a tree-like
+// substructure under the axioms: distinct fields from one vertex lead to
+// distinct vertices, no vertex is reachable via those fields from two
+// different vertices (unshared), and no traversal returns to its origin
+// (acyclic).  These are exactly the properties that make exact
+// path-expression naming valid for [LH88] and distinct short names valid
+// for k-limited analyses.
+func TreeCertified(p *prover.Prover, fields []string) bool {
+	if len(fields) == 0 {
+		return true
+	}
+	alts := make([]pathexpr.Expr, len(fields))
+	for i, f := range fields {
+		alts[i] = pathexpr.F(f)
+	}
+	any := pathexpr.Or(alts...)
+	// Distinct children from the same vertex.
+	for i, f := range fields {
+		for _, g := range fields[i+1:] {
+			if p.Prove(prover.SameSrc, pathexpr.F(f), pathexpr.F(g)).Result != prover.Proved {
+				return false
+			}
+		}
+	}
+	// Unshared: distinct vertices never reach a common child.
+	if p.Prove(prover.DiffSrc, any, any).Result != prover.Proved {
+		return false
+	}
+	// Acyclic.
+	if p.Prove(prover.SameSrc, pathexpr.Eps, pathexpr.Rep1(any)).Result != prover.Proved {
+		return false
+	}
+	return true
+}
+
+// FieldGroups partitions the axiom set's fields into the dimension groups
+// used by [LH88]-style widening:
+//
+//   - fields that co-occur inside an alternation in a non-acyclicity axiom
+//     belong to one traversal dimension (e.g. (L|R) in the tree-ness axiom
+//     groups L with R, leaving N alone, so that root.LLN widens to the
+//     paper's (L|R)+N+);
+//   - fields appearing on opposite sides of a same-source disjointness
+//     axiom whose both sides are infinite languages are merged: such axioms
+//     (e.g. ∀p, p.ncolE+ <> p.nrowE+) assert disjointness of interleaving
+//     chain families, which is exactly the situation where multiple paths
+//     with mixed field orders reach one vertex, forcing the alias graph to
+//     label vertices with mixed-field expressions.
+//
+// Acyclicity axioms (one side ε) describe the whole structure and carry no
+// dimension information, so their alternations are ignored.
+func FieldGroups(s *axiom.Set) [][]string {
+	fields := s.Fields()
+	index := make(map[string]int, len(fields))
+	parent := make([]int, len(fields))
+	for i, f := range fields {
+		index[f] = i
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	isEps := func(e pathexpr.Expr) bool {
+		_, ok := e.(pathexpr.Epsilon)
+		return ok
+	}
+	hasClosure := func(e pathexpr.Expr) bool {
+		found := false
+		pathexpr.Walk(e, func(x pathexpr.Expr) {
+			switch x.(type) {
+			case pathexpr.Star, pathexpr.Plus:
+				found = true
+			}
+		})
+		return found
+	}
+	for _, a := range s.Axioms {
+		if isEps(a.RE1) || isEps(a.RE2) {
+			continue // acyclicity axiom: no dimension information
+		}
+		for _, re := range []pathexpr.Expr{a.RE1, a.RE2} {
+			pathexpr.Walk(re, func(e pathexpr.Expr) {
+				alt, ok := e.(pathexpr.Alt)
+				if !ok {
+					return
+				}
+				var members []int
+				for _, choice := range alt.Alts {
+					if f, ok := choice.(pathexpr.Field); ok {
+						members = append(members, index[f.Name])
+					}
+				}
+				for i := 1; i < len(members); i++ {
+					union(members[0], members[i])
+				}
+			})
+		}
+		// Interleaving-chain axiom: merge fields across its two sides.
+		if a.Form == axiom.SameSrcDisjoint && hasClosure(a.RE1) && hasClosure(a.RE2) {
+			all := append(pathexpr.Fields(a.RE1), pathexpr.Fields(a.RE2)...)
+			for i := 1; i < len(all); i++ {
+				union(index[all[0]], index[all[i]])
+			}
+		}
+	}
+	groups := make(map[int][]string)
+	for i, f := range fields {
+		r := find(i)
+		groups[r] = append(groups[r], f)
+	}
+	var out [][]string
+	for i := range fields {
+		if find(i) == i {
+			out = append(out, groups[i])
+		}
+	}
+	return out
+}
+
+// groupOf returns the index of the group containing field f, or -1.
+func groupOf(groups [][]string, f string) int {
+	for i, g := range groups {
+		for _, x := range g {
+			if x == f {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// alphabetFor builds the alphabet covering the axiom set and extra
+// expressions.
+func alphabetFor(s *axiom.Set, exprs ...pathexpr.Expr) *automata.Alphabet {
+	return automata.NewAlphabet(append(s.Fields(), pathexpr.Fields(exprs...)...)...)
+}

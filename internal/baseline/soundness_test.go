@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/axiom"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/pathexpr"
+)
+
+// Baselines must obey the same contract as APT: a No answer may never
+// contradict a collision on a conforming concrete heap.  This harness
+// caught a real bug: the LH88 widening originally kept uncertified
+// dimensions as separate runs, answering No for a skip list's express-hop
+// vs two base hops — which land on the same vertex.
+
+type depTester interface {
+	DepTest(core.Query) core.Result
+}
+
+func randWordPath(rng *rand.Rand, fields []string, maxLen int) pathexpr.Expr {
+	n := rng.Intn(maxLen + 1)
+	w := make([]string, n)
+	for i := range w {
+		w[i] = fields[rng.Intn(len(fields))]
+	}
+	return pathexpr.FromWord(w)
+}
+
+func checkBaselineSoundness(t *testing.T, name string, bt depTester, graphs []*heap.Graph, fields []string, trials int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nos := 0
+	for i := 0; i < trials; i++ {
+		x := randWordPath(rng, fields, 4)
+		y := randWordPath(rng, fields, 4)
+		q := core.Query{
+			S: core.Access{Handle: "_h", Path: x, Field: "d", IsWrite: true},
+			T: core.Access{Handle: "_h", Path: y, Field: "d", IsWrite: true},
+		}
+		if bt.DepTest(q) != core.No {
+			continue
+		}
+		nos++
+		for gi, g := range graphs {
+			for v := 0; v < g.NumVertices(); v++ {
+				if !g.Disjoint(heap.Vertex(v), x, heap.Vertex(v), y) {
+					t.Fatalf("%s UNSOUND: No for %v vs %v but they collide at vertex %d of heap %d",
+						name, x, y, v, gi)
+				}
+			}
+		}
+	}
+	if nos == 0 {
+		t.Logf("%s: no No answers in %d trials (fully conservative here)", name, trials)
+	} else {
+		t.Logf("%s: validated %d No answers", name, nos)
+	}
+}
+
+func soundnessHeaps(t *testing.T) (trees, lists, skips []*heap.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	for d := 0; d <= 3; d++ {
+		g, _ := heap.BuildLeafLinkedTree(d)
+		trees = append(trees, g)
+	}
+	for i := 0; i < 5; i++ {
+		g, _ := heap.RandomLeafLinkedTree(rng, 1+rng.Intn(12))
+		trees = append(trees, g)
+	}
+	for _, n := range []int{1, 2, 5, 9} {
+		g, _ := heap.BuildList(n, "link")
+		lists = append(lists, g)
+	}
+	for _, n := range []int{1, 4, 9, 16} {
+		g, _ := heap.BuildSkipList(n, []string{"n0", "n1", "n2"})
+		skips = append(skips, g)
+	}
+	return trees, lists, skips
+}
+
+func TestBaselineSoundnessLeafLinkedTree(t *testing.T) {
+	trees, _, _ := soundnessHeaps(t)
+	set := axiom.LeafLinkedBinaryTree()
+	fields := []string{"L", "R", "N"}
+	checkBaselineSoundness(t, "LH88", NewLarusHilfinger(set), trees, fields, 400, 29)
+	checkBaselineSoundness(t, "HN90", NewHendrenNicolau(set), trees, fields, 400, 31)
+	checkBaselineSoundness(t, "k-limited", NewKLimited(2, set), trees, fields, 400, 37)
+}
+
+func TestBaselineSoundnessLists(t *testing.T) {
+	_, lists, _ := soundnessHeaps(t)
+	set := axiom.SinglyLinkedList("link")
+	fields := []string{"link"}
+	checkBaselineSoundness(t, "LH88", NewLarusHilfinger(set), lists, fields, 200, 41)
+	checkBaselineSoundness(t, "HN90", NewHendrenNicolau(set), lists, fields, 200, 43)
+	checkBaselineSoundness(t, "k-limited", NewKLimited(2, set), lists, fields, 200, 47)
+}
+
+func TestBaselineSoundnessSkipLists(t *testing.T) {
+	_, _, skips := soundnessHeaps(t)
+	set := axiom.SkipList("n0", "n1", "n2")
+	fields := []string{"n0", "n1", "n2"}
+	checkBaselineSoundness(t, "LH88", NewLarusHilfinger(set), skips, fields, 400, 53)
+	checkBaselineSoundness(t, "HN90", NewHendrenNicolau(set), skips, fields, 400, 59)
+	checkBaselineSoundness(t, "k-limited", NewKLimited(2, set), skips, fields, 400, 61)
+}
+
+// TestSkipListExpressHopRegression pins the bug the harness caught: the
+// express hop n1 and the double base hop n0.n0 may collide, so every test
+// must answer Maybe (or Yes), never No.
+func TestSkipListExpressHopRegression(t *testing.T) {
+	set := axiom.SkipList("n0", "n1")
+	q := core.Query{
+		S: core.Access{Handle: "_h", Path: pathexpr.MustParse("n1"), Field: "d", IsWrite: true},
+		T: core.Access{Handle: "_h", Path: pathexpr.MustParse("n0.n0"), Field: "d", IsWrite: true},
+	}
+	if got := NewLarusHilfinger(set).DepTest(q); got == core.No {
+		t.Error("LH88 must not answer No for n1 vs n0.n0")
+	}
+	if got := NewHendrenNicolau(set).DepTest(q); got == core.No {
+		t.Error("HN90 must not answer No for n1 vs n0.n0")
+	}
+	if got := NewKLimited(2, set).DepTest(q); got == core.No {
+		t.Error("k-limited must not answer No for n1 vs n0.n0")
+	}
+}

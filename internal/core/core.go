@@ -1,0 +1,319 @@
+// Package core implements APT's dependence test (paper §4.1, "deptest"): the
+// public front door that combines the cheap structural checks with the
+// theorem-proving core in package prover.
+//
+// Given two statement executions
+//
+//	S:  ... p->f ...        with p = H_p.Path_p
+//	T:  ... q->g ...        with q = H_q.Path_q
+//
+// where S precedes T and at least one of the accesses is a write, deptest
+// answers:
+//
+//	No    — provably no data dependence from S to T
+//	Yes   — provably a data dependence (the accesses definitely collide)
+//	Maybe — neither could be proved
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/axiom"
+	"repro/internal/pathexpr"
+	"repro/internal/prover"
+)
+
+// Result is the three-valued answer of the dependence test.
+type Result int
+
+// Dependence test answers.
+const (
+	// Maybe: a dependence could not be ruled out (the conservative answer).
+	Maybe Result = iota
+	// No: provably independent.
+	No
+	// Yes: provably dependent.
+	Yes
+)
+
+func (r Result) String() string {
+	switch r {
+	case No:
+		return "No"
+	case Yes:
+		return "Yes"
+	case Maybe:
+		return "Maybe"
+	}
+	return "invalid"
+}
+
+// DepKind classifies a dependence by the read/write pattern of S and T.
+type DepKind int
+
+// Dependence kinds.
+const (
+	// NoAccessConflict: neither access writes; no data dependence of any
+	// kind can exist regardless of aliasing.
+	NoAccessConflict DepKind = iota
+	// Flow: S writes, T reads (true dependence).
+	Flow
+	// Anti: S reads, T writes.
+	Anti
+	// Output: both write.
+	Output
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case NoAccessConflict:
+		return "none (read-read)"
+	}
+	return "invalid"
+}
+
+// HandleRelation states what is known about the two anchor handles.
+type HandleRelation int
+
+// Handle relations.
+const (
+	// SameHandle: H_p and H_q denote the same vertex (the common-handle case
+	// the paper develops in detail).
+	SameHandle HandleRelation = iota
+	// DistinctHandles: H_p and H_q are known to denote different vertices.
+	DistinctHandles
+	// UnknownHandles: nothing is known; a No answer then requires proofs
+	// for both the same-vertex and distinct-vertex cases.
+	UnknownHandles
+)
+
+// Access describes one side of a dependence query: the access p->Field where
+// p is reached by Handle.Path.
+type Access struct {
+	// Handle names the anchor vertex (e.g. "_hroot").
+	Handle string
+	// Path is the access path from the handle to p.
+	Path pathexpr.Expr
+	// Field is the accessed field of *p.
+	Field string
+	// Type is the structure type of *p; "" when unknown.  Accesses through
+	// pointers of different structure types cannot collide (the paper's
+	// first check, valid under ANSI C assumptions).
+	Type string
+	// IsWrite reports whether the access stores to p->Field.
+	IsWrite bool
+}
+
+func (a Access) String() string {
+	op := "read"
+	if a.IsWrite {
+		op = "write"
+	}
+	return fmt.Sprintf("%s %s.%s->%s", op, a.Handle, a.Path, a.Field)
+}
+
+// Query is one dependence question: does T depend on S?
+type Query struct {
+	Axioms *axiom.Set
+	S, T   Access
+	// Relation describes the two handles when they differ; ignored when the
+	// handle names are equal.
+	Relation HandleRelation
+	// FieldsOverlap optionally overrides the may-overlap test between the
+	// two accessed data fields; nil means fields overlap iff their names are
+	// equal (distinct fields of a struct occupy disjoint memory).
+	FieldsOverlap func(f, g string) bool
+}
+
+// Outcome reports the answer with its justification.
+type Outcome struct {
+	Result Result
+	Kind   DepKind
+	// Reason is a one-line human-readable justification.
+	Reason string
+	// Proof is the disjointness derivation backing a No from the theorem
+	// prover, or the failed attempt backing a Maybe; nil when the answer
+	// came from a structural check.
+	Proof *prover.Proof
+	// AuxProof is the distinct-handle proof when Relation is UnknownHandles
+	// (a No then needs both cases).
+	AuxProof *prover.Proof
+}
+
+// Tester runs dependence queries against a fixed default axiom set, reusing
+// provers (and their caches) across queries.  A query carrying its own
+// Axioms (e.g. a §3.4 validity window that dropped some axioms) is answered
+// with a prover for that set.  Not safe for concurrent use.
+type Tester struct {
+	prover *prover.Prover
+	axioms *axiom.Set
+	opts   prover.Options
+	// provers caches per-window provers by axiom-set fingerprint.
+	provers map[string]*prover.Prover
+	// VerifyProofs re-validates every prover-backed No with the independent
+	// proof checker before trusting it; a derivation that fails to check
+	// degrades the answer to Maybe.  Defense in depth for the one failure
+	// mode a dependence test must never have.
+	VerifyProofs bool
+}
+
+// NewTester builds a Tester for the axiom set.
+func NewTester(axioms *axiom.Set, opts prover.Options) *Tester {
+	p := prover.New(axioms, opts)
+	return &Tester{
+		prover:  p,
+		axioms:  axioms,
+		opts:    opts,
+		provers: map[string]*prover.Prover{axioms.Key(): p},
+	}
+}
+
+// proverFor returns the prover for the query's axiom window.
+func (t *Tester) proverFor(q Query) *prover.Prover {
+	if q.Axioms == nil {
+		return t.prover
+	}
+	key := q.Axioms.Key()
+	if p, ok := t.provers[key]; ok {
+		return p
+	}
+	p := prover.New(q.Axioms, t.opts)
+	t.provers[key] = p
+	return p
+}
+
+// Prover exposes the underlying theorem prover (for proof rendering and for
+// clients like the baselines that certify structure properties).
+func (t *Tester) Prover() *prover.Prover { return t.prover }
+
+// Axioms returns the tester's axiom set.
+func (t *Tester) Axioms() *axiom.Set { return t.axioms }
+
+// DepTest answers a dependence query, following §4.1:
+//
+//  1. different structure types        → No
+//  2. non-overlapping data fields      → No
+//  3. neither access writes            → No (read-read)
+//  4. identical single-vertex paths    → Yes
+//  5. proveDisj succeeds               → No
+//  6. otherwise                        → Maybe
+func (t *Tester) DepTest(q Query) Outcome {
+	kind := classify(q.S, q.T)
+	out := Outcome{Kind: kind}
+	prv := t.proverFor(q)
+
+	if kind == NoAccessConflict {
+		out.Result = No
+		out.Reason = "neither access writes; no data dependence possible"
+		return out
+	}
+	if q.S.Type != "" && q.T.Type != "" && q.S.Type != q.T.Type {
+		out.Result = No
+		out.Reason = fmt.Sprintf("pointer types differ (%s vs %s)", q.S.Type, q.T.Type)
+		return out
+	}
+	overlap := q.FieldsOverlap
+	if overlap == nil {
+		overlap = func(f, g string) bool { return f == g }
+	}
+	if !overlap(q.S.Field, q.T.Field) {
+		out.Result = No
+		out.Reason = fmt.Sprintf("fields %s and %s do not overlap", q.S.Field, q.T.Field)
+		return out
+	}
+
+	rel := q.Relation
+	if q.S.Handle == q.T.Handle && q.S.Handle != "" {
+		rel = SameHandle
+	}
+
+	// Definite dependence: same handle, and the paths provably denote the
+	// same single vertex (identical singleton paths, or words congruent
+	// under the equality axioms).
+	if rel == SameHandle && prv.DefinitelyAliased(q.S.Path, q.T.Path) {
+		out.Result = Yes
+		out.Reason = "access paths denote the same vertex"
+		return out
+	}
+
+	verified := func(proofs ...*prover.Proof) bool {
+		if !t.VerifyProofs {
+			return true
+		}
+		for _, pf := range proofs {
+			if err := prv.CheckProof(pf); err != nil {
+				out.Reason = fmt.Sprintf("derivation failed independent checking (%v); degraded to Maybe", err)
+				return false
+			}
+		}
+		return true
+	}
+
+	switch rel {
+	case SameHandle:
+		proof := prv.Prove(prover.SameSrc, q.S.Path, q.T.Path)
+		out.Proof = proof
+		if proof.Result == prover.Proved && verified(proof) {
+			out.Result = No
+			out.Reason = "disjointness theorem proved (common handle)"
+			return out
+		}
+	case DistinctHandles:
+		proof := prv.Prove(prover.DiffSrc, q.S.Path, q.T.Path)
+		out.Proof = proof
+		if proof.Result == prover.Proved && verified(proof) {
+			out.Result = No
+			out.Reason = "disjointness theorem proved (distinct handles)"
+			return out
+		}
+	case UnknownHandles:
+		same := prv.Prove(prover.SameSrc, q.S.Path, q.T.Path)
+		diff := prv.Prove(prover.DiffSrc, q.S.Path, q.T.Path)
+		out.Proof, out.AuxProof = same, diff
+		if same.Result == prover.Proved && diff.Result == prover.Proved && verified(same, diff) {
+			out.Result = No
+			out.Reason = "disjointness proved for both same- and distinct-handle cases"
+			return out
+		}
+	}
+
+	out.Result = Maybe
+	if out.Reason == "" {
+		out.Reason = "no proof found; dependence assumed"
+	}
+	return out
+}
+
+func classify(s, t Access) DepKind {
+	switch {
+	case s.IsWrite && t.IsWrite:
+		return Output
+	case s.IsWrite:
+		return Flow
+	case t.IsWrite:
+		return Anti
+	default:
+		return NoAccessConflict
+	}
+}
+
+// LoopCarried builds the query for a loop-carried self-dependence of a
+// statement whose per-iteration access path is body, anchored at a handle
+// fixed before the loop, where the loop's induction pointer advances by inc
+// each iteration (§5: iterations i < j access H.body and H.inc⁺body).
+func LoopCarried(axioms *axiom.Set, handle string, inc, body pathexpr.Expr, field string, isWrite bool) Query {
+	early := Access{Handle: handle, Path: body, Field: field, IsWrite: isWrite}
+	late := Access{
+		Handle:  handle,
+		Path:    pathexpr.Cat(pathexpr.Rep1(inc), body),
+		Field:   field,
+		IsWrite: isWrite,
+	}
+	return Query{Axioms: axioms, S: early, T: late}
+}

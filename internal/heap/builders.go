@@ -1,0 +1,238 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// This file builds the concrete structures used in the paper: linked lists,
+// binary trees, Figure 3's leaf-linked binary trees, and Figure 6's
+// orthogonal-list sparse matrices — plus randomized variants for property
+// tests.  Every builder returns the graph and its root vertex.
+
+// BuildList builds an acyclic singly linked list of n vertices over the
+// given field.
+func BuildList(n int, next string) (*Graph, Vertex) {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.SetEdge(Vertex(i), next, Vertex(i+1))
+	}
+	return g, 0
+}
+
+// BuildRing builds a circular singly linked list of n vertices.
+func BuildRing(n int, next string) (*Graph, Vertex) {
+	g, root := BuildList(n, next)
+	if n > 0 {
+		g.SetEdge(Vertex(n-1), next, root)
+	}
+	return g, root
+}
+
+// BuildDoublyLinkedRing builds a circular doubly linked list.
+func BuildDoublyLinkedRing(n int, next, prev string) (*Graph, Vertex) {
+	g, root := BuildRing(n, next)
+	for i := 0; i < n; i++ {
+		g.SetEdge(Vertex((i+1)%n), prev, Vertex(i))
+	}
+	return g, root
+}
+
+// BuildFullBinaryTree builds a complete binary tree of the given depth
+// (depth 0 is a single vertex) over child fields l and r.  Vertices are in
+// heap order: children of i are 2i+1 and 2i+2.
+func BuildFullBinaryTree(depth int, l, r string) (*Graph, Vertex) {
+	n := (1 << (depth + 1)) - 1
+	g := New(n)
+	for i := 0; 2*i+2 < n; i++ {
+		g.SetEdge(Vertex(i), l, Vertex(2*i+1))
+		g.SetEdge(Vertex(i), r, Vertex(2*i+2))
+	}
+	return g, 0
+}
+
+// BuildLeafLinkedTree builds Figure 3's structure: a complete binary tree of
+// the given depth with fields L and R, whose leaves are chained
+// left-to-right with N.
+func BuildLeafLinkedTree(depth int) (*Graph, Vertex) {
+	g, root := BuildFullBinaryTree(depth, "L", "R")
+	first := (1 << depth) - 1
+	last := (1 << (depth + 1)) - 2
+	for i := first; i < last; i++ {
+		g.SetEdge(Vertex(i), "N", Vertex(i+1))
+	}
+	return g, root
+}
+
+// RandomBinaryTree builds a random binary tree with n vertices (random
+// shape) over fields l and r.
+func RandomBinaryTree(rng *rand.Rand, n int, l, r string) (*Graph, Vertex) {
+	g := New(n)
+	type slot struct {
+		v     Vertex
+		field string
+	}
+	// Vertices are attached one at a time to a random open slot.
+	open := []slot{{0, l}, {0, r}}
+	for i := 1; i < n; i++ {
+		k := rng.Intn(len(open))
+		s := open[k]
+		open[k] = open[len(open)-1]
+		open = open[:len(open)-1]
+		g.SetEdge(s.v, s.field, Vertex(i))
+		open = append(open, slot{Vertex(i), l}, slot{Vertex(i), r})
+	}
+	return g, 0
+}
+
+// RandomLeafLinkedTree builds a random-shaped binary tree over L/R whose
+// leaves are N-chained in left-to-right order, satisfying Figure 3's axioms.
+func RandomLeafLinkedTree(rng *rand.Rand, n int) (*Graph, Vertex) {
+	g, root := RandomBinaryTree(rng, n, "L", "R")
+	// Collect leaves in in-order.
+	var leaves []Vertex
+	var walk func(v Vertex)
+	walk = func(v Vertex) {
+		lc, lok := g.Edge(v, "L")
+		rc, rok := g.Edge(v, "R")
+		if !lok && !rok {
+			leaves = append(leaves, v)
+			return
+		}
+		if lok {
+			walk(lc)
+		}
+		if rok {
+			walk(rc)
+		}
+	}
+	walk(root)
+	for i := 0; i+1 < len(leaves); i++ {
+		g.SetEdge(leaves[i], "N", leaves[i+1])
+	}
+	return g, root
+}
+
+// SparseLayout maps the vertices of a built sparse matrix so tests and the
+// analysis harness can address specific parts of the structure.
+type SparseLayout struct {
+	Root       Vertex
+	RowHeaders []Vertex
+	ColHeaders []Vertex
+	// Elem[i][j] is the vertex of element (i, j); present only for nonzeros.
+	Elem map[[2]int]Vertex
+}
+
+// BuildSparseMatrix builds Figure 6's orthogonal-list sparse matrix over the
+// Appendix A field names: the root has rows/cols edges to the first row and
+// column headers; headers chain with nrowH/ncolH and point at their first
+// element with relem/celem; elements chain along their row with ncolE and
+// along their column with nrowE.  positions lists the nonzero (row, col)
+// coordinates; rows or columns without nonzeros still get headers.
+func BuildSparseMatrix(nrows, ncols int, positions [][2]int) (*Graph, *SparseLayout) {
+	// Deduplicate and sort positions row-major.
+	seen := make(map[[2]int]bool, len(positions))
+	var pos [][2]int
+	for _, p := range positions {
+		if p[0] < 0 || p[0] >= nrows || p[1] < 0 || p[1] >= ncols || seen[p] {
+			continue
+		}
+		seen[p] = true
+		pos = append(pos, p)
+	}
+	sort.Slice(pos, func(i, j int) bool {
+		if pos[i][0] != pos[j][0] {
+			return pos[i][0] < pos[j][0]
+		}
+		return pos[i][1] < pos[j][1]
+	})
+
+	n := 1 + nrows + ncols + len(pos)
+	g := New(n)
+	lay := &SparseLayout{
+		Root:       0,
+		RowHeaders: make([]Vertex, nrows),
+		ColHeaders: make([]Vertex, ncols),
+		Elem:       make(map[[2]int]Vertex, len(pos)),
+	}
+	for i := 0; i < nrows; i++ {
+		lay.RowHeaders[i] = Vertex(1 + i)
+	}
+	for j := 0; j < ncols; j++ {
+		lay.ColHeaders[j] = Vertex(1 + nrows + j)
+	}
+	for k, p := range pos {
+		lay.Elem[p] = Vertex(1 + nrows + ncols + k)
+	}
+
+	if nrows > 0 {
+		g.SetEdge(lay.Root, "rows", lay.RowHeaders[0])
+	}
+	if ncols > 0 {
+		g.SetEdge(lay.Root, "cols", lay.ColHeaders[0])
+	}
+	for i := 0; i+1 < nrows; i++ {
+		g.SetEdge(lay.RowHeaders[i], "nrowH", lay.RowHeaders[i+1])
+	}
+	for j := 0; j+1 < ncols; j++ {
+		g.SetEdge(lay.ColHeaders[j], "ncolH", lay.ColHeaders[j+1])
+	}
+
+	// Row chains (ncolE) and header relem edges.
+	var prevInRow = make(map[int]Vertex)
+	for _, p := range pos {
+		v := lay.Elem[p]
+		if prev, ok := prevInRow[p[0]]; ok {
+			g.SetEdge(prev, "ncolE", v)
+		} else {
+			g.SetEdge(lay.RowHeaders[p[0]], "relem", v)
+		}
+		prevInRow[p[0]] = v
+	}
+	// Column chains (nrowE) and header celem edges: iterate column-major.
+	colMajor := append([][2]int{}, pos...)
+	sort.Slice(colMajor, func(i, j int) bool {
+		if colMajor[i][1] != colMajor[j][1] {
+			return colMajor[i][1] < colMajor[j][1]
+		}
+		return colMajor[i][0] < colMajor[j][0]
+	})
+	var prevInCol = make(map[int]Vertex)
+	for _, p := range colMajor {
+		v := lay.Elem[p]
+		if prev, ok := prevInCol[p[1]]; ok {
+			g.SetEdge(prev, "nrowE", v)
+		} else {
+			g.SetEdge(lay.ColHeaders[p[1]], "celem", v)
+		}
+		prevInCol[p[1]] = v
+	}
+	return g, lay
+}
+
+// RandomSparsePattern draws k distinct positions in an nrows×ncols grid.
+func RandomSparsePattern(rng *rand.Rand, nrows, ncols, k int) [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for len(out) < k && len(out) < nrows*ncols {
+		p := [2]int{rng.Intn(nrows), rng.Intn(ncols)}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BuildSkipList builds a deterministic skip list of n vertices: level field
+// levels[0] chains every vertex; levels[k] links every 2^k-th vertex.
+func BuildSkipList(n int, levels []string) (*Graph, Vertex) {
+	g := New(n)
+	for k, f := range levels {
+		stride := 1 << k
+		for i := 0; i+stride < n; i += stride {
+			g.SetEdge(Vertex(i), f, Vertex(i+stride))
+		}
+	}
+	return g, 0
+}

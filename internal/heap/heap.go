@@ -1,0 +1,218 @@
+// Package heap models concrete heaps: finite directed graphs whose edges
+// are labeled with pointer-field names and where each vertex has at most one
+// outgoing edge per field (pointer fields are single-valued).
+//
+// The package evaluates access paths (which vertices does h.RE reach?),
+// model-checks aliasing axioms against a concrete structure, and builds the
+// structures used throughout the paper: linked lists, binary trees,
+// leaf-linked trees, and orthogonal-list sparse matrices.  It is the ground
+// truth for the soundness property tests: whenever the prover derives
+// disjointness, the vertex sets on every conforming concrete heap must be
+// disjoint.
+package heap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/automata"
+	"repro/internal/axiom"
+	"repro/internal/pathexpr"
+)
+
+// Vertex identifies a heap vertex.  Vertices are dense small integers.
+type Vertex int
+
+// Graph is a concrete heap.
+type Graph struct {
+	// succ[f][v] is the f-successor of v; absent means nil pointer.
+	succ map[string]map[Vertex]Vertex
+	n    int
+}
+
+// New returns an empty heap graph with n vertices (0..n-1).
+func New(n int) *Graph {
+	return &Graph{succ: make(map[string]map[Vertex]Vertex), n: n}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// AddVertex adds one vertex and returns it.
+func (g *Graph) AddVertex() Vertex {
+	g.n++
+	return Vertex(g.n - 1)
+}
+
+// SetEdge points field f of v at w.  Setting an edge twice overwrites, like
+// a pointer assignment.
+func (g *Graph) SetEdge(v Vertex, f string, w Vertex) {
+	if int(v) >= g.n || int(w) >= g.n || v < 0 || w < 0 {
+		panic(fmt.Sprintf("heap: edge %d -%s-> %d out of range (n=%d)", v, f, w, g.n))
+	}
+	m := g.succ[f]
+	if m == nil {
+		m = make(map[Vertex]Vertex)
+		g.succ[f] = m
+	}
+	m[v] = w
+}
+
+// ClearEdge removes the f edge of v (a nil assignment).
+func (g *Graph) ClearEdge(v Vertex, f string) {
+	if m := g.succ[f]; m != nil {
+		delete(m, v)
+	}
+}
+
+// Edge returns the f-successor of v, if any.
+func (g *Graph) Edge(v Vertex, f string) (Vertex, bool) {
+	m := g.succ[f]
+	if m == nil {
+		return 0, false
+	}
+	w, ok := m[v]
+	return w, ok
+}
+
+// Fields returns the sorted field names with at least one edge.
+func (g *Graph) Fields() []string {
+	out := make([]string, 0, len(g.succ))
+	for f, m := range g.succ {
+		if len(m) > 0 {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WalkWord follows a concrete word from v, returning the final vertex, or
+// false if some edge is missing.
+func (g *Graph) WalkWord(v Vertex, word []string) (Vertex, bool) {
+	cur := v
+	for _, f := range word {
+		next, ok := g.Edge(cur, f)
+		if !ok {
+			return 0, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// Eval returns the set of vertices reached from v over any word in the
+// language of e: the denotation of the access path v.e.  The evaluation is
+// a product reachability walk of the DFA of e against the heap.
+func (g *Graph) Eval(v Vertex, e pathexpr.Expr) map[Vertex]bool {
+	alpha := automata.NewAlphabet(append(g.Fields(), pathexpr.Fields(e)...)...)
+	d := automata.MustCompile(e, alpha)
+	type conf struct {
+		v Vertex
+		s int
+	}
+	out := make(map[Vertex]bool)
+	seen := map[conf]bool{{v, 0}: true}
+	stack := []conf{{v, 0}}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accepting(c.s) {
+			out[c.v] = true
+		}
+		for _, f := range g.Fields() {
+			w, ok := g.Edge(c.v, f)
+			if !ok {
+				continue
+			}
+			ns := d.Step(c.s, f)
+			if ns < 0 {
+				continue
+			}
+			nc := conf{w, ns}
+			if !seen[nc] {
+				seen[nc] = true
+				stack = append(stack, nc)
+			}
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether v.x and w.y reach disjoint vertex sets.
+func (g *Graph) Disjoint(v Vertex, x pathexpr.Expr, w Vertex, y pathexpr.Expr) bool {
+	a := g.Eval(v, x)
+	b := g.Eval(w, y)
+	for u := range a {
+		if b[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckAxiom model-checks one axiom against the heap by enumerating all
+// (pairs of) vertices.  It returns nil when the axiom holds, or an error
+// describing a violating instantiation.
+func (g *Graph) CheckAxiom(a axiom.Axiom) error {
+	switch a.Form {
+	case axiom.SameSrcDisjoint:
+		for v := Vertex(0); int(v) < g.n; v++ {
+			if !g.Disjoint(v, a.RE1, v, a.RE2) {
+				return fmt.Errorf("heap: axiom %v violated at vertex %d", a, v)
+			}
+		}
+	case axiom.DiffSrcDisjoint:
+		for v := Vertex(0); int(v) < g.n; v++ {
+			for w := Vertex(0); int(w) < g.n; w++ {
+				if v == w {
+					continue
+				}
+				if !g.Disjoint(v, a.RE1, w, a.RE2) {
+					return fmt.Errorf("heap: axiom %v violated at vertices %d, %d", a, v, w)
+				}
+			}
+		}
+	case axiom.SameSrcEqual:
+		for v := Vertex(0); int(v) < g.n; v++ {
+			s1 := g.Eval(v, a.RE1)
+			s2 := g.Eval(v, a.RE2)
+			if !sameSet(s1, s2) {
+				return fmt.Errorf("heap: equality axiom %v violated at vertex %d (%v vs %v)", a, v, keys(s1), keys(s2))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSet model-checks every axiom of the set and returns the first
+// violation, or nil when the heap conforms.
+func (g *Graph) CheckSet(s *axiom.Set) error {
+	for _, a := range s.Axioms {
+		if err := g.CheckAxiom(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sameSet(a, b map[Vertex]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[Vertex]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, int(v))
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,247 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/axiom"
+	"repro/internal/pathexpr"
+)
+
+func TestEvalOnLeafLinkedTree(t *testing.T) {
+	// Depth-2 complete tree: root 0; internal 1,2; leaves 3,4,5,6 chained by N.
+	g, root := BuildLeafLinkedTree(2)
+	cases := []struct {
+		path string
+		want []Vertex
+	}{
+		{"L", []Vertex{1}},
+		{"R", []Vertex{2}},
+		{"L.L", []Vertex{3}},
+		{"L.L.N", []Vertex{4}},
+		{"L.R.N", []Vertex{5}},
+		{"L.L.N.N", []Vertex{5}},
+		{"(L|R)", []Vertex{1, 2}},
+		{"L.L.N*", []Vertex{3, 4, 5, 6}},
+		{"ε", []Vertex{0}},
+	}
+	for _, c := range cases {
+		got := g.Eval(root, pathexpr.MustParse(c.path))
+		if len(got) != len(c.want) {
+			t.Errorf("Eval(%s) = %v, want %v", c.path, keys(got), c.want)
+			continue
+		}
+		for _, v := range c.want {
+			if !got[v] {
+				t.Errorf("Eval(%s) = %v, want %v", c.path, keys(got), c.want)
+			}
+		}
+	}
+}
+
+// TestFigure3_AxiomsHoldOnConcreteTrees model-checks Figure 3's four axioms
+// on complete leaf-linked trees of several depths.
+func TestFigure3_AxiomsHoldOnConcreteTrees(t *testing.T) {
+	for depth := 0; depth <= 4; depth++ {
+		g, _ := BuildLeafLinkedTree(depth)
+		if err := g.CheckSet(axiom.LeafLinkedBinaryTree()); err != nil {
+			t.Errorf("depth %d: %v", depth, err)
+		}
+	}
+}
+
+// TestFigure3_SameVertexConfluence reproduces §2.4's observation: LLNN and
+// LRN lead to the same vertex, which is why Larus-Hilfinger must widen.
+func TestFigure3_SameVertexConfluence(t *testing.T) {
+	g, root := BuildLeafLinkedTree(2)
+	if g.Disjoint(root, pathexpr.MustParse("L.L.N.N"), root, pathexpr.MustParse("L.R.N")) {
+		t.Error("LLNN and LRN should reach the same vertex in a depth-2 tree")
+	}
+	if !g.Disjoint(root, pathexpr.MustParse("L.L.N"), root, pathexpr.MustParse("L.R.N")) {
+		t.Error("LLN and LRN must reach different vertices")
+	}
+}
+
+func TestListAndRingAxioms(t *testing.T) {
+	g, _ := BuildList(6, "next")
+	if err := g.CheckSet(axiom.SinglyLinkedList("next")); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	ring, _ := BuildRing(3, "next")
+	if err := ring.CheckSet(axiom.RingOf("next", 3)); err != nil {
+		t.Errorf("ring: %v", err)
+	}
+	// A ring violates the acyclic list axioms.
+	if err := ring.CheckSet(axiom.SinglyLinkedList("next")); err == nil {
+		t.Error("ring should violate acyclic list axioms")
+	}
+	dring, _ := BuildDoublyLinkedRing(4, "next", "prev")
+	if err := dring.CheckSet(axiom.CyclicDoublyLinkedRing("next", "prev")); err != nil {
+		t.Errorf("doubly linked ring: %v", err)
+	}
+}
+
+func TestBinaryTreeAxiomsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(20)
+		g, _ := RandomBinaryTree(rng, n, "l", "r")
+		if err := g.CheckSet(axiom.BinaryTree("l", "r")); err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+	}
+}
+
+func TestRandomLeafLinkedTreeSatisfiesAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(16)
+		g, _ := RandomLeafLinkedTree(rng, n)
+		if err := g.CheckSet(axiom.LeafLinkedBinaryTree()); err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+	}
+}
+
+// TestAppendixA_AxiomsHoldOnConcreteMatrices model-checks the twelve
+// Appendix A axioms on deterministic and random sparse matrices.
+func TestAppendixA_AxiomsHoldOnConcreteMatrices(t *testing.T) {
+	g, _ := BuildSparseMatrix(3, 3, [][2]int{{0, 0}, {0, 2}, {1, 1}, {2, 0}, {2, 2}})
+	if err := g.CheckSet(axiom.SparseMatrix()); err != nil {
+		t.Fatalf("deterministic matrix: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		r, c := 1+rng.Intn(4), 1+rng.Intn(4)
+		pos := RandomSparsePattern(rng, r, c, rng.Intn(r*c+1))
+		m, _ := BuildSparseMatrix(r, c, pos)
+		if err := m.CheckSet(axiom.SparseMatrix()); err != nil {
+			t.Fatalf("trial %d (%dx%d, %d nz): %v", trial, r, c, len(pos), err)
+		}
+	}
+}
+
+// TestAppendixA_Corollary checks the matrix-disjointness corollary on two
+// separate matrices living in one heap.
+func TestAppendixA_Corollary(t *testing.T) {
+	a, la := BuildSparseMatrix(2, 2, [][2]int{{0, 0}, {1, 1}})
+	// Graft a second matrix into the same graph with shifted vertex ids.
+	offset := a.NumVertices()
+	b, lb := BuildSparseMatrix(2, 2, [][2]int{{0, 1}, {1, 0}})
+	for i := 0; i < b.NumVertices(); i++ {
+		a.AddVertex()
+	}
+	for _, f := range b.Fields() {
+		for v := Vertex(0); int(v) < b.NumVertices(); v++ {
+			if w, ok := b.Edge(v, f); ok {
+				a.SetEdge(v+Vertex(offset), f, w+Vertex(offset))
+			}
+		}
+	}
+	cor := axiom.SparseMatrixDisjointness()
+	// The corollary is a ∀p<>q axiom; check the two roots specifically.
+	if !a.Disjoint(la.Root, cor.RE1, lb.Root+Vertex(offset), cor.RE2) {
+		t.Error("two distinct matrices should reach disjoint structures")
+	}
+	if err := a.CheckAxiom(cor); err != nil {
+		t.Errorf("corollary fails on combined heap: %v", err)
+	}
+}
+
+func TestSparseLayoutEdges(t *testing.T) {
+	g, lay := BuildSparseMatrix(2, 3, [][2]int{{0, 0}, {0, 2}, {1, 0}})
+	// Row 0 chain: (0,0) -ncolE-> (0,2).
+	e00, e02, e10 := lay.Elem[[2]int{0, 0}], lay.Elem[[2]int{0, 2}], lay.Elem[[2]int{1, 0}]
+	if w, ok := g.Edge(e00, "ncolE"); !ok || w != e02 {
+		t.Errorf("row chain broken: %v %v", w, ok)
+	}
+	// Column 0 chain: (0,0) -nrowE-> (1,0).
+	if w, ok := g.Edge(e00, "nrowE"); !ok || w != e10 {
+		t.Errorf("column chain broken: %v %v", w, ok)
+	}
+	if w, ok := g.Edge(lay.RowHeaders[0], "relem"); !ok || w != e00 {
+		t.Errorf("relem broken: %v %v", w, ok)
+	}
+	if w, ok := g.Edge(lay.ColHeaders[2], "celem"); !ok || w != e02 {
+		t.Errorf("celem broken: %v %v", w, ok)
+	}
+	if w, ok := g.Edge(lay.Root, "rows"); !ok || w != lay.RowHeaders[0] {
+		t.Errorf("rows broken: %v %v", w, ok)
+	}
+	// Empty rows/cols still have headers, chained.
+	if w, ok := g.Edge(lay.RowHeaders[0], "nrowH"); !ok || w != lay.RowHeaders[1] {
+		t.Errorf("nrowH broken: %v %v", w, ok)
+	}
+}
+
+func TestCheckAxiomViolations(t *testing.T) {
+	// A "tree" whose children collide violates A1-style axioms.
+	g := New(2)
+	g.SetEdge(0, "L", 1)
+	g.SetEdge(0, "R", 1)
+	if err := g.CheckAxiom(axiom.MustParse("forall p, p.L <> p.R")); err == nil {
+		t.Error("shared child should violate ∀p, p.L <> p.R")
+	}
+	// A cycle violates acyclicity.
+	ring, _ := BuildRing(3, "f")
+	if err := ring.CheckAxiom(axiom.MustParse("forall p, p.f+ <> p.ε")); err == nil {
+		t.Error("ring should violate acyclicity")
+	}
+	// Equality axiom violated on a non-ring.
+	line, _ := BuildList(3, "f")
+	if err := line.CheckAxiom(axiom.MustParse("forall p, p.f.f.f = p.ε")); err == nil {
+		t.Error("line should violate ring equality")
+	}
+}
+
+func TestWalkWord(t *testing.T) {
+	g, root := BuildLeafLinkedTree(2)
+	v, ok := g.WalkWord(root, []string{"L", "L", "N"})
+	if !ok || v != 4 {
+		t.Errorf("WalkWord = %v, %v", v, ok)
+	}
+	if _, ok := g.WalkWord(root, []string{"N"}); ok {
+		t.Error("root has no N edge")
+	}
+}
+
+func TestSetAndClearEdge(t *testing.T) {
+	g := New(2)
+	g.SetEdge(0, "f", 1)
+	if _, ok := g.Edge(0, "f"); !ok {
+		t.Fatal("edge missing")
+	}
+	g.ClearEdge(0, "f")
+	if _, ok := g.Edge(0, "f"); ok {
+		t.Fatal("edge not cleared")
+	}
+	g.ClearEdge(0, "g") // clearing a missing field is a no-op
+}
+
+func TestEvalUndeclaredFieldIsEmptyish(t *testing.T) {
+	g, root := BuildList(3, "next")
+	got := g.Eval(root, pathexpr.MustParse("zzz"))
+	if len(got) != 0 {
+		t.Errorf("Eval over unknown field = %v", keys(got))
+	}
+}
+
+func TestSkipListConformsAndInterleaves(t *testing.T) {
+	levels := []string{"n0", "n1", "n2"}
+	g, root := BuildSkipList(9, levels)
+	if err := g.CheckSet(axiom.SkipList(levels...)); err != nil {
+		t.Fatalf("skip list violates its axioms: %v", err)
+	}
+	// The express hop n1 lands exactly where two base hops do — the
+	// confluence that makes n1 vs n0.n0 a real dependence.
+	a := g.Eval(root, pathexpr.MustParse("n1"))
+	b := g.Eval(root, pathexpr.MustParse("n0.n0"))
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("hops = %v, %v", a, b)
+	}
+	for v := range a {
+		if !b[v] {
+			t.Error("n1 and n0.n0 should land on the same vertex")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pathexpr"
+)
+
+// randGraph builds a random partial-function graph (each vertex has at most
+// one successor per field) — not necessarily any recognizable structure.
+func randGraph(rng *rand.Rand, n int, fields []string) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for _, f := range fields {
+			if rng.Intn(2) == 0 {
+				g.SetEdge(Vertex(v), f, Vertex(rng.Intn(n)))
+			}
+		}
+	}
+	return g
+}
+
+// TestPropertyEvalConcatComposes: Eval(v, a·b) equals the union of
+// Eval(u, b) over u ∈ Eval(v, a).
+func TestPropertyEvalConcatComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	fields := []string{"f", "g"}
+	for trial := 0; trial < 40; trial++ {
+		g := randGraph(rng, 2+rng.Intn(8), fields)
+		a := pathexpr.Or(pathexpr.F("f"), pathexpr.Cat(pathexpr.F("g"), pathexpr.F("f")))
+		b := pathexpr.Rep(pathexpr.F("g"))
+		for v := 0; v < g.NumVertices(); v++ {
+			direct := g.Eval(Vertex(v), pathexpr.Cat(a, b))
+			composed := map[Vertex]bool{}
+			for u := range g.Eval(Vertex(v), a) {
+				for w := range g.Eval(u, b) {
+					composed[w] = true
+				}
+			}
+			if !sameSet(direct, composed) {
+				t.Fatalf("trial %d v=%d: Eval(a·b)=%v, composed=%v", trial, v, keys(direct), keys(composed))
+			}
+		}
+	}
+}
+
+// TestPropertyEvalAltIsUnion: Eval over an alternation is the union of the
+// branch evaluations.
+func TestPropertyEvalAltIsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	fields := []string{"f", "g"}
+	x := pathexpr.Cat(pathexpr.F("f"), pathexpr.F("g"))
+	y := pathexpr.Rep1(pathexpr.F("g"))
+	alt := pathexpr.Or(x, y)
+	for trial := 0; trial < 40; trial++ {
+		g := randGraph(rng, 2+rng.Intn(8), fields)
+		for v := 0; v < g.NumVertices(); v++ {
+			got := g.Eval(Vertex(v), alt)
+			want := map[Vertex]bool{}
+			for u := range g.Eval(Vertex(v), x) {
+				want[u] = true
+			}
+			for u := range g.Eval(Vertex(v), y) {
+				want[u] = true
+			}
+			if !sameSet(got, want) {
+				t.Fatalf("trial %d v=%d: alt=%v, union=%v", trial, v, keys(got), keys(want))
+			}
+		}
+	}
+}
+
+// TestPropertyEvalStarFixpoint: Eval(v, f*) is the reachability closure of
+// Eval(v, ε) ∪ Eval(v, f) ∪ Eval(v, ff) ... and contains v.
+func TestPropertyEvalStarFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 40; trial++ {
+		g := randGraph(rng, 2+rng.Intn(8), []string{"f"})
+		star := pathexpr.Rep(pathexpr.F("f"))
+		for v := 0; v < g.NumVertices(); v++ {
+			got := g.Eval(Vertex(v), star)
+			if !got[Vertex(v)] {
+				t.Fatalf("v not in its own f* closure")
+			}
+			// Manual closure.
+			want := map[Vertex]bool{Vertex(v): true}
+			cur := Vertex(v)
+			for i := 0; i < g.NumVertices()+1; i++ {
+				next, ok := g.Edge(cur, "f")
+				if !ok {
+					break
+				}
+				if want[next] {
+					break
+				}
+				want[next] = true
+				cur = next
+			}
+			if !sameSet(got, want) {
+				t.Fatalf("trial %d v=%d: star=%v, closure=%v", trial, v, keys(got), keys(want))
+			}
+		}
+	}
+}
+
+// TestPropertyWalkWordAgreesWithEval: for word paths, WalkWord and Eval
+// agree (the set is the singleton of the walk result, or empty).
+func TestPropertyWalkWordAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	fields := []string{"f", "g"}
+	for trial := 0; trial < 60; trial++ {
+		g := randGraph(rng, 2+rng.Intn(8), fields)
+		n := rng.Intn(5)
+		word := make([]string, n)
+		for i := range word {
+			word[i] = fields[rng.Intn(2)]
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			got := g.Eval(Vertex(v), pathexpr.FromWord(word))
+			dst, ok := g.WalkWord(Vertex(v), word)
+			if ok {
+				if len(got) != 1 || !got[dst] {
+					t.Fatalf("Eval=%v, walk=%d", keys(got), dst)
+				}
+			} else if len(got) != 0 {
+				t.Fatalf("walk failed but Eval=%v", keys(got))
+			}
+		}
+	}
+}

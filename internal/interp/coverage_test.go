@@ -1,0 +1,173 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/lang"
+)
+
+func run1(t *testing.T, src, fn string, args ...Value) (Value, *Trace, error) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	g, head := heap.BuildList(3, "n")
+	in := New(prog, g, Options{})
+	if len(args) == 0 {
+		args = []Value{Ptr(head)}
+	}
+	return in.Run(fn, args...)
+}
+
+func TestOperatorMatrix(t *testing.T) {
+	src := `
+struct T { struct T *n; int v; };
+int ops(struct T *x) {
+	int a;
+	a = 0;
+	if (1 <= 1 && 2 >= 2 && 1 < 2 && 2 > 1 && 1 == 1 && 1 != 2) { a = a + 1; }
+	if (0 || 1) { a = a + 1; }
+	if (!0) { a = a + 1; }
+	if (-1 < 0) { a = a + 1; }
+	a = a + 6 / 3 - 1 * 2;
+	return a;
+}
+`
+	ret, _, err := run1(t, src, "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Num != 4 {
+		t.Errorf("ops = %v, want 4", ret.Num)
+	}
+}
+
+func TestPointerComparisonVariants(t *testing.T) {
+	src := `
+struct T { struct T *n; int v; };
+int cmp(struct T *x) {
+	struct T *y;
+	int a;
+	a = 0;
+	y = x;
+	if (x == y) { a = a + 1; }
+	y = x->n;
+	if (x != y) { a = a + 1; }
+	y = NULL;
+	if (y == 0) { a = a + 1; }
+	if (0 == y) { a = a + 1; }
+	if (x != NULL) { a = a + 1; }
+	return a;
+}
+`
+	ret, _, err := run1(t, src, "cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Num != 5 {
+		t.Errorf("cmp = %v, want 5", ret.Num)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := map[string]string{
+		"store num into ptr field": `
+struct T { struct T *n; int v; };
+void f(struct T *x) { x->n = 5; }`,
+		"deref a number": `
+struct T { struct T *n; int v; };
+void f(struct T *x) { int i; i = 1; x = i->n; }`,
+		"null field write": `
+struct T { struct T *n; int v; };
+void f(struct T *x) { struct T *y; y = NULL; y->v = 1; }`,
+		"ptr arithmetic": `
+struct T { struct T *n; int v; };
+void f(struct T *x) { int i; i = x + 1; }`,
+		"undefined var": `
+struct T { struct T *n; int v; };
+void f(struct T *x) { x = zz; }`,
+	}
+	for name, src := range cases {
+		if _, _, err := run1(t, src, "f"); err == nil {
+			t.Errorf("%s: expected runtime error", name)
+		}
+	}
+}
+
+func TestUnaryOnPointersAndReturnVoid(t *testing.T) {
+	src := `
+struct T { struct T *n; int v; };
+int g(struct T *x) {
+	if (!x) { return 1; }
+	return 0;
+}
+void h(struct T *x) { return; }
+`
+	ret, _, err := run1(t, src, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Num != 0 {
+		t.Errorf("g(non-null) = %v", ret.Num)
+	}
+	prog := lang.MustParse(src)
+	g2, head := heap.BuildList(1, "n")
+	in := New(prog, g2, Options{})
+	nul, _, err := in.Run("g", NullPtr())
+	if err != nil || nul.Num != 1 {
+		t.Errorf("g(null) = %v, %v", nul.Num, err)
+	}
+	if _, _, err := in.Run("h", Ptr(head)); err != nil {
+		t.Errorf("void return: %v", err)
+	}
+}
+
+func TestTraceStepsAndHeapAccessors(t *testing.T) {
+	src := `
+struct T { struct T *n; int v; };
+void f(struct T *x) {
+A:	x->v = 2;
+B:	x->v = x->v + 1;
+}
+`
+	prog := lang.MustParse(src)
+	g, head := heap.BuildList(2, "n")
+	in := New(prog, g, Options{})
+	if in.Heap() != g {
+		t.Error("Heap accessor lost the graph")
+	}
+	_, trace, err := in.Run("f", Ptr(head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Steps == 0 {
+		t.Error("no steps counted")
+	}
+	if len(trace.At("A")) != 1 || len(trace.At("B")) != 2 {
+		t.Errorf("events A=%d B=%d, want 1 and 2 (read+write)", len(trace.At("A")), len(trace.At("B")))
+	}
+	if in.Data(head, "v") != 3 {
+		t.Errorf("v = %v, want 3", in.Data(head, "v"))
+	}
+}
+
+func TestBadNumberLiteral(t *testing.T) {
+	// The lexer accepts 1.2.3 as a NUMBER token; evaluation must reject it.
+	src := `
+struct T { struct T *n; int v; };
+void f(struct T *x) { x->v = 1.2.3; }
+`
+	_, _, err := run1(t, src, "f")
+	if err == nil || !strings.Contains(err.Error(), "bad number") {
+		t.Errorf("expected bad-number error, got %v", err)
+	}
+}
+
+func TestValueTruthiness(t *testing.T) {
+	if NullPtr().truthy() || !Ptr(0).truthy() {
+		t.Error("pointer truthiness")
+	}
+	if Num(0).truthy() || !Num(2).truthy() {
+		t.Error("number truthiness")
+	}
+}

@@ -1,0 +1,445 @@
+// Package interp executes mini-C programs concretely over heap graphs.  It
+// is the ground-truth execution substrate: a program runs against a real
+// structure (package heap), every labeled memory access is recorded with
+// the concrete vertex it touched, and the resulting trace is compared
+// against what the static analysis predicted — the analysis is sound iff
+// every touched vertex lies in the evaluation of some predicted access
+// path.  The interpreter also drives axiom-maintenance checks: run a
+// mutating program, then model-check the declared axioms on the resulting
+// heap (§3.4's concern, made executable).
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/heap"
+	"repro/internal/lang"
+)
+
+// Value is a runtime value: a pointer (possibly null) or a number.
+type Value struct {
+	IsPtr  bool
+	Null   bool
+	Vertex heap.Vertex
+	Num    float64
+}
+
+// Ptr returns a pointer value.
+func Ptr(v heap.Vertex) Value { return Value{IsPtr: true, Vertex: v} }
+
+// NullPtr returns the null pointer.
+func NullPtr() Value { return Value{IsPtr: true, Null: true} }
+
+// Num returns a numeric value.
+func Num(x float64) Value { return Value{Num: x} }
+
+func (v Value) truthy() bool {
+	if v.IsPtr {
+		return !v.Null
+	}
+	return v.Num != 0
+}
+
+// Event is one concrete memory access performed at a labeled statement.
+type Event struct {
+	Label   string
+	Var     string
+	Field   string
+	Vertex  heap.Vertex
+	IsWrite bool
+}
+
+// Trace records a run.
+type Trace struct {
+	Events []Event
+	// Steps is the number of statements executed.
+	Steps int
+}
+
+// At returns the events recorded at a label.
+func (t *Trace) At(label string) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Label == label {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds execution (default 100000).
+	MaxSteps int
+	// Call handles opaque function calls; nil makes any call return Num(0).
+	Call func(name string, args []Value) (Value, error)
+}
+
+// Interp executes functions of one program against one heap.
+type Interp struct {
+	prog *lang.Program
+	g    *heap.Graph
+	// data stores non-pointer field values per (vertex, field).
+	data map[dataKey]float64
+	// types tracks the struct type of each vertex ("" when unknown).
+	types map[heap.Vertex]string
+	opts  Options
+}
+
+type dataKey struct {
+	v heap.Vertex
+	f string
+}
+
+// New builds an interpreter over prog and the given heap.  vertexType
+// optionally declares the struct type of pre-existing vertices (may be nil;
+// pointer-field resolution then relies on the variable's static type).
+func New(prog *lang.Program, g *heap.Graph, opts Options) *Interp {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 100000
+	}
+	return &Interp{
+		prog:  prog,
+		g:     g,
+		data:  make(map[dataKey]float64),
+		types: make(map[heap.Vertex]string),
+		opts:  opts,
+	}
+}
+
+// Heap returns the (possibly grown or mutated) heap.
+func (in *Interp) Heap() *heap.Graph { return in.g }
+
+// SetData pre-loads a data field value.
+func (in *Interp) SetData(v heap.Vertex, field string, x float64) {
+	in.data[dataKey{v, field}] = x
+}
+
+// Data reads a data field value.
+func (in *Interp) Data(v heap.Vertex, field string) float64 {
+	return in.data[dataKey{v, field}]
+}
+
+// Run executes fnName with the given arguments and returns the return
+// value (zero Value for void) and the access trace.
+func (in *Interp) Run(fnName string, args ...Value) (Value, *Trace, error) {
+	fn := in.prog.Func(fnName)
+	if fn == nil {
+		return Value{}, nil, fmt.Errorf("interp: function %q not found", fnName)
+	}
+	if len(args) != len(fn.Params) {
+		return Value{}, nil, fmt.Errorf("interp: %s expects %d arguments, got %d", fnName, len(fn.Params), len(args))
+	}
+	ex := &exec{in: in, vars: make(map[string]Value), varTypes: make(map[string]string), trace: &Trace{}}
+	for i, p := range fn.Params {
+		ex.vars[p.Name] = args[i]
+		if p.Type.IsPointerToStruct() {
+			ex.varTypes[p.Name] = p.Type.Base
+			if args[i].IsPtr && !args[i].Null {
+				in.types[args[i].Vertex] = p.Type.Base
+			}
+		}
+	}
+	ret, err := ex.block(fn.Body)
+	return ret.val, ex.trace, err
+}
+
+// flow signals early exit from a block.
+type flow struct {
+	returned bool
+	val      Value
+}
+
+type exec struct {
+	in       *Interp
+	vars     map[string]Value
+	varTypes map[string]string
+	trace    *Trace
+}
+
+func (ex *exec) step() error {
+	ex.trace.Steps++
+	if ex.trace.Steps > ex.in.opts.MaxSteps {
+		return fmt.Errorf("interp: step budget (%d) exhausted — non-terminating loop?", ex.in.opts.MaxSteps)
+	}
+	return nil
+}
+
+func (ex *exec) block(b *lang.Block) (flow, error) {
+	for _, s := range b.Stmts {
+		fl, err := ex.stmt(s)
+		if err != nil || fl.returned {
+			return fl, err
+		}
+	}
+	return flow{}, nil
+}
+
+func (ex *exec) stmt(s lang.Stmt) (flow, error) {
+	if err := ex.step(); err != nil {
+		return flow{}, err
+	}
+	switch v := s.(type) {
+	case *lang.DeclStmt:
+		for _, item := range v.Items {
+			if item.Type.IsPointerToStruct() {
+				ex.varTypes[item.Name] = item.Type.Base
+				ex.vars[item.Name] = NullPtr()
+			} else {
+				ex.vars[item.Name] = Num(0)
+			}
+		}
+		return flow{}, nil
+
+	case *lang.AssignStmt:
+		return flow{}, ex.assign(v)
+
+	case *lang.ExprStmt:
+		_, err := ex.eval(v.X, v.Label())
+		return flow{}, err
+
+	case *lang.ReturnStmt:
+		if v.Value == nil {
+			return flow{returned: true}, nil
+		}
+		val, err := ex.eval(v.Value, v.Label())
+		return flow{returned: true, val: val}, err
+
+	case *lang.BlockStmt:
+		return ex.block(v.Body)
+
+	case *lang.IfStmt:
+		cond, err := ex.eval(v.Cond, v.Label())
+		if err != nil {
+			return flow{}, err
+		}
+		if cond.truthy() {
+			return ex.block(v.Then)
+		}
+		if v.Else != nil {
+			return ex.block(v.Else)
+		}
+		return flow{}, nil
+
+	case *lang.WhileStmt:
+		for {
+			if err := ex.step(); err != nil {
+				return flow{}, err
+			}
+			cond, err := ex.eval(v.Cond, v.Label())
+			if err != nil {
+				return flow{}, err
+			}
+			if !cond.truthy() {
+				return flow{}, nil
+			}
+			fl, err := ex.block(v.Body)
+			if err != nil || fl.returned {
+				return fl, err
+			}
+		}
+	}
+	return flow{}, fmt.Errorf("interp: unsupported statement %T", s)
+}
+
+func (ex *exec) assign(s *lang.AssignStmt) error {
+	rhs, err := ex.eval(s.RHS, s.Label())
+	if err != nil {
+		return err
+	}
+	switch lhs := s.LHS.(type) {
+	case *lang.Ident:
+		ex.vars[lhs.Name] = rhs
+		return nil
+	case *lang.FieldAccess:
+		base, ok := ex.vars[lhs.Base]
+		if !ok || !base.IsPtr {
+			return fmt.Errorf("interp: %s is not a pointer", lhs.Base)
+		}
+		if base.Null {
+			return fmt.Errorf("interp: null dereference writing %s->%s", lhs.Base, lhs.Field)
+		}
+		ex.record(s.Label(), lhs.Base, lhs.Field, base.Vertex, true)
+		if ex.pointerField(lhs.Base, lhs.Field) {
+			if !rhs.IsPtr {
+				return fmt.Errorf("interp: storing a number into pointer field %s", lhs.Field)
+			}
+			if rhs.Null {
+				ex.in.g.ClearEdge(base.Vertex, lhs.Field)
+			} else {
+				ex.in.g.SetEdge(base.Vertex, lhs.Field, rhs.Vertex)
+			}
+			return nil
+		}
+		ex.in.data[dataKey{base.Vertex, lhs.Field}] = rhs.Num
+		return nil
+	}
+	return fmt.Errorf("interp: unsupported assignment target %T", s.LHS)
+}
+
+func (ex *exec) pointerField(varName, field string) bool {
+	t := ex.varTypes[varName]
+	if t == "" {
+		return false
+	}
+	sd := ex.in.prog.Struct(t)
+	if sd == nil {
+		return false
+	}
+	fd := sd.Field(field)
+	return fd != nil && fd.Type.IsPointerToStruct()
+}
+
+func (ex *exec) record(label, varName, field string, v heap.Vertex, write bool) {
+	if label == "" {
+		return
+	}
+	ex.trace.Events = append(ex.trace.Events, Event{
+		Label: label, Var: varName, Field: field, Vertex: v, IsWrite: write,
+	})
+}
+
+func (ex *exec) eval(e lang.Expr, label string) (Value, error) {
+	switch v := e.(type) {
+	case *lang.Ident:
+		val, ok := ex.vars[v.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("interp: undefined variable %s", v.Name)
+		}
+		return val, nil
+
+	case *lang.NumLit:
+		x, err := strconv.ParseFloat(v.Text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: bad number %q", v.Text)
+		}
+		return Num(x), nil
+
+	case *lang.NullLit:
+		return NullPtr(), nil
+
+	case *lang.FieldAccess:
+		base, ok := ex.vars[v.Base]
+		if !ok || !base.IsPtr {
+			return Value{}, fmt.Errorf("interp: %s is not a pointer", v.Base)
+		}
+		if base.Null {
+			return Value{}, fmt.Errorf("interp: null dereference reading %s->%s", v.Base, v.Field)
+		}
+		ex.record(label, v.Base, v.Field, base.Vertex, false)
+		if ex.pointerField(v.Base, v.Field) {
+			if w, ok := ex.in.g.Edge(base.Vertex, v.Field); ok {
+				return Ptr(w), nil
+			}
+			return NullPtr(), nil
+		}
+		return Num(ex.in.data[dataKey{base.Vertex, v.Field}]), nil
+
+	case *lang.MallocExpr:
+		w := ex.in.g.AddVertex()
+		if v.Of != "" {
+			ex.in.types[w] = v.Of
+		}
+		return Ptr(w), nil
+
+	case *lang.CallExpr:
+		args := make([]Value, len(v.Args))
+		for i, a := range v.Args {
+			val, err := ex.eval(a, label)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = val
+		}
+		if ex.in.opts.Call != nil {
+			return ex.in.opts.Call(v.Name, args)
+		}
+		return Num(0), nil
+
+	case *lang.UnaryExpr:
+		x, err := ex.eval(v.X, label)
+		if err != nil {
+			return Value{}, err
+		}
+		switch v.Op {
+		case "!":
+			if x.truthy() {
+				return Num(0), nil
+			}
+			return Num(1), nil
+		case "-":
+			return Num(-x.Num), nil
+		}
+		return Value{}, fmt.Errorf("interp: unsupported unary %q", v.Op)
+
+	case *lang.BinaryExpr:
+		l, err := ex.eval(v.L, label)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := ex.eval(v.R, label)
+		if err != nil {
+			return Value{}, err
+		}
+		return binop(v.Op, l, r)
+	}
+	return Value{}, fmt.Errorf("interp: unsupported expression %T", e)
+}
+
+func binop(op string, l, r Value) (Value, error) {
+	boolNum := func(b bool) Value {
+		if b {
+			return Num(1)
+		}
+		return Num(0)
+	}
+	// Pointer comparisons.
+	if l.IsPtr || r.IsPtr {
+		eq := l.IsPtr == r.IsPtr && l.Null == r.Null && (l.Null || l.Vertex == r.Vertex)
+		// Comparing a pointer with literal 0 treats 0 as null.
+		if !l.IsPtr && l.Num == 0 {
+			eq = r.Null
+		}
+		if !r.IsPtr && r.Num == 0 {
+			eq = l.Null
+		}
+		switch op {
+		case "==":
+			return boolNum(eq), nil
+		case "!=":
+			return boolNum(!eq), nil
+		}
+		return Value{}, fmt.Errorf("interp: operator %q on pointers", op)
+	}
+	switch op {
+	case "+":
+		return Num(l.Num + r.Num), nil
+	case "-":
+		return Num(l.Num - r.Num), nil
+	case "*":
+		return Num(l.Num * r.Num), nil
+	case "/":
+		if r.Num == 0 {
+			return Value{}, fmt.Errorf("interp: division by zero")
+		}
+		return Num(l.Num / r.Num), nil
+	case "==":
+		return boolNum(l.Num == r.Num), nil
+	case "!=":
+		return boolNum(l.Num != r.Num), nil
+	case "<":
+		return boolNum(l.Num < r.Num), nil
+	case ">":
+		return boolNum(l.Num > r.Num), nil
+	case "<=":
+		return boolNum(l.Num <= r.Num), nil
+	case ">=":
+		return boolNum(l.Num >= r.Num), nil
+	case "&&":
+		return boolNum(l.truthy() && r.truthy()), nil
+	case "||":
+		return boolNum(l.truthy() || r.truthy()), nil
+	}
+	return Value{}, fmt.Errorf("interp: unsupported operator %q", op)
+}

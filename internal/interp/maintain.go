@@ -1,0 +1,46 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/axiom"
+	"repro/internal/heap"
+	"repro/internal/lang"
+)
+
+// Instance supplies one concrete input for a maintenance check: a heap plus
+// the argument values to call the function with.
+type Instance struct {
+	Graph *heap.Graph
+	Args  []Value
+}
+
+// Generator builds random instances.
+type Generator func(rng *rand.Rand) Instance
+
+// MaintainsAxioms checks §3.2's "perhaps automatically verified" promise
+// dynamically: it runs fnName on `trials` generated instances whose initial
+// heaps satisfy the axiom set, and verifies the axioms still hold on every
+// resulting heap.  The first violation (or runtime error) is returned.
+//
+// A nil result is evidence — not proof — that the function maintains the
+// structure's invariants; it is exactly the §3.4 property the "full"
+// analysis of §5 assumes about the factorization's fill-in phase.
+func MaintainsAxioms(prog *lang.Program, fnName string, set *axiom.Set, gen Generator, trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		inst := gen(rng)
+		if err := inst.Graph.CheckSet(set); err != nil {
+			return fmt.Errorf("interp: trial %d: generated instance violates the axioms before the run: %w", trial, err)
+		}
+		in := New(prog, inst.Graph, Options{})
+		if _, _, err := in.Run(fnName, inst.Args...); err != nil {
+			return fmt.Errorf("interp: trial %d: %s failed: %w", trial, fnName, err)
+		}
+		if err := inst.Graph.CheckSet(set); err != nil {
+			return fmt.Errorf("interp: trial %d: %s broke the axioms: %w", trial, fnName, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/axiom"
+	"repro/internal/heap"
+	"repro/internal/lang"
+)
+
+const listOps = `
+struct Node { struct Node *link; int f; };
+
+void insertAfter(struct Node *pos) {
+	struct Node *n;
+	struct Node *rest;
+	n = malloc(struct Node);
+	rest = pos->link;
+	n->link = rest;
+	pos->link = n;
+}
+
+void reverseInPlace(struct Node *head) {
+	struct Node *prev;
+	struct Node *cur;
+	struct Node *next;
+	prev = NULL;
+	cur = head;
+	while (cur != NULL) {
+		next = cur->link;
+		cur->link = prev;
+		prev = cur;
+		cur = next;
+	}
+}
+
+void makeCycle(struct Node *head) {
+	head->link = head;
+}
+`
+
+func TestMaintainsAxiomsAccepts(t *testing.T) {
+	prog := lang.MustParse(listOps)
+	set := axiom.SinglyLinkedList("link")
+	gen := func(rng *rand.Rand) Instance {
+		g, head := heap.BuildList(1+rng.Intn(8), "link")
+		return Instance{Graph: g, Args: []Value{Ptr(head)}}
+	}
+	// Insertion after the head maintains list-ness.
+	if err := MaintainsAxioms(prog, "insertAfter", set, gen, 25, 1); err != nil {
+		t.Errorf("insertAfter should maintain the axioms: %v", err)
+	}
+	// In-place reversal maintains list-ness too.
+	if err := MaintainsAxioms(prog, "reverseInPlace", set, gen, 25, 2); err != nil {
+		t.Errorf("reverseInPlace should maintain the axioms: %v", err)
+	}
+}
+
+func TestMaintainsAxiomsRejectsCycleMaker(t *testing.T) {
+	prog := lang.MustParse(listOps)
+	set := axiom.SinglyLinkedList("link")
+	gen := func(rng *rand.Rand) Instance {
+		g, head := heap.BuildList(2+rng.Intn(4), "link")
+		return Instance{Graph: g, Args: []Value{Ptr(head)}}
+	}
+	err := MaintainsAxioms(prog, "makeCycle", set, gen, 10, 3)
+	if err == nil {
+		t.Fatal("makeCycle must be caught violating acyclicity")
+	}
+	if !strings.Contains(err.Error(), "broke the axioms") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestMaintainsAxiomsRejectsBadGeneratorAndRuntime(t *testing.T) {
+	prog := lang.MustParse(listOps)
+	set := axiom.SinglyLinkedList("link")
+	// Generator producing a non-conforming heap (a ring).
+	badGen := func(rng *rand.Rand) Instance {
+		g, head := heap.BuildRing(3, "link")
+		return Instance{Graph: g, Args: []Value{Ptr(head)}}
+	}
+	if err := MaintainsAxioms(prog, "insertAfter", set, badGen, 3, 4); err == nil {
+		t.Error("non-conforming generated instance must be reported")
+	}
+	// Runtime failure (null dereference) is reported, not swallowed.
+	nullGen := func(rng *rand.Rand) Instance {
+		g, _ := heap.BuildList(1, "link")
+		return Instance{Graph: g, Args: []Value{NullPtr()}}
+	}
+	if err := MaintainsAxioms(prog, "insertAfter", set, nullGen, 1, 5); err == nil {
+		t.Error("runtime error must be reported")
+	}
+}

@@ -1,0 +1,279 @@
+package lang
+
+import (
+	"repro/internal/axiom"
+)
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs []*StructDecl
+	Funcs   []*FuncDecl
+}
+
+// Struct returns the struct declaration with the given name, or nil.
+func (p *Program) Struct(name string) *StructDecl {
+	for _, s := range p.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Type describes a declared type: a base name ("int", "float", "double", or
+// a struct name) plus pointer depth.
+type Type struct {
+	Base     string
+	Ptr      int
+	IsStruct bool
+}
+
+// IsPointerToStruct reports whether the type is a single-level pointer to a
+// struct — the only pointers the analysis tracks as heap references.
+func (t Type) IsPointerToStruct() bool { return t.IsStruct && t.Ptr == 1 }
+
+func (t Type) String() string {
+	s := t.Base
+	if t.IsStruct {
+		s = "struct " + s
+	}
+	for i := 0; i < t.Ptr; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// FieldDecl is one field of a struct.
+type FieldDecl struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// StructDecl is a struct type with optional aliasing axioms.
+type StructDecl struct {
+	Name   string
+	Fields []FieldDecl
+	// Axioms holds the axiom block, if declared; nil otherwise.
+	Axioms *axiom.Set
+	Pos    Pos
+}
+
+// Field returns the named field declaration, or nil.
+func (s *StructDecl) Field(name string) *FieldDecl {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// PointerFields returns the names of fields that are pointers to structs —
+// the edges of the data structure graph.
+func (s *StructDecl) PointerFields() []string {
+	var out []string
+	for _, f := range s.Fields {
+		if f.Type.IsPointerToStruct() {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Result Type
+	Params []Param
+	Body   *Block
+	Pos    Pos
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	// Label returns the statement's label ("" if unlabeled).
+	Label() string
+	StmtPos() Pos
+	isStmt()
+}
+
+type stmtBase struct {
+	Lbl string
+	Pos Pos
+}
+
+func (s stmtBase) Label() string { return s.Lbl }
+func (s stmtBase) StmtPos() Pos  { return s.Pos }
+func (stmtBase) isStmt()         {}
+
+// DeclItem is one declarator of a declaration statement: its own name and
+// full type (C attaches '*' to declarators, not to the base type).
+type DeclItem struct {
+	Name string
+	Type Type
+}
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	stmtBase
+	Items []DeclItem
+}
+
+// AssignStmt is lhs = rhs.  LHS is an Ident or a FieldAccess.
+type AssignStmt struct {
+	stmtBase
+	LHS Expr
+	RHS Expr
+}
+
+// ExprStmt is a bare expression (a call) used for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *Block
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *Block
+	Else *Block // nil when absent
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	stmtBase
+	Value Expr // nil for bare return
+}
+
+// BlockStmt wraps a nested block.
+type BlockStmt struct {
+	stmtBase
+	Body *Block
+}
+
+// Expr is an expression node.
+type Expr interface {
+	ExprPos() Pos
+	isExpr()
+}
+
+type exprBase struct{ Pos Pos }
+
+func (e exprBase) ExprPos() Pos { return e.Pos }
+func (exprBase) isExpr()        {}
+
+// Ident is a variable reference.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// FieldAccess is base->field (one level, per the simplified form).
+type FieldAccess struct {
+	exprBase
+	Base  string
+	Field string
+}
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	exprBase
+	Text string
+}
+
+// NullLit is NULL or 0 used as a pointer.
+type NullLit struct {
+	exprBase
+}
+
+// MallocExpr is a heap allocation.
+type MallocExpr struct {
+	exprBase
+	// Of optionally names the struct allocated (from "malloc(struct T)" or
+	// assignment context); may be empty.
+	Of string
+}
+
+// CallExpr is a function call with opaque semantics.
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// BinaryExpr is a binary operation over data values or a comparison.
+type BinaryExpr struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// AddrExpr is &x: the address of a named variable (the PTDP side of
+// Figure 1; see internal/ptdp).
+type AddrExpr struct {
+	exprBase
+	Name string
+}
+
+// DerefExpr is *p: dereference of a pointer to a named memory location.
+type DerefExpr struct {
+	exprBase
+	Name string
+}
+
+// WalkExprs calls fn on e and all sub-expressions.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch v := e.(type) {
+	case *BinaryExpr:
+		WalkExprs(v.L, fn)
+		WalkExprs(v.R, fn)
+	case *UnaryExpr:
+		WalkExprs(v.X, fn)
+	case *CallExpr:
+		for _, a := range v.Args {
+			WalkExprs(a, fn)
+		}
+	}
+}

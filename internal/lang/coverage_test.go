@@ -1,0 +1,189 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindAndPosStrings(t *testing.T) {
+	for k := EOF; k <= Amp; k++ {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+	if Kind(9999).String() != "token(9999)" {
+		t.Errorf("unknown kind string = %q", Kind(9999).String())
+	}
+	if (Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Errorf("pos string = %q", Pos{Line: 3, Col: 7})
+	}
+}
+
+func TestParserErrorPaths(t *testing.T) {
+	bad := []string{
+		// struct declaration errors
+		`struct { }`,
+		`struct T struct`,
+		`struct T { int; };`,
+		`struct T { int v };`,
+		`struct T { axioms( ) };`,
+		// function declaration errors
+		`void (struct T *x) { }`,
+		`void f(struct *x) { }`,
+		`123 f() { }`,
+		// statement errors
+		`void f() { while 1 { } }`,
+		`void f() { while (1 { } }`,
+		`void f() { if (1 { } }`,
+		`void f() { return 1 }`,
+		`void f() { x = ; }`,
+		`void f() { x->1 = 2; }`,
+		`void f() { x = y->; }`,
+		`void f() { x = (1; }`,
+		`void f() { x = malloc(; }`,
+		`void f() { x = malloc(struct ); }`,
+		`void f() { x = f(1; }`,
+		`void f() { x = &1; }`,
+		`void f() { x = *2; }`,
+		`void f() { struct T *; }`,
+		// expression statement without semicolon
+		`void f() { g() }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexerErrorPaths(t *testing.T) {
+	bad := []string{
+		"/* unterminated",
+		`"unterminated`,
+		"void f() { x = y @ z; }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringLiteralsAndMultiDecl(t *testing.T) {
+	src := `
+struct T { struct T *a, *b; int v, w; };
+void f(struct T *x, struct T *y) {
+	struct T *p, *q;
+	p = x;
+	q = y;
+	p->v = 1;
+	q->w = 2;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Struct("T")
+	if len(s.Fields) != 4 {
+		t.Fatalf("fields = %d, want 4", len(s.Fields))
+	}
+	if !s.Fields[1].Type.IsPointerToStruct() {
+		t.Error("second declarator lost its pointer type")
+	}
+	if s.Fields[2].Type.IsPointerToStruct() {
+		t.Error("int field became a pointer")
+	}
+}
+
+func TestAddrAndDerefParsing(t *testing.T) {
+	src := `
+void f() {
+	int i;
+	int *p;
+	p = &i;
+	*p = 10;
+	i = *p;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("f")
+	asg := fn.Body.Stmts[2].(*AssignStmt)
+	if addr, ok := asg.RHS.(*AddrExpr); !ok || addr.Name != "i" {
+		t.Fatalf("rhs = %#v, want &i", asg.RHS)
+	}
+	asg = fn.Body.Stmts[3].(*AssignStmt)
+	if deref, ok := asg.LHS.(*DerefExpr); !ok || deref.Name != "p" {
+		t.Fatalf("lhs = %#v, want *p", asg.LHS)
+	}
+	asg = fn.Body.Stmts[4].(*AssignStmt)
+	if _, ok := asg.RHS.(*DerefExpr); !ok {
+		t.Fatalf("rhs = %#v, want *p", asg.RHS)
+	}
+}
+
+func TestWalkExprsCoversAllShapes(t *testing.T) {
+	src := `
+struct T { struct T *n; int v; };
+int f(struct T *x, int k) {
+	return g(x->v + -k, !k) * 2;
+}
+`
+	prog := MustParse(src)
+	ret := prog.Func("f").Body.Stmts[0].(*ReturnStmt)
+	var kinds []string
+	WalkExprs(ret.Value, func(e Expr) {
+		kinds = append(kinds, strings.TrimPrefix(strings.TrimPrefix(
+			strings.Split(strings.TrimPrefix(
+				sprintfType(e), "*lang."), "{")[0], "&"), "*"))
+	})
+	want := map[string]bool{"BinaryExpr": true, "CallExpr": true, "FieldAccess": true, "UnaryExpr": true, "NumLit": true, "Ident": true}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		seen[k] = true
+	}
+	for k := range want {
+		if !seen[k] {
+			t.Errorf("WalkExprs missed %s (saw %v)", k, kinds)
+		}
+	}
+}
+
+func sprintfType(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr:
+		return "BinaryExpr"
+	case *UnaryExpr:
+		return "UnaryExpr"
+	case *CallExpr:
+		return "CallExpr"
+	case *FieldAccess:
+		return "FieldAccess"
+	case *NumLit:
+		return "NumLit"
+	case *Ident:
+		return "Ident"
+	case *AddrExpr:
+		return "AddrExpr"
+	case *DerefExpr:
+		return "DerefExpr"
+	case *NullLit:
+		return "NullLit"
+	case *MallocExpr:
+		return "MallocExpr"
+	}
+	return "?"
+}
+
+func TestVoidParamListAndEmptyArgs(t *testing.T) {
+	prog, err := Parse(`void f(void) { g(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Func("f").Params) != 0 {
+		t.Error("void parameter list should be empty")
+	}
+}

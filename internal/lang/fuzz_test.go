@@ -1,0 +1,37 @@
+package lang
+
+import "testing"
+
+// FuzzParse: the mini-C parser must never panic; accepted programs must
+// have well-formed ASTs (every function has a body).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`struct T { struct T *n; int v; }; void f(struct T *x) { x = x->n; }`,
+		`struct T { struct T *n; axioms { forall p, p.n <> p.n; } };`,
+		section33Src,
+		`void g() { int i; int *p; p = &i; *p = 1; }`,
+		`void w(struct T *x) { while (x != NULL) { L: x = x->n; } }`,
+		`struct A { struct B *x; }; struct B { struct A *y; };`,
+		`void f() { if (1 > 2) { } else { } return; }`,
+		``, `struct`, `void f( {`, `axioms`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, fn := range prog.Funcs {
+			if fn.Body == nil {
+				t.Fatalf("accepted function %q without a body", fn.Name)
+			}
+		}
+		for _, sd := range prog.Structs {
+			if sd.Name == "" {
+				t.Fatal("accepted unnamed struct")
+			}
+		}
+	})
+}

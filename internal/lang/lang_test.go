@@ -1,0 +1,274 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/axiom"
+)
+
+// section33Src is the paper's §3.3 subroutine together with Figure 3's
+// axiom-annotated type declaration.
+const section33Src = `
+struct LLBinaryTree {
+	struct LLBinaryTree *L;
+	struct LLBinaryTree *R;
+	struct LLBinaryTree *N;
+	int d;
+	axioms {
+		A1: forall p, p.L <> p.R;
+		A2: forall p <> q, p.(L|R) <> q.(L|R);
+		A3: forall p <> q, p.N <> q.N;
+		A4: forall p, p.(L|R|N)+ <> p.eps;
+	}
+};
+
+int subr(struct LLBinaryTree *root) {
+	struct LLBinaryTree *p;
+	struct LLBinaryTree *q;
+	root = root->L;
+	p = root->L;
+	p = p->N;
+S:	p->d = 100;
+	p = root;
+I:	q = root->R;
+	q = q->N;
+T:	return q->d;
+}
+`
+
+func TestParseSection33(t *testing.T) {
+	prog, err := Parse(section33Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Struct("LLBinaryTree")
+	if s == nil {
+		t.Fatal("struct LLBinaryTree not found")
+	}
+	if got := s.PointerFields(); len(got) != 3 {
+		t.Fatalf("pointer fields = %v, want [L R N]", got)
+	}
+	if s.Field("d") == nil || s.Field("d").Type.IsPointerToStruct() {
+		t.Error("field d should be a non-pointer data field")
+	}
+	if s.Axioms == nil || s.Axioms.Len() != 4 {
+		t.Fatalf("axioms = %v, want 4", s.Axioms)
+	}
+	if s.Axioms.Axioms[0].Name != "A1" {
+		t.Errorf("first axiom name = %q", s.Axioms.Axioms[0].Name)
+	}
+	if s.Axioms.Axioms[3].Form != axiom.SameSrcDisjoint {
+		t.Errorf("A4 form = %v", s.Axioms.Axioms[3].Form)
+	}
+
+	fn := prog.Func("subr")
+	if fn == nil {
+		t.Fatal("subr not found")
+	}
+	if len(fn.Params) != 1 || fn.Params[0].Name != "root" || !fn.Params[0].Type.IsPointerToStruct() {
+		t.Fatalf("params = %+v", fn.Params)
+	}
+	// Two decls + 7 statements S..T.
+	if len(fn.Body.Stmts) != 10 {
+		t.Fatalf("subr has %d statements, want 10", len(fn.Body.Stmts))
+	}
+	// Labels attach to the right statements.
+	if got := fn.Body.Stmts[5].Label(); got != "S" {
+		t.Errorf("statement 5 label = %q, want S", got)
+	}
+	if got := fn.Body.Stmts[7].Label(); got != "I" {
+		t.Errorf("statement 7 label = %q, want I", got)
+	}
+	ret, ok := fn.Body.Stmts[9].(*ReturnStmt)
+	if !ok || ret.Label() != "T" {
+		t.Fatalf("statement 9 = %T label %q, want labeled return", fn.Body.Stmts[9], fn.Body.Stmts[9].Label())
+	}
+	fa, ok := ret.Value.(*FieldAccess)
+	if !ok || fa.Base != "q" || fa.Field != "d" {
+		t.Fatalf("return value = %#v", ret.Value)
+	}
+}
+
+func TestParseFigure1Loop(t *testing.T) {
+	src := `
+struct Node {
+	struct Node *link;
+	int f;
+	axioms {
+		forall p <> q, p.link <> q.link;
+		forall p, p.link+ <> p.eps;
+	}
+};
+
+void update(struct Node *head) {
+	struct Node *q;
+	q = head;
+	while (q != NULL) {
+		q = malloc(struct Node);
+		insert(head, q);
+U:		q->f = fun();
+		q = q->link;
+	}
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("update")
+	if fn == nil {
+		t.Fatal("update not found")
+	}
+	w, ok := fn.Body.Stmts[2].(*WhileStmt)
+	if !ok {
+		t.Fatalf("statement 2 = %T, want while", fn.Body.Stmts[2])
+	}
+	if len(w.Body.Stmts) != 4 {
+		t.Fatalf("loop body has %d statements, want 4", len(w.Body.Stmts))
+	}
+	if w.Body.Stmts[2].Label() != "U" {
+		t.Errorf("label = %q, want U", w.Body.Stmts[2].Label())
+	}
+	if _, ok := w.Body.Stmts[1].(*ExprStmt); !ok {
+		t.Errorf("insert call = %T, want ExprStmt", w.Body.Stmts[1])
+	}
+	asg, ok := w.Body.Stmts[0].(*AssignStmt)
+	if !ok {
+		t.Fatalf("malloc assign = %T", w.Body.Stmts[0])
+	}
+	m, ok := asg.RHS.(*MallocExpr)
+	if !ok || m.Of != "Node" {
+		t.Fatalf("rhs = %#v", asg.RHS)
+	}
+}
+
+func TestParseIfElseAndNesting(t *testing.T) {
+	src := `
+struct T { struct T *n; int v; };
+void f(struct T *x) {
+	if (x->v < 10) {
+		x = x->n;
+	} else {
+		x->v = 0;
+	}
+	if (x != NULL) x = x->n;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("f")
+	ifs, ok := fn.Body.Stmts[0].(*IfStmt)
+	if !ok || ifs.Else == nil {
+		t.Fatalf("expected if/else, got %T", fn.Body.Stmts[0])
+	}
+	ifs2, ok := fn.Body.Stmts[1].(*IfStmt)
+	if !ok || ifs2.Else != nil || len(ifs2.Then.Stmts) != 1 {
+		t.Fatalf("expected braceless if, got %#v", fn.Body.Stmts[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"chained deref": `struct T { struct T *n; }; void f(struct T *x) { x = x->n->n; }`,
+		"assign target": `struct T { int v; }; void f(struct T *x) { 1 = 2; }`,
+		"unterminated":  `void f(struct T *x) {`,
+		"bad axioms":    `struct T { struct T *n; axioms { forall z, z.n <> z.n; } };`,
+		"bad field ref": `struct T { struct T *n; axioms { forall p, p.zz <> p.n; } };`,
+		"bad char":      `void f() { x = $; }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseCommentsAndOperators(t *testing.T) {
+	src := `
+// line comment
+struct T { struct T *n; int v; }; /* block
+comment */
+int g(struct T *x, int k) {
+	int acc;
+	acc = 0;
+	while (k > 0 && x != NULL) {
+		acc = acc + x->v * 2 - 1 / 1;
+		x = x->n;
+		k = k - 1;
+	}
+	return acc;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Func("g") == nil {
+		t.Fatal("g not found")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tt := Type{Base: "LLBinaryTree", IsStruct: true, Ptr: 1}
+	if got := tt.String(); got != "struct LLBinaryTree*" {
+		t.Errorf("Type.String() = %q", got)
+	}
+	if !tt.IsPointerToStruct() {
+		t.Error("should be pointer to struct")
+	}
+	if (Type{Base: "int"}).IsPointerToStruct() {
+		t.Error("int is not a pointer to struct")
+	}
+}
+
+func TestMallocWithSizeExpression(t *testing.T) {
+	src := `
+struct T { struct T *n; };
+void f(struct T *x) {
+	x = malloc(sizeof(10) + 4);
+	x = x->n;
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("malloc with size expr: %v", err)
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	prog := MustParse(`struct A { struct A *x; }; void f(struct A *a) { a = a->x; }`)
+	if prog.Struct("nope") != nil || prog.Func("nope") != nil {
+		t.Error("lookups should return nil for missing names")
+	}
+	if prog.Struct("A") == nil || prog.Func("f") == nil {
+		t.Error("lookups should find declared names")
+	}
+}
+
+func TestAxiomBlockRawScanStopsAtBrace(t *testing.T) {
+	src := `
+struct T {
+	struct T *a;
+	struct T *b;
+	axioms { forall p, p.a <> p.b; }
+	int v;
+};
+void g(struct T *t) { t->v = 1; }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Struct("T")
+	if s.Axioms == nil || s.Axioms.Len() != 1 {
+		t.Fatalf("axioms = %v", s.Axioms)
+	}
+	if s.Field("v") == nil {
+		t.Error("field after axioms block lost")
+	}
+	if !strings.Contains(s.Axioms.Axioms[0].String(), "a") {
+		t.Errorf("axiom = %v", s.Axioms.Axioms[0])
+	}
+}

@@ -1,0 +1,241 @@
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Lexer tokenizes mini-C source.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokens lexes the whole input, ending with an EOF token.  The contents of
+// an "axioms { ... }" block form a different sub-language ('.', '|', '<>',
+// postfix '+'/'*'), so the block body is emitted as a single raw STRING
+// token between the braces and re-parsed by package axiom.
+func (l *Lexer) Tokens() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+		if t.Kind == KwAxioms {
+			open, err := l.next()
+			if err != nil {
+				return nil, err
+			}
+			if open.Kind != LBrace {
+				return nil, fmt.Errorf("%s: expected '{' after axioms", open.Pos)
+			}
+			out = append(out, open)
+			raw, closing, err := l.rawUntilBrace()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, raw, closing)
+		}
+	}
+}
+
+// rawUntilBrace consumes source text up to the matching '}' and returns it
+// as a STRING token followed by the RBrace token.
+func (l *Lexer) rawUntilBrace() (Token, Token, error) {
+	start := l.here()
+	off := l.pos
+	depth := 1
+	for {
+		switch l.at() {
+		case 0:
+			return Token{}, Token{}, fmt.Errorf("%s: unterminated axioms block", start)
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				raw := Token{Kind: STRING, Text: string(l.src[off:l.pos]), Pos: start, Off: off}
+				closePos := l.here()
+				closeOff := l.pos
+				l.advance()
+				return raw, Token{Kind: RBrace, Text: "}", Pos: closePos, Off: closeOff}, nil
+			}
+		}
+		l.advance()
+	}
+}
+
+func (l *Lexer) at() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek(k int) rune {
+	if l.pos+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+k]
+}
+
+func (l *Lexer) advance() {
+	if l.pos < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		switch {
+		case unicode.IsSpace(l.at()):
+			l.advance()
+		case l.at() == '/' && l.peek(1) == '/':
+			for l.at() != '\n' && l.at() != 0 {
+				l.advance()
+			}
+		case l.at() == '/' && l.peek(1) == '*':
+			start := l.here()
+			l.advance()
+			l.advance()
+			for !(l.at() == '*' && l.peek(1) == '/') {
+				if l.at() == 0 {
+					return fmt.Errorf("%s: unterminated block comment", start)
+				}
+				l.advance()
+			}
+			l.advance()
+			l.advance()
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *Lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.here()
+	off := l.pos
+	c := l.at()
+	switch {
+	case c == 0:
+		return Token{Kind: EOF, Pos: pos, Off: off}, nil
+	case unicode.IsLetter(c) || c == '_':
+		start := l.pos
+		for unicode.IsLetter(l.at()) || unicode.IsDigit(l.at()) || l.at() == '_' {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos, Off: off}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos, Off: off}, nil
+	case unicode.IsDigit(c):
+		start := l.pos
+		for unicode.IsDigit(l.at()) || l.at() == '.' {
+			l.advance()
+		}
+		return Token{Kind: NUMBER, Text: string(l.src[start:l.pos]), Pos: pos, Off: off}, nil
+	case c == '"':
+		l.advance()
+		start := l.pos
+		for l.at() != '"' {
+			if l.at() == 0 {
+				return Token{}, fmt.Errorf("%s: unterminated string", pos)
+			}
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		l.advance()
+		return Token{Kind: STRING, Text: text, Pos: pos, Off: off}, nil
+	}
+
+	two := func(k Kind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: text, Pos: pos, Off: off}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: string(c), Pos: pos, Off: off}, nil
+	}
+	switch c {
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case ';':
+		return one(Semi)
+	case ',':
+		return one(Comma)
+	case '*':
+		return one(Star)
+	case ':':
+		return one(Colon)
+	case '+':
+		return one(Plus)
+	case '/':
+		return one(Slash)
+	case '-':
+		if l.peek(1) == '>' {
+			return two(Arrow, "->")
+		}
+		return one(Minus)
+	case '=':
+		if l.peek(1) == '=' {
+			return two(EqEq, "==")
+		}
+		return one(Assign)
+	case '<':
+		if l.peek(1) == '=' {
+			return two(Le, "<=")
+		}
+		return one(Lt)
+	case '>':
+		if l.peek(1) == '=' {
+			return two(Ge, ">=")
+		}
+		return one(Gt)
+	case '!':
+		if l.peek(1) == '=' {
+			return two(NotEq, "!=")
+		}
+		return one(Bang)
+	case '&':
+		if l.peek(1) == '&' {
+			return two(AmpAmp, "&&")
+		}
+		return one(Amp)
+	case '|':
+		if l.peek(1) == '|' {
+			return two(PipePipe, "||")
+		}
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+}

@@ -1,0 +1,577 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/axiom"
+)
+
+// Parse parses a mini-C translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := NewLexer(src).Tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: []rune(src), toks: toks}
+	return p.program()
+}
+
+// MustParse is Parse, panicking on error.  For tests and examples.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	src  []rune
+	toks []Token
+	pos  int
+}
+
+func (p *parser) at() Token   { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.at().Kind != k {
+		return Token{}, p.errorf("expected %v, found %v %q", k, p.at().Kind, p.at().Text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p.at().Pos, fmt.Sprintf(format, args...))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.at().Kind != EOF {
+		if p.at().Kind == KwStruct && p.peek().Kind == IDENT && p.toks[min(p.pos+2, len(p.toks)-1)].Kind == LBrace {
+			s, err := p.structDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, s)
+			continue
+		}
+		f, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	return prog, nil
+}
+
+// baseTypeSpec parses "int" | "float" | "double" | "void" | "struct NAME"
+// without pointer stars (stars belong to declarators).
+func (p *parser) baseTypeSpec() (Type, error) {
+	var t Type
+	switch p.at().Kind {
+	case KwInt, KwFloat, KwDouble, KwVoid:
+		t.Base = p.advance().Text
+	case KwStruct:
+		p.advance()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return t, err
+		}
+		t.Base = name.Text
+		t.IsStruct = true
+	default:
+		return t, p.errorf("expected a type, found %v %q", p.at().Kind, p.at().Text)
+	}
+	return t, nil
+}
+
+// typeSpec parses a base type followed by pointer stars (single-declarator
+// positions: parameters, return types).
+func (p *parser) typeSpec() (Type, error) {
+	t, err := p.baseTypeSpec()
+	if err != nil {
+		return t, err
+	}
+	t.Ptr = p.stars()
+	return t, nil
+}
+
+// stars counts and consumes leading '*'.
+func (p *parser) stars() int {
+	n := 0
+	for p.at().Kind == Star {
+		p.advance()
+		n++
+	}
+	return n
+}
+
+func (p *parser) structDecl() (*StructDecl, error) {
+	pos := p.at().Pos
+	if _, err := p.expect(KwStruct); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	decl := &StructDecl{Name: name.Text, Pos: pos}
+	var axiomText string
+	for p.at().Kind != RBrace {
+		if p.at().Kind == KwAxioms {
+			text, err := p.rawAxiomBlock()
+			if err != nil {
+				return nil, err
+			}
+			axiomText = text
+			continue
+		}
+		base, err := p.baseTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			ft := base
+			ft.Ptr = p.stars()
+			fname, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			decl.Fields = append(decl.Fields, FieldDecl{Name: fname.Text, Type: ft, Pos: fname.Pos})
+			if p.at().Kind != Comma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RBrace); err != nil {
+		return nil, err
+	}
+	if p.at().Kind == Semi {
+		p.advance()
+	}
+	if axiomText != "" {
+		fields := decl.PointerFields()
+		set, err := axiom.ParseSetWithFields(decl.Name, axiomText, fields)
+		if err != nil {
+			return nil, fmt.Errorf("%s: in axioms of struct %s: %w", pos, decl.Name, err)
+		}
+		decl.Axioms = set
+	}
+	return decl, nil
+}
+
+// rawAxiomBlock consumes "axioms { RAW }" where the lexer has already
+// packaged the block body as a single raw STRING token (the axiom
+// sub-language has its own grammar).
+func (p *parser) rawAxiomBlock() (string, error) {
+	if _, err := p.expect(KwAxioms); err != nil {
+		return "", err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return "", err
+	}
+	raw, err := p.expect(STRING)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(RBrace); err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(raw.Text), nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := p.at().Pos
+	result, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Result: result, Pos: pos}
+	if p.at().Kind == KwVoid && p.peek().Kind == RParen {
+		p.advance()
+	}
+	for p.at().Kind != RParen {
+		pt, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pn.Text, Type: pt})
+		if p.at().Kind == Comma {
+			p.advance()
+		}
+	}
+	p.advance() // ')'
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	open, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: open.Pos}
+	for p.at().Kind != RBrace {
+		if p.at().Kind == EOF {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	// Optional label: IDENT ':' not followed by something that makes it an
+	// expression (mini-C has no ternary, so IDENT ':' is always a label).
+	label := ""
+	if p.at().Kind == IDENT && p.peek().Kind == Colon {
+		label = p.advance().Text
+		p.advance() // ':'
+	}
+	pos := p.at().Pos
+	base := stmtBase{Lbl: label, Pos: pos}
+
+	switch p.at().Kind {
+	case KwInt, KwFloat, KwDouble, KwStruct:
+		bt, err := p.baseTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{stmtBase: base}
+		for {
+			t := bt
+			t.Ptr = p.stars()
+			n, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			d.Items = append(d.Items, DeclItem{Name: n.Text, Type: t})
+			if p.at().Kind != Comma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return d, nil
+
+	case KwWhile:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{stmtBase: base, Cond: cond, Body: body}, nil
+
+	case KwIf:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		ifs := &IfStmt{stmtBase: base, Cond: cond, Then: then}
+		if p.at().Kind == KwElse {
+			p.advance()
+			els, err := p.stmtAsBlock()
+			if err != nil {
+				return nil, err
+			}
+			ifs.Else = els
+		}
+		return ifs, nil
+
+	case KwReturn:
+		p.advance()
+		r := &ReturnStmt{stmtBase: base}
+		if p.at().Kind != Semi {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = v
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return r, nil
+
+	case LBrace:
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{stmtBase: base, Body: body}, nil
+	}
+
+	// Assignment or expression statement.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at().Kind == Assign {
+		p.advance()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		switch lhs.(type) {
+		case *Ident, *FieldAccess, *DerefExpr:
+		default:
+			return nil, fmt.Errorf("%s: assignment target must be a variable, var->field, or *var", pos)
+		}
+		return &AssignStmt{stmtBase: base, LHS: lhs, RHS: rhs}, nil
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{stmtBase: base, X: lhs}, nil
+}
+
+func (p *parser) stmtAsBlock() (*Block, error) {
+	if p.at().Kind == LBrace {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}, Pos: s.StmtPos()}, nil
+}
+
+// expr parses with precedence: || over && over comparisons over +,- over
+// *,/ over unary over primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binary(p.andExpr, PipePipe)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binary(p.cmpExpr, AmpAmp)
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	return p.binary(p.addExpr, EqEq, NotEq, Lt, Gt, Le, Ge)
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binary(p.mulExpr, Plus, Minus)
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binary(p.unaryExpr, Star, Slash)
+}
+
+func (p *parser) binary(sub func() (Expr, error), ops ...Kind) (Expr, error) {
+	left, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at().Kind == op {
+				opTok := p.advance()
+				right, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				left = &BinaryExpr{exprBase: exprBase{Pos: opTok.Pos}, Op: opTok.Text, L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch p.at().Kind {
+	case Bang, Minus:
+		op := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{exprBase: exprBase{Pos: op.Pos}, Op: op.Text, X: x}, nil
+	case Amp:
+		// Address-of a named variable: the PTDP side of Figure 1.
+		op := p.advance()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &AddrExpr{exprBase: exprBase{Pos: op.Pos}, Name: name.Text}, nil
+	case Star:
+		// Pointer dereference of a named variable.
+		op := p.advance()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &DerefExpr{exprBase: exprBase{Pos: op.Pos}, Name: name.Text}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	tok := p.at()
+	switch tok.Kind {
+	case NUMBER:
+		p.advance()
+		if tok.Text == "0" {
+			// 0 doubles as the null pointer in pointer contexts; the
+			// analysis treats NumLit("0") and NullLit alike.
+			return &NumLit{exprBase: exprBase{Pos: tok.Pos}, Text: tok.Text}, nil
+		}
+		return &NumLit{exprBase: exprBase{Pos: tok.Pos}, Text: tok.Text}, nil
+	case KwNull:
+		p.advance()
+		return &NullLit{exprBase: exprBase{Pos: tok.Pos}}, nil
+	case KwMalloc:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		m := &MallocExpr{exprBase: exprBase{Pos: tok.Pos}}
+		if p.at().Kind == KwStruct {
+			p.advance()
+			n, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			m.Of = n.Text
+		} else {
+			// Skip an arbitrary size expression.
+			depth := 1
+			for depth > 0 {
+				switch p.at().Kind {
+				case LParen:
+					depth++
+				case RParen:
+					depth--
+				case EOF:
+					return nil, p.errorf("unterminated malloc arguments")
+				}
+				if depth > 0 {
+					p.advance()
+				}
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case LParen:
+		p.advance()
+		inner, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case IDENT:
+		p.advance()
+		switch p.at().Kind {
+		case Arrow:
+			p.advance()
+			f, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.at().Kind == Arrow {
+				return nil, fmt.Errorf("%s: chained dereference %s->%s->...: rewrite with a temporary (one field per statement)", tok.Pos, tok.Text, f.Text)
+			}
+			return &FieldAccess{exprBase: exprBase{Pos: tok.Pos}, Base: tok.Text, Field: f.Text}, nil
+		case LParen:
+			p.advance()
+			call := &CallExpr{exprBase: exprBase{Pos: tok.Pos}, Name: tok.Text}
+			for p.at().Kind != RParen {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.at().Kind == Comma {
+					p.advance()
+				}
+			}
+			p.advance() // ')'
+			return call, nil
+		}
+		return &Ident{exprBase: exprBase{Pos: tok.Pos}, Name: tok.Text}, nil
+	}
+	return nil, p.errorf("unexpected %v %q in expression", tok.Kind, tok.Text)
+}

@@ -1,0 +1,109 @@
+// Package parallel provides the fork-join worker pool that executes the
+// row-parallel phases of the sparse kernels on real goroutines.  It is the
+// live counterpart to package sched's simulator: the same task decomposition
+// that the simulator times is actually run, demonstrating that the
+// transformations APT licenses are executable (and data-race free — the
+// tests run under the race detector).
+package parallel
+
+import (
+	"sync"
+)
+
+// Pool is a fixed-width fork-join executor.  A Pool is safe for sequential
+// reuse; a single ForEach call fans out to Workers goroutines and joins
+// before returning (the barrier the sched simulator charges for).
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n), partitioned across the pool,
+// and joins.  fn must not panic.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEachChunk partitions [0, n) into one contiguous chunk per worker and
+// runs fn(lo, hi) on each concurrently.  Chunked form lets callers keep
+// per-worker accumulators without sharing.
+func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Reduce runs one accumulator per worker over [0, n) and combines the
+// partial results sequentially with merge.  init produces a fresh
+// accumulator; step folds index i into it.
+func Reduce[T any](p *Pool, n int, init func() T, step func(acc T, i int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return init()
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	parts := make([]T, w)
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	slot := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			acc := init()
+			for i := lo; i < hi; i++ {
+				acc = step(acc, i)
+			}
+			parts[slot] = acc
+		}(slot, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	out := parts[0]
+	for i := 1; i < slot; i++ {
+		out = merge(out, parts[i])
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		p := NewPool(workers)
+		var hits [100]int32
+		p.ForEach(100, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	p := NewPool(4)
+	p.ForEach(0, func(int) { t.Fatal("called on empty range") })
+	called := 0
+	p.ForEach(1, func(i int) { called++ })
+	if called != 1 {
+		t.Fatalf("called %d times", called)
+	}
+}
+
+func TestNewPoolClampsWidth(t *testing.T) {
+	if NewPool(0).Workers() != 1 || NewPool(-3).Workers() != 1 {
+		t.Error("pool width must clamp to 1")
+	}
+	if NewPool(6).Workers() != 6 {
+		t.Error("pool width lost")
+	}
+}
+
+func TestForEachChunkPartition(t *testing.T) {
+	p := NewPool(3)
+	var total int64
+	p.ForEachChunk(10, func(lo, hi int) {
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != 10 {
+		t.Fatalf("chunks covered %d of 10", total)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		p := NewPool(workers)
+		got := Reduce(p, 100,
+			func() int { return 0 },
+			func(acc, i int) int { return acc + i },
+			func(a, b int) int { return a + b })
+		if got != 4950 {
+			t.Fatalf("workers=%d: sum = %d, want 4950", workers, got)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	p := NewPool(4)
+	got := Reduce(p, 0,
+		func() int { return 7 },
+		func(acc, i int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	if got != 7 {
+		t.Fatalf("empty reduce = %d, want init value", got)
+	}
+}
+
+// TestPropertyReduceMatchesSequential: parallel reduction equals the
+// sequential fold for an associative, commutative operation.
+func TestPropertyReduceMatchesSequential(t *testing.T) {
+	p := NewPool(4)
+	f := func(xs []int32) bool {
+		want := int64(0)
+		for _, x := range xs {
+			want += int64(x)
+		}
+		got := Reduce(p, len(xs),
+			func() int64 { return 0 },
+			func(acc int64, i int) int64 { return acc + int64(xs[i]) },
+			func(a, b int64) int64 { return a + b })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

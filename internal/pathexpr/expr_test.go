@@ -1,0 +1,260 @@
+package pathexpr
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"L", "L"},
+		{"ε", "ε"},
+		{"eps", "ε"},
+		{"L.R", "L.R"},
+		{"L R", "L.R"},
+		{"ncolE", "ncolE"},
+		{"ncolE.nrowE", "ncolE.nrowE"},
+		{"ncolE+", "ncolE+"},
+		{"ncolE*", "ncolE*"},
+		{"nrowE+ncolE+", "nrowE+.ncolE+"},
+		{"(L|R)", "L|R"},
+		{"(L|R)+N+", "(L|R)+.N+"},
+		{"(L|R)*", "(L|R)*"},
+		{"L|R|N", "L|R|N"},
+		{"(ncolE|nrowE)+", "(ncolE|nrowE)+"},
+		{"a.(b|c)*.d", "a.(b|c)*.d"},
+		{"aa.(b|c)*.d", "aa.(b|c)*.d"},
+		{"((L))", "L"},
+		{"L**", "L*"},
+		{"L+*", "L*"},
+		{"L*+", "L*"},
+		{"L++", "L+"},
+		{"ε.L", "L"},
+		{"L.ε", "L"},
+		{"ε*", "ε"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "(", "(L", "L)", "|L", "L|", "*", "+", "L.(", "L~R"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAlphabetSplitsCompactWords(t *testing.T) {
+	fields := []string{"L", "R", "N"}
+	e, err := ParseAlphabet("LLN", fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := Word(e)
+	if !ok || !reflect.DeepEqual(w, []string{"L", "L", "N"}) {
+		t.Fatalf("LLN parsed to %v (word %v, ok=%v)", e, w, ok)
+	}
+
+	sm := []string{"ncolE", "nrowE"}
+	e2, err := ParseAlphabet("nrowE+ncolE+", sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.String(); got != "nrowE+.ncolE+" {
+		t.Fatalf("got %q", got)
+	}
+
+	if _, err := ParseAlphabet("LLX", fields); err == nil {
+		t.Error("expected error for undeclared field in compact word")
+	}
+}
+
+func TestParseAlphabetLongestMatchBacktracks(t *testing.T) {
+	// "ab" must split as a·b even though "abc" is a longer declared prefix of
+	// "abx"... here the greedy longest match "ab" must backtrack to a, b.
+	fields := []string{"a", "b", "ab"}
+	e, err := ParseAlphabet("abb", fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := Word(e)
+	if !ok {
+		t.Fatalf("not a word: %v", e)
+	}
+	// Greedy: ab, b.
+	if !reflect.DeepEqual(w, []string{"ab", "b"}) {
+		t.Fatalf("got %v", w)
+	}
+}
+
+func TestFields(t *testing.T) {
+	e := MustParse("(L|R)+N*ncolE")
+	got := Fields(e)
+	want := []string{"L", "N", "R", "ncolE"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fields = %v, want %v", got, want)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	e := MustParse("nrowE+ncolE(ncolE)*")
+	comps := Components(e)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components %v, want 3", len(comps), comps)
+	}
+	want := []string{"nrowE+", "ncolE", "ncolE*"}
+	for i, c := range comps {
+		if c.String() != want[i] {
+			t.Errorf("component %d = %q, want %q", i, c, want[i])
+		}
+	}
+	if got := FromComponents(comps).String(); got != e.String() {
+		t.Errorf("FromComponents round trip = %q, want %q", got, e)
+	}
+	if got := Components(Eps); len(got) != 0 {
+		t.Errorf("Components(ε) = %v, want none", got)
+	}
+}
+
+func TestWord(t *testing.T) {
+	if w, ok := Word(MustParse("L.L.N")); !ok || len(w) != 3 {
+		t.Errorf("LLN word = %v, %v", w, ok)
+	}
+	if _, ok := Word(MustParse("L*")); ok {
+		t.Error("L* should not be a word")
+	}
+	if _, ok := Word(MustParse("L|R")); ok {
+		t.Error("L|R should not be a word")
+	}
+	if w, ok := Word(Eps); !ok || len(w) != 0 {
+		t.Errorf("ε word = %v, %v", w, ok)
+	}
+	e := FromWord([]string{"a", "b"})
+	if e.String() != "a.b" {
+		t.Errorf("FromWord = %q", e)
+	}
+}
+
+func TestDesugarRemovesPlus(t *testing.T) {
+	e := MustParse("(a|b)+c+")
+	d := Desugar(e)
+	Walk(d, func(x Expr) {
+		if _, ok := x.(Plus); ok {
+			t.Fatalf("Desugar left a Plus in %v", d)
+		}
+	})
+}
+
+func TestSizeIsPositiveAndMonotone(t *testing.T) {
+	a := MustParse("L")
+	b := MustParse("L.R")
+	c := MustParse("(L.R)*")
+	if a.Size() <= 0 || b.Size() <= a.Size() || c.Size() <= b.Size() {
+		t.Fatalf("sizes not monotone: %d %d %d", a.Size(), b.Size(), c.Size())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"L.R.N", "LRN"},
+		{"(L|R)+N+", "(L|R)+N+"},
+		{"ncolE.nrowE", "ncolE.nrowE"}, // multi-char fields stay dotted
+		{"ε", "ε"},
+		{"a|b.c", "a|bc"},
+	}
+	for _, c := range cases {
+		if got := Compact(MustParse(c.src)); got != c.want {
+			t.Errorf("Compact(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+	if Compact(nil) != "ε" {
+		t.Error("Compact(nil)")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(MustParse("L.R"), MustParse("L R")) {
+		t.Error("L.R should equal L R")
+	}
+	if Equal(MustParse("L"), MustParse("R")) {
+		t.Error("L should not equal R")
+	}
+	if !Equal(nil, nil) {
+		t.Error("nil should equal nil")
+	}
+}
+
+// genExpr builds a random expression with the given size budget, used by
+// property tests.
+func genExpr(rnd interface{ Intn(int) int }, depth int) Expr {
+	fields := []string{"a", "b", "c"}
+	if depth <= 0 {
+		return F(fields[rnd.Intn(len(fields))])
+	}
+	switch rnd.Intn(6) {
+	case 0:
+		return F(fields[rnd.Intn(len(fields))])
+	case 1:
+		return Eps
+	case 2:
+		return Cat(genExpr(rnd, depth-1), genExpr(rnd, depth-1))
+	case 3:
+		return Or(genExpr(rnd, depth-1), genExpr(rnd, depth-1))
+	case 4:
+		return Rep(genExpr(rnd, depth-1))
+	default:
+		return Rep1(genExpr(rnd, depth-1))
+	}
+}
+
+func TestPropertyPrintParseRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rnd := newRand(seed)
+		e := genExpr(rnd, 4)
+		parsed, err := Parse(e.String())
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", e, err)
+			return false
+		}
+		// Re-printing must be a fixed point.
+		return parsed.String() == Simplify(parsed).String()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := newRand(seed)
+		e := Simplify(genExpr(rnd, 5))
+		return Simplify(e).String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newRand is a tiny deterministic generator so property tests do not import
+// math/rand in more than one place.
+type lcg struct{ state uint64 }
+
+func newRand(seed int64) *lcg { return &lcg{state: uint64(seed)*6364136223846793005 + 1} }
+
+func (l *lcg) Intn(n int) int {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return int((l.state >> 33) % uint64(n))
+}

@@ -1,0 +1,56 @@
+package pathexpr
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and accepted inputs must
+// round-trip through their printed form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"L", "L.R.N", "LLN", "(L|R)+N+", "ncolE+", "nrowE+ncolE*",
+		"ε", "eps", "a(b|c)*d", "((x))", "a**", "", "(", "|", "a..b",
+		"a|b|c", "a+*+*", "ab cd", "_x9.y_",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := e.String()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", src, printed, err)
+		}
+		if re.String() != printed {
+			t.Fatalf("print not a fixed point: %q -> %q -> %q", src, printed, re.String())
+		}
+	})
+}
+
+// FuzzParseAlphabet: greedy field splitting must never panic or accept a
+// word it cannot decompose.
+func FuzzParseAlphabet(f *testing.F) {
+	for _, seed := range []string{"LLN", "LRN", "NNN", "LX", "nrowE+ncolE+", ""} {
+		f.Add(seed)
+	}
+	fields := []string{"L", "R", "N", "ncolE", "nrowE"}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseAlphabet(src, fields)
+		if err != nil {
+			return
+		}
+		// Every field mentioned must be declared.
+		for _, name := range Fields(e) {
+			ok := false
+			for _, d := range fields {
+				if d == name {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("ParseAlphabet(%q) produced undeclared field %q", src, name)
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package prover implements the theorem-proving core of APT (paper §4.1):
+// given a set of aliasing axioms, it attempts to prove theorems of no
+// dependence of the form
+//
+//	∀ vertices h,      h.X <> h.Y      (SameSrc)
+//	∀ vertices h <> k, h.X <> k.Y      (DiffSrc)
+//
+// by the paper's proveDisj procedure: enumerate suffix splits of the two
+// paths, discharge the suffixes by direct axiom application (regular
+// language inclusion, decided with DFAs), discharge the prefixes by
+// equality (case C) or recursive disjointness (case D), split alternations,
+// and perform structural induction on trailing Kleene components.
+//
+// The prover is complete with respect to its proof system under the
+// configured resource budget: it either finds a proof, fails definitively,
+// or reports exhaustion — which callers must map to Maybe, never to No.
+package prover
+
+import (
+	"strings"
+
+	"repro/internal/pathexpr"
+)
+
+// Form distinguishes the two quantifier shapes of a disjointness goal.
+type Form int
+
+// Goal forms.
+const (
+	// SameSrc is ∀h, h.X <> h.Y: paths anchored at the same vertex.
+	SameSrc Form = iota
+	// DiffSrc is ∀h<>k, h.X <> k.Y: paths anchored at distinct vertices.
+	DiffSrc
+)
+
+func (f Form) String() string {
+	if f == SameSrc {
+		return "∀h, h.X <> h.Y"
+	}
+	return "∀h<>k, h.X <> k.Y"
+}
+
+// goal is a normalized disjointness obligation over component sequences.
+type goal struct {
+	form Form
+	x, y []pathexpr.Expr
+}
+
+// newGoal normalizes the component sequences: each component is simplified,
+// ε components are dropped, and nested concatenations are spliced.
+func newGoal(form Form, x, y []pathexpr.Expr) goal {
+	return goal{form: form, x: normalize(x), y: normalize(y)}
+}
+
+func normalize(comps []pathexpr.Expr) []pathexpr.Expr {
+	var out []pathexpr.Expr
+	for _, c := range comps {
+		s := pathexpr.Simplify(c)
+		switch v := s.(type) {
+		case pathexpr.Epsilon:
+			continue
+		case pathexpr.Concat:
+			out = append(out, normalize(v.Parts)...)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// expr reassembles a component sequence into a single expression.
+func expr(comps []pathexpr.Expr) pathexpr.Expr {
+	return pathexpr.FromComponents(comps)
+}
+
+// size is the structural measure of a goal used to guard induction
+// hypotheses: the total pathexpr.Size of both sides.
+func (g goal) size() int {
+	n := 0
+	for _, c := range g.x {
+		n += c.Size()
+	}
+	for _, c := range g.y {
+		n += c.Size()
+	}
+	return n
+}
+
+func (g goal) String() string {
+	lhs, rhs := pathexpr.Compact(expr(g.x)), pathexpr.Compact(expr(g.y))
+	if g.form == SameSrc {
+		return "∀h, h." + lhs + " <> h." + rhs
+	}
+	return "∀h<>k, h." + lhs + " <> k." + rhs
+}
+
+// key returns a canonical cache key for the goal.
+func (g goal) key() string {
+	var b strings.Builder
+	if g.form == SameSrc {
+		b.WriteByte('S')
+	} else {
+		b.WriteByte('D')
+	}
+	b.WriteString(expr(g.x).String())
+	b.WriteByte('\x00')
+	b.WriteString(expr(g.y).String())
+	return b.String()
+}
+
+// lemma is an induction hypothesis: a disjointness fact assumed during the
+// inductive step of Kleene processing.  It may only be applied to goals
+// strictly smaller than the step goal it was introduced for (maxSize), which
+// is the well-founded guard that keeps the induction from discharging
+// itself.
+type lemma struct {
+	form    Form
+	re1     pathexpr.Expr
+	re2     pathexpr.Expr
+	maxSize int
+}
+
+func (l lemma) String() string {
+	var b strings.Builder
+	b.WriteString("IH[")
+	if l.form == SameSrc {
+		b.WriteString("∀h, h.")
+	} else {
+		b.WriteString("∀h<>k, h.")
+	}
+	b.WriteString(l.re1.String())
+	b.WriteString(" <> ")
+	b.WriteString(l.re2.String())
+	b.WriteString("]")
+	return b.String()
+}
+
+// lemmaKey fingerprints a lemma list for cache keys.
+func lemmaKey(lems []lemma) string {
+	if len(lems) == 0 {
+		return ""
+	}
+	parts := make([]string, len(lems))
+	for i, l := range lems {
+		parts[i] = l.String()
+	}
+	// Lemma order does not affect applicability; sort for canonical form.
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[j] < parts[i] {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+	}
+	return strings.Join(parts, "\x01")
+}

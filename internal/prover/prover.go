@@ -1,0 +1,771 @@
+package prover
+
+import (
+	"errors"
+
+	"repro/internal/automata"
+	"repro/internal/axiom"
+	"repro/internal/pathexpr"
+)
+
+// Options configures a Prover's search.  The zero value selects defaults.
+type Options struct {
+	// MaxDepth bounds recursion depth (goal nesting).  Default 60.
+	MaxDepth int
+	// MaxSteps bounds the total number of goals examined per top-level
+	// query.  Default 200000.  The paper notes the proof process "can be
+	// pruned heuristically and cutoff points set"; exceeding the budget
+	// yields Exhausted, which callers must map to Maybe.
+	MaxSteps int
+	// DFAStateLimit bounds subset construction (automata.DefaultStateLimit
+	// if zero).
+	DFAStateLimit int
+	// DisableProofCache turns off goal memoization (ablation).
+	DisableProofCache bool
+	// LongestSuffixFirst reverses the suffix enumeration order (ablation).
+	// The paper prescribes "ever-increasing suffixes", i.e. shortest first.
+	LongestSuffixFirst bool
+	// DisableMinimize skips DFA minimization in the language cache
+	// (ablation).
+	DisableMinimize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 60
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 200000
+	}
+	if o.DFAStateLimit <= 0 {
+		o.DFAStateLimit = automata.DefaultStateLimit
+	}
+	return o
+}
+
+// errBudget aborts a search that exceeded its resource budget.
+var errBudget = errors.New("prover: resource budget exhausted")
+
+// cacheEntry is a memoized definitive outcome; st is the proof tree when
+// proved.
+type cacheEntry struct {
+	proved bool
+	st     *Step
+}
+
+// Prover proves disjointness theorems from a fixed axiom set.  A Prover is
+// not safe for concurrent use.
+type Prover struct {
+	axioms *axiom.Set
+	opts   Options
+	dfas   *automata.Cache
+	// cache memoizes definitive goal outcomes keyed by goal+lemma
+	// fingerprint, retaining the proof tree of proved goals so that cached
+	// steps remain machine-checkable.  Valid for the lifetime of the prover
+	// because the axiom set is immutable.
+	cache map[string]cacheEntry
+	// eqWordAxioms are the equality axioms whose both sides are single
+	// words, usable for congruence rewriting of prefixes.
+	eqWordRewrites [][2][]string
+}
+
+// New returns a prover over the given axiom set.
+func New(axioms *axiom.Set, opts Options) *Prover {
+	opts = opts.withDefaults()
+	var dfas *automata.Cache
+	if opts.DisableMinimize {
+		dfas = automata.NewCacheNoMinimize(opts.DFAStateLimit)
+	} else {
+		dfas = automata.NewCache(opts.DFAStateLimit)
+	}
+	p := &Prover{
+		axioms: axioms,
+		opts:   opts,
+		dfas:   dfas,
+		cache:  make(map[string]cacheEntry),
+	}
+	for _, a := range axioms.ByForm(axiom.SameSrcEqual) {
+		w1, ok1 := pathexpr.Word(a.RE1)
+		w2, ok2 := pathexpr.Word(a.RE2)
+		if ok1 && ok2 {
+			p.eqWordRewrites = append(p.eqWordRewrites, [2][]string{w1, w2})
+		}
+	}
+	return p
+}
+
+// Axioms returns the prover's axiom set.
+func (p *Prover) Axioms() *axiom.Set { return p.axioms }
+
+// ProveDisjoint attempts to prove ∀h, h.x <> h.y — the theorem of no
+// dependence for access paths sharing a handle.
+func (p *Prover) ProveDisjoint(x, y pathexpr.Expr) *Proof {
+	return p.Prove(SameSrc, x, y)
+}
+
+// Prove attempts to prove the disjointness theorem of the given form.
+func (p *Prover) Prove(form Form, x, y pathexpr.Expr) *Proof {
+	g := newGoal(form, pathexpr.Components(pathexpr.Simplify(x)), pathexpr.Components(pathexpr.Simplify(y)))
+	r := &run{
+		p:     p,
+		alpha: automata.NewAlphabet(append(p.axioms.Fields(), pathexpr.Fields(x, y)...)...),
+	}
+	proof := &Proof{Theorem: g.String()}
+	proved, st, err := r.prove(g, nil, 0)
+	proof.Stats = r.stats
+	switch {
+	case err != nil:
+		proof.Result = Exhausted
+	case proved:
+		proof.Result = Proved
+		proof.Root = st
+	default:
+		proof.Result = NotProved
+	}
+	return proof
+}
+
+// DefinitelyAliased reports whether the two access paths provably denote the
+// same vertex from a common handle: both are single words and are congruent
+// under the equality axioms (identical words are trivially congruent).
+// deptest uses this for its Yes answer.
+func (p *Prover) DefinitelyAliased(x, y pathexpr.Expr) bool {
+	w1, ok1 := pathexpr.Word(pathexpr.Simplify(x))
+	w2, ok2 := pathexpr.Word(pathexpr.Simplify(y))
+	if !ok1 || !ok2 {
+		return false
+	}
+	return p.wordsCongruent(w1, w2)
+}
+
+// run carries per-query state.
+type run struct {
+	p     *Prover
+	alpha *automata.Alphabet
+	stats Stats
+	// incomplete records that some branch of the current subtree was
+	// truncated by the depth limit; failures in incomplete subtrees are not
+	// definitive and must not be cached.
+	incomplete bool
+}
+
+// prove is the paper's proveDisj: it returns whether a proof of g was found.
+// err is non-nil only when the step or DFA budget ran out, aborting the
+// whole query.
+func (r *run) prove(g goal, lems []lemma, depth int) (bool, *Step, error) {
+	r.stats.ProveCalls++
+	if r.stats.ProveCalls > r.p.opts.MaxSteps {
+		return false, nil, errBudget
+	}
+	if depth > r.p.opts.MaxDepth {
+		r.incomplete = true
+		return false, nil, nil
+	}
+
+	// Trivial outcomes.
+	if len(g.x) == 0 && len(g.y) == 0 {
+		if g.form == DiffSrc {
+			return true, step(g, RuleTrivial), nil
+		}
+		return false, nil, nil // same vertex: definitely aliased
+	}
+	if g.form == SameSrc {
+		if w1, ok1 := pathexpr.Word(expr(g.x)); ok1 {
+			if w2, ok2 := pathexpr.Word(expr(g.y)); ok2 && r.p.wordsCongruent(w1, w2) {
+				return false, nil, nil // definite alias: unprovable
+			}
+		}
+	}
+	vac, err := r.vacuous(g)
+	if err != nil {
+		return false, nil, err
+	}
+	if vac != nil {
+		return true, vac, nil
+	}
+
+	// Proof cache.
+	key := g.key() + "\x02" + lemmaKey(lems)
+	if !r.p.opts.DisableProofCache {
+		if entry, ok := r.p.cache[key]; ok {
+			r.stats.CacheHits++
+			if entry.proved {
+				st := step(g, RuleCached)
+				st.Children = []*Step{entry.st}
+				return true, st, nil
+			}
+			return false, nil, nil
+		}
+	}
+
+	wasIncomplete := r.incomplete
+	r.incomplete = false
+	proved, st, err := r.proveUncached(g, lems, depth)
+	if err != nil {
+		r.incomplete = r.incomplete || wasIncomplete
+		return false, nil, err
+	}
+	definitive := proved || !r.incomplete
+	r.incomplete = r.incomplete || wasIncomplete
+	if !r.p.opts.DisableProofCache && definitive {
+		r.p.cache[key] = cacheEntry{proved: proved, st: st}
+	}
+	return proved, st, nil
+}
+
+func (r *run) proveUncached(g goal, lems []lemma, depth int) (bool, *Step, error) {
+	// Direct application of a single axiom or induction hypothesis.
+	if name, err := r.direct(g.form, g.x, g.y, lems, g.size()); err != nil {
+		return false, nil, err
+	} else if name != "" {
+		st := step(g, RuleAxiom)
+		st.By = name
+		return true, st, nil
+	}
+
+	// Suffix-split search: the core of proveDisj (steps A–F, Figure 5).
+	if ok, st, err := r.splitSearch(g, lems, depth); err != nil || ok {
+		return ok, st, err
+	}
+
+	// Kleene processing (step E): trailing star unfolds into the ε and ⁺
+	// cases; trailing plus triggers the paper's induction schema.
+	if ok, st, err := r.starUnfold(g, lems, depth); err != nil || ok {
+		return ok, st, err
+	}
+	if ok, st, err := r.plusInduction(g, lems, depth); err != nil || ok {
+		return ok, st, err
+	}
+
+	// Alternation processing: a top-level alternative component splits the
+	// goal; both branches must be proved.
+	if ok, st, err := r.altSplit(g, lems, depth); err != nil || ok {
+		return ok, st, err
+	}
+
+	return false, nil, nil
+}
+
+// vacuous reports a proof when either side denotes the empty language (the
+// access path can traverse no edge of the structure, e.g. ∅ components).
+func (r *run) vacuous(g goal) (*Step, error) {
+	for _, side := range [][]pathexpr.Expr{g.x, g.y} {
+		hasEmpty := false
+		for _, c := range side {
+			if _, ok := c.(pathexpr.Empty); ok {
+				hasEmpty = true
+				break
+			}
+		}
+		if hasEmpty {
+			return step(g, RuleVacuous), nil
+		}
+	}
+	return nil, nil
+}
+
+// direct attempts to discharge the goal by a single axiom or lemma whose
+// sides include the goal's sides as regular languages (paper: "direct
+// application of a single axiom").  It returns the name of the applied fact,
+// or "" when none applies.  goalSize guards lemma applicability.
+func (r *run) direct(form Form, x, y []pathexpr.Expr, lems []lemma, goalSize int) (string, error) {
+	ex, ey := expr(x), expr(y)
+	wantForm := axiom.SameSrcDisjoint
+	if form == DiffSrc {
+		wantForm = axiom.DiffSrcDisjoint
+	}
+	for _, a := range r.p.axioms.ByForm(wantForm) {
+		ok, err := r.coveredBy(ex, ey, a.RE1, a.RE2)
+		if err != nil {
+			return "", err
+		}
+		if ok {
+			return a.Name, nil
+		}
+	}
+	for _, l := range lems {
+		if l.form != form || goalSize >= l.maxSize {
+			continue
+		}
+		// An induction hypothesis is a single arbitrary-but-fixed instance
+		// C(i, j), not a universally quantified fact over iteration counts.
+		// It may therefore only discharge the goal that *is* that instance —
+		// the sides must be language-equal to the hypothesis sides, as
+		// happens when suffix splits peel the appended concrete components
+		// off the inductive step goal.  Mere language inclusion would let a
+		// rewritten form of the step goal discharge itself (unsound; caught
+		// by the soundness property tests).
+		ok, err := r.sameAs(ex, ey, l.re1, l.re2)
+		if err != nil {
+			return "", err
+		}
+		if ok {
+			return l.String(), nil
+		}
+	}
+	return "", nil
+}
+
+// sameAs reports whether (x ≡ re1 ∧ y ≡ re2) or (x ≡ re2 ∧ y ≡ re1) as
+// regular languages.
+func (r *run) sameAs(x, y, re1, re2 pathexpr.Expr) (bool, error) {
+	r.stats.DirectChecks++
+	eq := func(a, b pathexpr.Expr) (bool, error) {
+		ok, err := r.p.dfas.Equivalent(a, b, r.alpha)
+		if err != nil {
+			return false, errBudget
+		}
+		return ok, nil
+	}
+	ok1, err := eq(x, re1)
+	if err != nil {
+		return false, err
+	}
+	if ok1 {
+		ok2, err := eq(y, re2)
+		if err != nil {
+			return false, err
+		}
+		if ok2 {
+			return true, nil
+		}
+	}
+	ok1, err = eq(x, re2)
+	if err != nil {
+		return false, err
+	}
+	if ok1 {
+		return eq(y, re1)
+	}
+	return false, nil
+}
+
+// coveredBy reports whether (x ⊆ re1 ∧ y ⊆ re2) or (x ⊆ re2 ∧ y ⊆ re1):
+// disjointness facts are symmetric in their two sides.
+func (r *run) coveredBy(x, y, re1, re2 pathexpr.Expr) (bool, error) {
+	r.stats.DirectChecks++
+	ok1, err := r.p.dfas.Includes(x, re1, r.alpha)
+	if err != nil {
+		return false, errBudget
+	}
+	if ok1 {
+		ok2, err := r.p.dfas.Includes(y, re2, r.alpha)
+		if err != nil {
+			return false, errBudget
+		}
+		if ok2 {
+			return true, nil
+		}
+	}
+	ok1, err = r.p.dfas.Includes(x, re2, r.alpha)
+	if err != nil {
+		return false, errBudget
+	}
+	if ok1 {
+		ok2, err := r.p.dfas.Includes(y, re1, r.alpha)
+		if err != nil {
+			return false, errBudget
+		}
+		if ok2 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// splitSearch enumerates suffix splits (Sp, Sq) of the goal's paths at
+// component boundaries, shortest suffixes first (the paper's
+// "ever-increasing suffixes"), and applies the four cases of Figure 5:
+//
+//	A∧B:  suffixes provably disjoint from both same and distinct sources
+//	C:    T1 and the prefixes provably denote the same vertex
+//	D:    T2 and the prefixes provably denote disjoint vertex sets
+func (r *run) splitSearch(g goal, lems []lemma, depth int) (bool, *Step, error) {
+	n, m := len(g.x), len(g.y)
+	total := n + m
+	sizes := make([]int, 0, total)
+	for s := 1; s <= total; s++ {
+		sizes = append(sizes, s)
+	}
+	if r.p.opts.LongestSuffixFirst {
+		for i, j := 0, len(sizes)-1; i < j; i, j = i+1, j-1 {
+			sizes[i], sizes[j] = sizes[j], sizes[i]
+		}
+	}
+	for _, s := range sizes {
+		for i := 0; i <= n && i <= s; i++ {
+			j := s - i
+			if j > m {
+				continue
+			}
+			sp, sq := g.x[n-i:], g.y[m-j:]
+			pp, pq := g.x[:n-i], g.y[:m-j]
+
+			t1, err := r.direct(SameSrc, sp, sq, lems, sliceSize(sp)+sliceSize(sq))
+			if err != nil {
+				return false, nil, err
+			}
+			t2, err := r.direct(DiffSrc, sp, sq, lems, sliceSize(sp)+sliceSize(sq))
+			if err != nil {
+				return false, nil, err
+			}
+			if t1 != "" && t2 != "" {
+				st := step(g, RuleSuffixAB)
+				st.SuffixI, st.SuffixJ = i, j
+				st.ByT1, st.ByT2 = t1, t2
+				return true, st, nil
+			}
+			// Case C is sound only for same-anchored goals: equal prefix
+			// paths from the SAME handle denote one vertex; from distinct
+			// handles h <> k they denote distinct vertices.
+			if t1 != "" && g.form == SameSrc {
+				eq, err := r.prefixesEqual(pp, pq)
+				if err != nil {
+					return false, nil, err
+				}
+				if eq {
+					st := step(g, RuleCaseC)
+					st.SuffixI, st.SuffixJ = i, j
+					st.ByT1 = t1
+					return true, st, nil
+				}
+			}
+			if t2 != "" {
+				// Case D recurses with the goal's own quantifier form: for a
+				// DiffSrc goal the prefixes hang off distinct anchors.
+				if g.form == SameSrc && len(pp) == 0 && len(pq) == 0 {
+					continue // prefixes denote the same vertex: case D impossible
+				}
+				sub := newGoal(g.form, pp, pq)
+				proved, st, err := r.prove(sub, lems, depth+1)
+				if err != nil {
+					return false, nil, err
+				}
+				if proved {
+					node := step(g, RuleCaseD)
+					node.SuffixI, node.SuffixJ = i, j
+					node.ByT2 = t2
+					node.Children = []*Step{st}
+					return true, node, nil
+				}
+			}
+		}
+	}
+	return false, nil, nil
+}
+
+func sliceSize(comps []pathexpr.Expr) int {
+	n := 0
+	for _, c := range comps {
+		n += c.Size()
+	}
+	return n
+}
+
+func exprOrEps(comps []pathexpr.Expr) string {
+	if len(comps) == 0 {
+		return "ε"
+	}
+	return expr(comps).String()
+}
+
+// prefixesEqual reports whether the two prefixes provably denote the same
+// single vertex: both reduce to single words (syntactically or as singleton
+// languages) that are congruent under the word-equality axioms.
+func (r *run) prefixesEqual(pp, pq []pathexpr.Expr) (bool, error) {
+	w1, ok, err := r.asWord(pp)
+	if err != nil || !ok {
+		return false, err
+	}
+	w2, ok, err := r.asWord(pq)
+	if err != nil || !ok {
+		return false, err
+	}
+	return r.p.wordsCongruent(w1, w2), nil
+}
+
+func (r *run) asWord(comps []pathexpr.Expr) ([]string, bool, error) {
+	e := expr(comps)
+	if w, ok := pathexpr.Word(e); ok {
+		return w, true, nil
+	}
+	d, err := r.p.dfas.DFA(e, r.alpha)
+	if err != nil {
+		return nil, false, errBudget
+	}
+	card, w := d.Cardinality()
+	if card == automata.CardOne {
+		return w, true, nil
+	}
+	return nil, false, nil
+}
+
+// starUnfold handles a trailing Kleene-star component by splitting it into
+// its ε and one-or-more cases: L(U·a*) = L(U) ∪ L(U·a⁺).  Both resulting
+// goals must be proved.  Combined with plusInduction this realizes the
+// paper's 3-case (single star) and 7-case (double star) schemata.
+func (r *run) starUnfold(g goal, lems []lemma, depth int) (bool, *Step, error) {
+	unfold := func(side []pathexpr.Expr) ([]pathexpr.Expr, []pathexpr.Expr, bool) {
+		if len(side) == 0 {
+			return nil, nil, false
+		}
+		st, ok := side[len(side)-1].(pathexpr.Star)
+		if !ok {
+			return nil, nil, false
+		}
+		u := side[:len(side)-1]
+		withEps := append([]pathexpr.Expr{}, u...)
+		withPlus := append(append([]pathexpr.Expr{}, u...), pathexpr.Rep1(st.Inner))
+		return withEps, withPlus, true
+	}
+	if eps, plus, ok := unfold(g.x); ok {
+		g1 := newGoal(g.form, eps, g.y)
+		g2 := newGoal(g.form, plus, g.y)
+		p1, s1, err := r.prove(g1, lems, depth+1)
+		if err != nil || !p1 {
+			return false, nil, err
+		}
+		p2, s2, err := r.prove(g2, lems, depth+1)
+		if err != nil || !p2 {
+			return false, nil, err
+		}
+		st := step(g, RuleStarUnfold)
+		st.StarOnLeft = true
+		st.Children = []*Step{s1, s2}
+		return true, st, nil
+	}
+	if eps, plus, ok := unfold(g.y); ok {
+		g1 := newGoal(g.form, g.x, eps)
+		g2 := newGoal(g.form, g.x, plus)
+		p1, s1, err := r.prove(g1, lems, depth+1)
+		if err != nil || !p1 {
+			return false, nil, err
+		}
+		p2, s2, err := r.prove(g2, lems, depth+1)
+		if err != nil || !p2 {
+			return false, nil, err
+		}
+		st := step(g, RuleStarUnfold)
+		st.Children = []*Step{s1, s2}
+		return true, st, nil
+	}
+	return false, nil, nil
+}
+
+// plusInduction applies the paper's Kleene induction (§4.1, step E).  For a
+// single trailing plus (X = U·a⁺) the cases are the base (U·a) and the
+// inductive step: assume the claim for U·a⁺ and prove it for U·a⁺·a, with
+// the hypothesis admitted only on strictly smaller goals.  For two trailing
+// pluses the paper's four sub-cases 4.1–4.4 apply.
+func (r *run) plusInduction(g goal, lems []lemma, depth int) (bool, *Step, error) {
+	xp, xok := trailingPlus(g.x)
+	yp, yok := trailingPlus(g.y)
+	switch {
+	case xok && yok:
+		r.stats.Inductions++
+		u, a := g.x[:len(g.x)-1], xp.Inner
+		v, b := g.y[:len(g.y)-1], yp.Inner
+		cases := []goal{
+			newGoal(g.form, appendComp(u, a), appendComp(v, b)),                // 4.1 (a, b)
+			newGoal(g.form, appendComp(u, pathexpr.Rep1(a)), appendComp(v, b)), // 4.2 (a⁺, b)
+			newGoal(g.form, appendComp(u, a), appendComp(v, pathexpr.Rep1(b))), // 4.3 (a, b⁺)
+		}
+		var kids []*Step
+		for _, c := range cases {
+			ok, st, err := r.prove(c, lems, depth+1)
+			if err != nil || !ok {
+				return false, nil, err
+			}
+			kids = append(kids, st)
+		}
+		// 4.4: assume (a⁺, b⁺), prove (a⁺a, b⁺b).
+		stepX := appendComp(g.x, a)
+		stepY := appendComp(g.y, b)
+		ih := lemma{form: g.form, re1: expr(g.x), re2: expr(g.y), maxSize: sliceSize(stepX) + sliceSize(stepY)}
+		ok, st, err := r.prove(newGoal(g.form, stepX, stepY), append(append([]lemma{}, lems...), ih), depth+1)
+		if err != nil || !ok {
+			return false, nil, err
+		}
+		kids = append(kids, st)
+		node := step(g, RulePlusInduction)
+		node.Children = kids
+		return true, node, nil
+
+	case xok:
+		r.stats.Inductions++
+		u, a := g.x[:len(g.x)-1], xp.Inner
+		base := newGoal(g.form, appendComp(u, a), g.y)
+		ok, s1, err := r.prove(base, lems, depth+1)
+		if err != nil || !ok {
+			return false, nil, err
+		}
+		stepX := appendComp(g.x, a)
+		ih := lemma{form: g.form, re1: expr(g.x), re2: expr(g.y), maxSize: sliceSize(stepX) + sliceSize(g.y)}
+		ok, s2, err := r.prove(newGoal(g.form, stepX, g.y), append(append([]lemma{}, lems...), ih), depth+1)
+		if err != nil || !ok {
+			return false, nil, err
+		}
+		node := step(g, RulePlusInduction)
+		node.StarOnLeft = true
+		node.Children = []*Step{s1, s2}
+		return true, node, nil
+
+	case yok:
+		r.stats.Inductions++
+		v, b := g.y[:len(g.y)-1], yp.Inner
+		base := newGoal(g.form, g.x, appendComp(v, b))
+		ok, s1, err := r.prove(base, lems, depth+1)
+		if err != nil || !ok {
+			return false, nil, err
+		}
+		stepY := appendComp(g.y, b)
+		ih := lemma{form: g.form, re1: expr(g.x), re2: expr(g.y), maxSize: sliceSize(g.x) + sliceSize(stepY)}
+		ok, s2, err := r.prove(newGoal(g.form, g.x, stepY), append(append([]lemma{}, lems...), ih), depth+1)
+		if err != nil || !ok {
+			return false, nil, err
+		}
+		node := step(g, RulePlusInduction)
+		node.Children = []*Step{s1, s2}
+		return true, node, nil
+	}
+	return false, nil, nil
+}
+
+func trailingPlus(side []pathexpr.Expr) (pathexpr.Plus, bool) {
+	if len(side) == 0 {
+		return pathexpr.Plus{}, false
+	}
+	p, ok := side[len(side)-1].(pathexpr.Plus)
+	return p, ok
+}
+
+func appendComp(side []pathexpr.Expr, c pathexpr.Expr) []pathexpr.Expr {
+	out := make([]pathexpr.Expr, 0, len(side)+1)
+	out = append(out, side...)
+	out = append(out, c)
+	return out
+}
+
+// altSplit handles a top-level alternative component: the goal splits into
+// one goal per alternative, and all must be proved (paper: "both
+// alternatives must result in a successful proof").  The rightmost
+// alternative component is split first, mirroring suffix-directed search.
+func (r *run) altSplit(g goal, lems []lemma, depth int) (bool, *Step, error) {
+	trySide := func(side []pathexpr.Expr, isX bool) (bool, *Step, error) {
+		for i := len(side) - 1; i >= 0; i-- {
+			alt, ok := side[i].(pathexpr.Alt)
+			if !ok {
+				continue
+			}
+			var kids []*Step
+			for _, choice := range alt.Alts {
+				repl := make([]pathexpr.Expr, len(side))
+				copy(repl, side)
+				repl[i] = choice
+				var sub goal
+				if isX {
+					sub = newGoal(g.form, repl, g.y)
+				} else {
+					sub = newGoal(g.form, g.x, repl)
+				}
+				proved, st, err := r.prove(sub, lems, depth+1)
+				if err != nil || !proved {
+					return false, nil, err
+				}
+				kids = append(kids, st)
+			}
+			node := step(g, RuleAltSplit)
+			node.AltOnLeft = isX
+			node.AltIndex = i
+			node.Children = kids
+			return true, node, nil
+		}
+		return false, nil, nil
+	}
+	if ok, st, err := trySide(g.x, true); err != nil || ok {
+		return ok, st, err
+	}
+	return trySide(g.y, false)
+}
+
+// wordsCongruent reports whether two words are equal modulo the word-level
+// equality axioms (∀p, p.w1 = p.w2 with both sides single words).  It
+// performs bounded BFS over rewrites applied at any position, in either
+// direction.
+func (p *Prover) wordsCongruent(w1, w2 []string) bool {
+	if wordsEqual(w1, w2) {
+		return true
+	}
+	if len(p.eqWordRewrites) == 0 {
+		return false
+	}
+	maxRewrite := 0
+	for _, rw := range p.eqWordRewrites {
+		if len(rw[0]) > maxRewrite {
+			maxRewrite = len(rw[0])
+		}
+		if len(rw[1]) > maxRewrite {
+			maxRewrite = len(rw[1])
+		}
+	}
+	lenCap := len(w1) + len(w2) + maxRewrite
+	const nodeCap = 1024
+
+	start := wordKey(w1)
+	target := wordKey(w2)
+	seen := map[string]bool{start: true}
+	frontier := [][]string{w1}
+	for len(frontier) > 0 && len(seen) < nodeCap {
+		var next [][]string
+		for _, w := range frontier {
+			for _, rw := range p.eqWordRewrites {
+				for _, dir := range [][2][]string{{rw[0], rw[1]}, {rw[1], rw[0]}} {
+					from, to := dir[0], dir[1]
+					for pos := 0; pos+len(from) <= len(w); pos++ {
+						if !wordsEqual(w[pos:pos+len(from)], from) {
+							continue
+						}
+						out := make([]string, 0, len(w)-len(from)+len(to))
+						out = append(out, w[:pos]...)
+						out = append(out, to...)
+						out = append(out, w[pos+len(from):]...)
+						if len(out) > lenCap {
+							continue
+						}
+						k := wordKey(out)
+						if seen[k] {
+							continue
+						}
+						if k == target {
+							return true
+						}
+						seen[k] = true
+						next = append(next, out)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+func wordsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func wordKey(w []string) string {
+	out := ""
+	for _, s := range w {
+		out += s + "\x00"
+	}
+	return out
+}

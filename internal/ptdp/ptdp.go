@@ -1,0 +1,334 @@
+// Package ptdp implements a dependence test for the *other* pointer problem
+// of the paper's §2.1: the pointer target dependence problem, where pointers
+// refer to named memory locations (Figure 1's left fragment — there is an
+// output dependence from S: *p = 10 to T: i = 20 iff p points to i at S).
+//
+// The paper deliberately does not solve PTDP — existing store-based alias
+// analyses already do — but the repository implements the textbook solution
+// so that both halves of Figure 1 run: a flow-sensitive, intraprocedural
+// points-to analysis over named variables, with a set-intersection
+// dependence test.  It is exactly the scheme §2.3 describes ("the program
+// is analyzed ... and at each program point the set of aliased variables is
+// computed; dependence testing is then performed by simply intersecting the
+// appropriate sets") — and exactly the scheme that breaks down on unnamed
+// heap locations, which is where APT (package core) takes over.
+package ptdp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+)
+
+// Targets is a points-to set over named variables.  The nil map means "no
+// information yet"; Unknown (a set containing Top) means the pointer may
+// target anything.
+type Targets map[string]bool
+
+// Top is the distinguished member meaning "any named location".
+const Top = "⊤"
+
+// Unknown returns the ⊤ set.
+func Unknown() Targets { return Targets{Top: true} }
+
+func (t Targets) clone() Targets {
+	out := make(Targets, len(t))
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+// Has reports whether the set may include the named location.
+func (t Targets) Has(name string) bool { return t[name] || t[Top] }
+
+// IsSingleton reports whether the set is exactly one concrete location.
+func (t Targets) IsSingleton() (string, bool) {
+	if len(t) != 1 || t[Top] {
+		return "", false
+	}
+	for k := range t {
+		return k, true
+	}
+	return "", false
+}
+
+func (t Targets) String() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return "{" + strings.Join(keys, ", ") + "}"
+}
+
+// Access is one memory reference to named locations: the set of locations
+// possibly read or written by a labeled statement.
+type Access struct {
+	Label   string
+	IsWrite bool
+	// Locs is the set of named locations possibly touched.
+	Locs Targets
+	// Must reports that the access touches exactly one known location (a
+	// must-alias, enabling a definite Yes).
+	Must bool
+}
+
+// Result carries the analysis outcome for one function.
+type Result struct {
+	Fn       *lang.FuncDecl
+	Accesses []Access
+	// PointsTo holds the points-to environment captured just before each
+	// labeled statement.
+	PointsTo map[string]map[string]Targets
+}
+
+// Analyze runs the points-to analysis on function fnName of prog.
+func Analyze(prog *lang.Program, fnName string) (*Result, error) {
+	fn := prog.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("ptdp: function %q not found", fnName)
+	}
+	a := &analyzer{
+		res: &Result{Fn: fn, PointsTo: make(map[string]map[string]Targets)},
+	}
+	env := make(map[string]Targets)
+	for _, p := range fn.Params {
+		if p.Type.Ptr > 0 && !p.Type.IsStruct {
+			env[p.Name] = Unknown() // a pointer parameter may target anything
+		}
+	}
+	a.block(env, fn.Body)
+	return a.res, nil
+}
+
+type analyzer struct {
+	res *Result
+}
+
+func cloneEnv(env map[string]Targets) map[string]Targets {
+	out := make(map[string]Targets, len(env))
+	for k, v := range env {
+		out[k] = v.clone()
+	}
+	return out
+}
+
+func joinEnv(a, b map[string]Targets) map[string]Targets {
+	out := make(map[string]Targets)
+	for k, v := range a {
+		out[k] = v.clone()
+	}
+	for k, v := range b {
+		if cur, ok := out[k]; ok {
+			for loc := range v {
+				cur[loc] = true
+			}
+		} else {
+			out[k] = v.clone()
+		}
+	}
+	return out
+}
+
+func sameEnv(a, b map[string]Targets) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || len(v) != len(w) {
+			return false
+		}
+		for loc := range v {
+			if !w[loc] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (a *analyzer) block(env map[string]Targets, b *lang.Block) map[string]Targets {
+	for _, s := range b.Stmts {
+		env = a.stmt(env, s)
+	}
+	return env
+}
+
+func (a *analyzer) stmt(env map[string]Targets, s lang.Stmt) map[string]Targets {
+	if lbl := s.Label(); lbl != "" {
+		a.res.PointsTo[lbl] = cloneEnv(env)
+	}
+	switch v := s.(type) {
+	case *lang.DeclStmt:
+		return env
+
+	case *lang.AssignStmt:
+		a.recordAccesses(env, v)
+		switch lhs := v.LHS.(type) {
+		case *lang.Ident:
+			switch rhs := v.RHS.(type) {
+			case *lang.AddrExpr:
+				env[lhs.Name] = Targets{rhs.Name: true}
+			case *lang.Ident:
+				if pts, ok := env[rhs.Name]; ok {
+					env[lhs.Name] = pts.clone()
+				} else {
+					delete(env, lhs.Name)
+				}
+			case *lang.NullLit:
+				env[lhs.Name] = Targets{}
+			default:
+				if _, tracked := env[lhs.Name]; tracked {
+					env[lhs.Name] = Unknown()
+				}
+			}
+		case *lang.DerefExpr:
+			// A strong update of *p would require a must-alias; the store
+			// itself does not change any points-to set here.
+		}
+		return env
+
+	case *lang.ExprStmt:
+		return env
+
+	case *lang.ReturnStmt:
+		if v.Value != nil {
+			a.readsOf(env, v.Value, v.Label())
+		}
+		return env
+
+	case *lang.BlockStmt:
+		return a.block(env, v.Body)
+
+	case *lang.IfStmt:
+		a.readsOf(env, v.Cond, v.Label())
+		thenEnv := a.block(cloneEnv(env), v.Then)
+		if v.Else != nil {
+			elseEnv := a.block(cloneEnv(env), v.Else)
+			return joinEnv(thenEnv, elseEnv)
+		}
+		return joinEnv(thenEnv, env)
+
+	case *lang.WhileStmt:
+		a.readsOf(env, v.Cond, v.Label())
+		// Iterate to a fixpoint; points-to sets only grow, and the lattice
+		// of named locations is finite, so this terminates.
+		cur := cloneEnv(env)
+		for i := 0; i < 1000; i++ {
+			next := joinEnv(cur, a.block(cloneEnv(cur), v.Body))
+			if sameEnv(cur, next) {
+				break
+			}
+			cur = next
+		}
+		return cur
+	}
+	return env
+}
+
+// recordAccesses records the named-location effects of an assignment.
+func (a *analyzer) recordAccesses(env map[string]Targets, s *lang.AssignStmt) {
+	a.readsOf(env, s.RHS, s.Label())
+	switch lhs := s.LHS.(type) {
+	case *lang.Ident:
+		// Writing a scalar variable i touches the named location i —
+		// unless i is a tracked pointer, in which case the write retargets
+		// the pointer rather than storing to a pointee.
+		if _, isPtr := env[lhs.Name]; !isPtr {
+			a.add(s.Label(), true, Targets{lhs.Name: true}, true)
+		}
+	case *lang.DerefExpr:
+		pts, ok := env[lhs.Name]
+		if !ok {
+			pts = Unknown()
+		}
+		_, must := pts.IsSingleton()
+		a.add(s.Label(), true, pts.clone(), must)
+	}
+}
+
+// readsOf records read accesses of named locations in e.
+func (a *analyzer) readsOf(env map[string]Targets, e lang.Expr, label string) {
+	lang.WalkExprs(e, func(x lang.Expr) {
+		switch v := x.(type) {
+		case *lang.Ident:
+			if _, isPtr := env[v.Name]; !isPtr {
+				a.add(label, false, Targets{v.Name: true}, true)
+			}
+		case *lang.DerefExpr:
+			pts, ok := env[v.Name]
+			if !ok {
+				pts = Unknown()
+			}
+			_, must := pts.IsSingleton()
+			a.add(label, false, pts.clone(), must)
+		}
+	})
+}
+
+func (a *analyzer) add(label string, write bool, locs Targets, must bool) {
+	if label == "" {
+		return
+	}
+	a.res.Accesses = append(a.res.Accesses, Access{
+		Label: label, IsWrite: write, Locs: locs, Must: must,
+	})
+}
+
+// AccessesAt returns the accesses recorded at the label.
+func (r *Result) AccessesAt(label string) []Access {
+	var out []Access
+	for _, a := range r.Accesses {
+		if a.Label == label {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// DepTest answers whether statement T may depend on statement S by
+// intersecting their named-location sets — the §2.3 store-based scheme.
+func (r *Result) DepTest(labelS, labelT string) (core.Result, error) {
+	sAccs := r.AccessesAt(labelS)
+	tAccs := r.AccessesAt(labelT)
+	if len(sAccs) == 0 || len(tAccs) == 0 {
+		return core.Maybe, fmt.Errorf("ptdp: missing accesses at %q or %q", labelS, labelT)
+	}
+	result := core.No
+	for _, s := range sAccs {
+		for _, t := range tAccs {
+			if !s.IsWrite && !t.IsWrite {
+				continue
+			}
+			if !intersects(s.Locs, t.Locs) {
+				continue
+			}
+			// A definite dependence needs must-aliases on both sides.
+			if s.Must && t.Must {
+				return core.Yes, nil
+			}
+			result = core.Maybe
+		}
+	}
+	return result, nil
+}
+
+func intersects(a, b Targets) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if a[Top] || b[Top] {
+		return true
+	}
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package ptdp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+)
+
+func analyze(t *testing.T, src, fn string) *Result {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFigure1Left is the paper's left fragment: there is an output
+// dependence from S: *p = 10 to T: i = 20 iff p points to i at S.
+func TestFigure1Left(t *testing.T) {
+	// Case 1: p definitely points to i — definite dependence.
+	definite := analyze(t, `
+void f() {
+	int i;
+	int j;
+	int *p;
+	p = &i;
+S:	*p = 10;
+T:	i = 20;
+}`, "f")
+	if got, err := definite.DepTest("S", "T"); err != nil || got != core.Yes {
+		t.Fatalf("p = &i: DepTest = %v, %v; want Yes", got, err)
+	}
+
+	// Case 2: p definitely points elsewhere — no dependence.
+	none := analyze(t, `
+void f() {
+	int i;
+	int j;
+	int *p;
+	p = &j;
+S:	*p = 10;
+T:	i = 20;
+}`, "f")
+	if got, err := none.DepTest("S", "T"); err != nil || got != core.No {
+		t.Fatalf("p = &j: DepTest = %v, %v; want No", got, err)
+	}
+
+	// Case 3: p may point to either — Maybe.
+	maybe := analyze(t, `
+void f(int c) {
+	int i;
+	int j;
+	int *p;
+	if (c > 0) {
+		p = &i;
+	} else {
+		p = &j;
+	}
+S:	*p = 10;
+T:	i = 20;
+}`, "f")
+	if got, err := maybe.DepTest("S", "T"); err != nil || got != core.Maybe {
+		t.Fatalf("branchy p: DepTest = %v, %v; want Maybe", got, err)
+	}
+}
+
+func TestPointsToEnvironmentAtLabels(t *testing.T) {
+	r := analyze(t, `
+void f() {
+	int i;
+	int *p;
+	int *q;
+	p = &i;
+	q = p;
+S:	*q = 1;
+}`, "f")
+	env := r.PointsTo["S"]
+	if env == nil {
+		t.Fatal("no environment at S")
+	}
+	if !env["q"].Has("i") {
+		t.Errorf("q should point to i: %v", env["q"])
+	}
+	if loc, ok := env["q"].IsSingleton(); !ok || loc != "i" {
+		t.Errorf("q should be a must-alias of i: %v", env["q"])
+	}
+	accs := r.AccessesAt("S")
+	if len(accs) != 1 || !accs[0].IsWrite || !accs[0].Must {
+		t.Fatalf("accesses at S: %+v", accs)
+	}
+}
+
+func TestCopyAndNullAndReassign(t *testing.T) {
+	r := analyze(t, `
+void f() {
+	int i;
+	int j;
+	int *p;
+	p = &i;
+	p = &j;
+S:	*p = 1;
+T:	i = 2;
+}`, "f")
+	// Strong update: the second assignment replaces the first target.
+	if got, _ := r.DepTest("S", "T"); got != core.No {
+		t.Fatalf("reassigned p: DepTest = %v, want No", got)
+	}
+
+	nullp := analyze(t, `
+void f() {
+	int i;
+	int *p;
+	p = NULL;
+S:	*p = 1;
+T:	i = 2;
+}`, "f")
+	// A null pointer touches nothing the analysis can name.
+	if got, _ := nullp.DepTest("S", "T"); got != core.No {
+		t.Fatalf("null p: DepTest = %v, want No", got)
+	}
+}
+
+func TestUnknownPointerIsTop(t *testing.T) {
+	r := analyze(t, `
+void f(int *p) {
+	int i;
+S:	*p = 1;
+T:	i = 2;
+}`, "f")
+	// A pointer parameter may target anything, including i.
+	if got, _ := r.DepTest("S", "T"); got != core.Maybe {
+		t.Fatalf("parameter p: DepTest = %v, want Maybe", got)
+	}
+	env := r.PointsTo["S"]
+	if !env["p"].Has("i") || !env["p"].Has(Top) {
+		t.Errorf("parameter should be ⊤: %v", env["p"])
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	r := analyze(t, `
+void f(int c) {
+	int i;
+	int j;
+	int *p;
+	int *q;
+	p = &i;
+	q = &j;
+	while (c > 0) {
+		p = q;
+		q = &i;
+		c = c - 1;
+	}
+S:	*p = 1;
+T:	j = 2;
+}`, "f")
+	// After any number of iterations p may point to i or j.
+	env := r.PointsTo["S"]
+	if !env["p"].Has("i") || !env["p"].Has("j") {
+		t.Fatalf("loop fixpoint lost a target: p -> %v", env["p"])
+	}
+	if got, _ := r.DepTest("S", "T"); got != core.Maybe {
+		t.Fatalf("DepTest = %v, want Maybe", got)
+	}
+}
+
+func TestReadWriteKinds(t *testing.T) {
+	r := analyze(t, `
+void f() {
+	int i;
+	int v;
+	int *p;
+	p = &i;
+S:	v = *p;
+T:	i = 2;
+}`, "f")
+	// S reads *p (= i), T writes i: anti dependence, and a definite one.
+	if got, _ := r.DepTest("S", "T"); got != core.Yes {
+		t.Fatalf("read *p then write i: %v, want Yes", got)
+	}
+	// Read-read never conflicts.
+	rr := analyze(t, `
+void f() {
+	int i;
+	int a;
+	int b;
+S:	a = i;
+T:	b = i;
+}`, "f")
+	if got, _ := rr.DepTest("S", "T"); got != core.No {
+		t.Fatalf("read-read: %v, want No", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	prog := lang.MustParse(`void f() { int i; S: i = 1; }`)
+	if _, err := Analyze(prog, "missing"); err == nil {
+		t.Error("expected error for missing function")
+	}
+	r, err := Analyze(prog, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DepTest("S", "nope"); err == nil {
+		t.Error("expected error for unknown label")
+	}
+}
+
+func TestTargetsString(t *testing.T) {
+	ts := Targets{"b": true, "a": true}
+	if got := ts.String(); got != "{a, b}" {
+		t.Errorf("String = %q", got)
+	}
+}

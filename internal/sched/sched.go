@@ -1,0 +1,231 @@
+// Package sched simulates a small shared-memory multiprocessor executing
+// the task graphs of the sparse-matrix kernels, deterministically.  It
+// stands in for the paper's 8-PE Sequent (see DESIGN.md — substitution
+// table): Figure 7 reports speedup *shape*, which is a function of the task
+// DAG's per-phase parallelism, the sequential fraction, barrier overheads,
+// and load imbalance — exactly what greedy list scheduling over the real
+// per-task work computes.
+//
+// Execution model: each elimination step is a sequence of phases separated
+// by barriers.  A row-parallel phase schedules its per-row tasks onto P
+// processors with the longest-processing-time (LPT) greedy rule; a
+// sequential phase runs on one processor.  Every parallel phase pays a
+// fixed synchronization overhead (fork + barrier), the term that keeps
+// real machines below the Amdahl bound.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Mode selects which phases the compiler was able to parallelize.
+type Mode int
+
+// Parallelization modes (§5).
+const (
+	// Sequential: no parallel phases; the baseline T(1).
+	Sequential Mode = iota
+	// Partial: the "simplistic analysis which only collected access paths
+	// for structurally read-only portions of the code": the heuristic and
+	// pivot-search phases parallelize, but the fill-in phase's pointer
+	// stores invalidate the axioms (§3.4), so the fill-in and elimination
+	// phases stay sequential.
+	Partial
+	// Full: the "more sophisticated analysis capable of handling
+	// modifications to the structure": fill-in and elimination also
+	// parallelize; only the pivot adjustment remains sequential.
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case Partial:
+		return "partial"
+	case Full:
+		return "full"
+	}
+	return "invalid"
+}
+
+// Machine models the simulated multiprocessor.
+type Machine struct {
+	// PEs is the number of processors.
+	PEs int
+	// BarrierCost is the fixed overhead (in work units) of forking a
+	// row-parallel phase and joining at its barrier.  Zero means free
+	// synchronization (the pure Amdahl bound).
+	BarrierCost int64
+}
+
+// LPT schedules the task costs onto p processors with the
+// longest-processing-time greedy rule and returns the makespan.
+func LPT(costs []int, p int) int64 {
+	if p <= 1 {
+		var sum int64
+		for _, c := range costs {
+			sum += int64(c)
+		}
+		return sum
+	}
+	sorted := append([]int{}, costs...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	loads := make([]int64, p)
+	for _, c := range sorted {
+		min := 0
+		for i := 1; i < p; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += int64(c)
+	}
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// phaseTime returns the simulated time of one phase.  A parallelizable
+// phase runs in the better of its parallel and sequential times: the
+// run-time system does not fork a phase too small to amortize its barrier
+// (the same guard any self-scheduling loop runtime applies).
+func (m Machine) phaseTime(costs []int, seqTail int, parallel bool) int64 {
+	var sum int64
+	for _, c := range costs {
+		sum += int64(c)
+	}
+	seq := sum + int64(seqTail)
+	if !parallel || m.PEs <= 1 || len(costs) == 0 {
+		return seq
+	}
+	par := LPT(costs, m.PEs) + int64(seqTail) + m.BarrierCost
+	if par < seq {
+		return par
+	}
+	return seq
+}
+
+// FactorTime simulates the factorization trace under the given mode.
+func (m Machine) FactorTime(tr *sparse.Trace, mode Mode) int64 {
+	var total int64
+	for _, st := range tr.Steps {
+		readOnly := mode == Partial || mode == Full
+		fullPar := mode == Full
+		total += m.phaseTime(st.Heuristic.RowCosts, st.Heuristic.Seq, readOnly)
+		total += m.phaseTime(st.Search.RowCosts, st.Search.Seq, readOnly)
+		total += int64(st.Adjust) // inherently sequential in every mode
+		total += m.phaseTime(st.Fillin.RowCosts, st.Fillin.Seq, fullPar)
+		total += m.phaseTime(st.Elim.RowCosts, st.Elim.Seq, fullPar)
+	}
+	return total
+}
+
+// ScaleTime simulates one Scale pass (row-parallel in both modes, since
+// scaling is structurally read-only everywhere).
+func (m Machine) ScaleTime(rowCosts []int, mode Mode) int64 {
+	return m.phaseTime(rowCosts, 0, mode != Sequential)
+}
+
+// SolveTime simulates forward/backward substitution, which is inherently
+// sequential across pivot steps (each step consumes the previous one's
+// result).
+func (m Machine) SolveTime(stepCosts []int) int64 {
+	var sum int64
+	for _, c := range stepCosts {
+		sum += int64(c)
+	}
+	return sum
+}
+
+// Workload bundles the traces of one Scale+Factor+Solve run.
+type Workload struct {
+	Scale  []int
+	Factor *sparse.Trace
+	Solve  []int
+}
+
+// TotalTime simulates the whole workload.
+func (m Machine) TotalTime(w Workload, mode Mode) int64 {
+	t := m.FactorTime(w.Factor, mode)
+	if w.Scale != nil {
+		t += m.ScaleTime(w.Scale, mode)
+	}
+	if w.Solve != nil {
+		t += m.SolveTime(w.Solve)
+	}
+	return t
+}
+
+// Speedup returns T(1, Sequential) / T(PEs, mode) for the factor-only
+// workload.
+func Speedup(tr *sparse.Trace, pes int, mode Mode, barrier int64) float64 {
+	seq := Machine{PEs: 1}.FactorTime(tr, Sequential)
+	par := Machine{PEs: pes, BarrierCost: barrier}.FactorTime(tr, mode)
+	return float64(seq) / float64(par)
+}
+
+// WorkloadSpeedup returns the Scale+Factor+Solve speedup.
+func WorkloadSpeedup(w Workload, pes int, mode Mode, barrier int64) float64 {
+	seq := Machine{PEs: 1}.TotalTime(w, Sequential)
+	par := Machine{PEs: pes, BarrierCost: barrier}.TotalTime(w, mode)
+	return float64(seq) / float64(par)
+}
+
+// Row is one line of the Figure 7 table.
+type Row struct {
+	Name     string
+	Speedups map[int]float64
+}
+
+// Figure7 regenerates the paper's speedup table for the given workload:
+// four rows (factor-only and scale+factor+solve, each partial and full) at
+// the given PE counts.
+func Figure7(w Workload, pes []int, barrier int64) []Row {
+	rows := []Row{
+		{Name: "Factor only (partial)", Speedups: map[int]float64{}},
+		{Name: "Scale, Factor, Solve (partial)", Speedups: map[int]float64{}},
+		{Name: "Factor only (full)", Speedups: map[int]float64{}},
+		{Name: "Scale, Factor, Solve (full)", Speedups: map[int]float64{}},
+	}
+	for _, p := range pes {
+		rows[0].Speedups[p] = Speedup(w.Factor, p, Partial, barrier)
+		rows[1].Speedups[p] = WorkloadSpeedup(w, p, Partial, barrier)
+		rows[2].Speedups[p] = Speedup(w.Factor, p, Full, barrier)
+		rows[3].Speedups[p] = WorkloadSpeedup(w, p, Full, barrier)
+	}
+	return rows
+}
+
+// RenderTable formats Figure 7 rows in the paper's layout.
+func RenderTable(caption string, rows []Row, pes []int) string {
+	out := caption + "\n"
+	header := fmt.Sprintf("%-34s", "")
+	for _, p := range pes {
+		header += fmt.Sprintf("%7s", fmt.Sprintf("%d PEs", p))
+	}
+	out += header + "\n"
+	for _, r := range rows {
+		line := fmt.Sprintf("%-34s", r.Name)
+		for _, p := range pes {
+			line += fmt.Sprintf("%7.1f", r.Speedups[p])
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+// DefaultBarrierCost is the synchronization overhead (work units per
+// parallel phase) used by the Figure 7 harness.  One work unit is one
+// element visit; the value models a 1980s bus-based shared-memory
+// fork/barrier costing a few hundred element visits.  It is the model's
+// single calibrated parameter; EXPERIMENTS.md reports a sensitivity sweep
+// (the partial/full ordering and both plateaus are stable from 0 to 300+).
+const DefaultBarrierCost = 200

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestLPT(t *testing.T) {
+	if got := LPT([]int{5, 3, 2}, 1); got != 10 {
+		t.Errorf("LPT p=1 = %d, want 10", got)
+	}
+	if got := LPT([]int{5, 3, 2}, 2); got != 5 {
+		t.Errorf("LPT p=2 = %d, want 5 (5 | 3+2)", got)
+	}
+	if got := LPT([]int{4, 4, 4, 4}, 2); got != 8 {
+		t.Errorf("LPT p=2 = %d, want 8", got)
+	}
+	if got := LPT(nil, 4); got != 0 {
+		t.Errorf("LPT empty = %d", got)
+	}
+	// More PEs than tasks: bounded by the largest task.
+	if got := LPT([]int{7, 1}, 8); got != 7 {
+		t.Errorf("LPT p=8 = %d, want 7", got)
+	}
+}
+
+// TestPropertyLPTBounds: makespan is at least both max(task) and
+// ceil(sum/p), and at most sum.
+func TestPropertyLPTBounds(t *testing.T) {
+	f := func(raw []uint8, pRaw uint8) bool {
+		p := int(pRaw)%8 + 1
+		costs := make([]int, len(raw))
+		var sum int64
+		max := int64(0)
+		for i, r := range raw {
+			costs[i] = int(r)
+			sum += int64(r)
+			if int64(r) > max {
+				max = int64(r)
+			}
+		}
+		got := LPT(costs, p)
+		lower := (sum + int64(p) - 1) / int64(p)
+		if max > lower {
+			lower = max
+		}
+		return got >= lower && got <= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func workload(t *testing.T, n, nnz int) Workload {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	m := sparse.RandomCircuit(rng, n, nnz)
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{Scale: m.ScaleTrace(), Factor: lu.Trace, Solve: lu.SolveTrace()}
+}
+
+func TestSequentialIsIdentityBaseline(t *testing.T) {
+	w := workload(t, 60, 240)
+	t1 := Machine{PEs: 1}.FactorTime(w.Factor, Sequential)
+	t1p := Machine{PEs: 7}.FactorTime(w.Factor, Sequential)
+	if t1 != t1p {
+		t.Errorf("sequential mode must ignore PE count: %d vs %d", t1, t1p)
+	}
+	var total int64
+	for _, st := range w.Factor.Steps {
+		total += st.Heuristic.Total() + st.Search.Total() + int64(st.Adjust) + st.Fillin.Total() + st.Elim.Total()
+	}
+	if t1 != total {
+		t.Errorf("sequential time %d != total work %d", t1, total)
+	}
+}
+
+func TestSpeedupOrdering(t *testing.T) {
+	w := workload(t, 80, 400)
+	for _, p := range []int{2, 4, 7} {
+		for _, barrier := range []int64{0, 200, 1000} {
+			partial := Speedup(w.Factor, p, Partial, barrier)
+			full := Speedup(w.Factor, p, Full, barrier)
+			if partial < 1 || full < 1 {
+				t.Errorf("p=%d b=%d: speedups below 1: partial %.2f full %.2f", p, barrier, partial, full)
+			}
+			if full < partial {
+				t.Errorf("p=%d b=%d: full (%.2f) must not lose to partial (%.2f)", p, barrier, full, partial)
+			}
+			if full > float64(p)+1e-9 {
+				t.Errorf("p=%d b=%d: superlinear full speedup %.2f", p, barrier, full)
+			}
+		}
+	}
+	// Speedups grow with PE count.
+	if Speedup(w.Factor, 7, Full, 0) <= Speedup(w.Factor, 2, Full, 0) {
+		t.Error("full speedup should grow from 2 to 7 PEs")
+	}
+}
+
+func TestBarrierCostDampensSpeedup(t *testing.T) {
+	w := workload(t, 80, 400)
+	free := Speedup(w.Factor, 7, Full, 0)
+	costly := Speedup(w.Factor, 7, Full, 2000)
+	if costly >= free {
+		t.Errorf("barrier cost should reduce speedup: %.2f vs %.2f", costly, free)
+	}
+}
+
+func TestSolveIsSequential(t *testing.T) {
+	w := workload(t, 60, 240)
+	t1 := Machine{PEs: 1}.SolveTime(w.Solve)
+	t7 := Machine{PEs: 7}.SolveTime(w.Solve)
+	if t1 != t7 {
+		t.Error("solve must be sequential at any PE count")
+	}
+}
+
+func TestFigure7ShapeSmall(t *testing.T) {
+	w := workload(t, 120, 700)
+	pes := []int{2, 4, 7}
+	rows := Figure7(w, pes, 0)
+	if len(rows) != 4 {
+		t.Fatalf("Figure7 rows = %d", len(rows))
+	}
+	// Shape invariants from the paper: full beats partial at every PE
+	// count; partial plateaus (its 7-PE speedup is well under the linear
+	// bound); scale+factor+solve tracks factor-only closely.
+	for _, p := range pes {
+		if rows[2].Speedups[p] < rows[0].Speedups[p] {
+			t.Errorf("p=%d: full factor (%.2f) below partial (%.2f)", p, rows[2].Speedups[p], rows[0].Speedups[p])
+		}
+		diff := rows[0].Speedups[p] - rows[1].Speedups[p]
+		if diff < -0.5 || diff > 1.0 {
+			t.Errorf("p=%d: S+F+S diverges from factor-only by %.2f", p, diff)
+		}
+	}
+	if rows[0].Speedups[7] > 5.0 {
+		t.Errorf("partial at 7 PEs = %.2f, should plateau well below linear", rows[0].Speedups[7])
+	}
+	out := RenderTable("test", rows, pes)
+	for _, want := range []string{"Factor only (partial)", "7 PEs", "Scale, Factor, Solve (full)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Sequential, Partial, Full} {
+		if m.String() == "invalid" {
+			t.Errorf("missing string for mode %d", int(m))
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The five phases of one elimination step, §5:
+//
+//	let SM = submatrix[R+1..N, R+1..N];
+//	compute fillin heuristic for each elem in SM;   (Heuristic)
+//	search SM for best pivot p;                     (Search)
+//	adjust M to bring p into pivot position;        (Adjust — sequential)
+//	add fillins to SM;                              (Fillin)
+//	perform elimination on each row of SM;          (Elim)
+//
+// Heuristic, Search, Fillin and Elim operate row by row on the submatrix;
+// Adjust is inherently sequential (the paper's stated reason the full
+// speedup stays sub-linear).
+
+// PhaseTrace records the work of one row-parallel phase: one cost per
+// participating row, plus any inherently sequential tail (e.g. the final
+// reduction of the pivot search).
+type PhaseTrace struct {
+	RowCosts []int
+	Seq      int
+}
+
+// Total returns the phase's total work.
+func (p PhaseTrace) Total() int64 {
+	t := int64(p.Seq)
+	for _, c := range p.RowCosts {
+		t += int64(c)
+	}
+	return t
+}
+
+// StepTrace records the work of one elimination step.
+type StepTrace struct {
+	Heuristic PhaseTrace
+	Search    PhaseTrace
+	Adjust    int
+	Fillin    PhaseTrace
+	Elim      PhaseTrace
+}
+
+// Trace is the full work trace of a factorization.
+type Trace struct {
+	N     int
+	NNZ0  int
+	Fills int
+	Steps []StepTrace
+}
+
+// LU holds the in-place LU factorization of a matrix: after Factor, the
+// matrix stores U in the pivot rows and the L multipliers below the pivots,
+// under the row/column pivot permutation.
+type LU struct {
+	M *Matrix
+	// PRow[k] and PCol[k] are the original row/column indices of the k-th
+	// pivot.
+	PRow, PCol []int
+	// RowOrder and ColOrder invert the pivot permutation: RowOrder[i] = k
+	// iff PRow[k] = i.
+	RowOrder, ColOrder []int
+	// Trace is the per-phase work record used by the Figure 7 harness.
+	Trace *Trace
+}
+
+// ErrSingular reports that no admissible pivot exists.
+var ErrSingular = errors.New("sparse: matrix is numerically singular")
+
+// stabilityU is the relative pivot threshold: a pivot must be at least this
+// fraction of the largest active magnitude in its column.  The classic
+// Markowitz-with-threshold compromise [Kun86].
+const stabilityU = 0.1
+
+// maxFillGrowth aborts factorizations whose fill-in exceeds this multiple of
+// the original nonzero count — a safety valve, not a tuning knob.
+const maxFillGrowth = 400
+
+// Factor performs Gaussian elimination with Markowitz fill-minimizing
+// pivoting on a copy of m, returning the LU factors and the per-phase work
+// trace.  m itself is unchanged.
+func (m *Matrix) Factor() (*LU, error) {
+	w := m.Clone()
+	n := w.N
+	lu := &LU{
+		M:        w,
+		PRow:     make([]int, 0, n),
+		PCol:     make([]int, 0, n),
+		RowOrder: make([]int, n),
+		ColOrder: make([]int, n),
+		Trace:    &Trace{N: n, NNZ0: m.NNZ()},
+	}
+	for i := range lu.RowOrder {
+		lu.RowOrder[i] = -1
+		lu.ColOrder[i] = -1
+	}
+
+	// Active-submatrix row/column element counts, maintained incrementally.
+	rowCount := make([]int, n)
+	colCount := make([]int, n)
+	for i := 0; i < n; i++ {
+		rowCount[i] = w.rowLen(i)
+		colCount[i] = w.colLen(i)
+	}
+	activeRow := func(i int) bool { return lu.RowOrder[i] < 0 }
+	activeCol := func(j int) bool { return lu.ColOrder[j] < 0 }
+
+	colMax := make([]float64, n)
+	fillLimit := maxFillGrowth * (m.NNZ() + n)
+
+	for k := 0; k < n; k++ {
+		var st StepTrace
+
+		// Phase 1 — heuristic: visit every active element, computing the
+		// per-column magnitude bound and (conceptually) each element's
+		// Markowitz count.  One cost unit per element visited.
+		for j := 0; j < n; j++ {
+			if activeCol(j) {
+				colMax[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !activeRow(i) {
+				continue
+			}
+			visits := 0
+			for e := w.rows[i].First; e != nil; e = e.NextInRow {
+				if !activeCol(e.Col) {
+					continue
+				}
+				visits++
+				if a := math.Abs(e.Val); a > colMax[e.Col] {
+					colMax[e.Col] = a
+				}
+			}
+			st.Heuristic.RowCosts = append(st.Heuristic.RowCosts, visits)
+		}
+
+		// Phase 2 — search: scan the active elements again for the
+		// admissible pivot with the lowest Markowitz cost (r-1)(c-1).
+		// Row-parallel with a sequential combine of per-row champions.
+		var pivot *Elem
+		bestScore := math.MaxInt
+		bestMag := 0.0
+		for i := 0; i < n; i++ {
+			if !activeRow(i) {
+				continue
+			}
+			visits := 0
+			for e := w.rows[i].First; e != nil; e = e.NextInRow {
+				if !activeCol(e.Col) {
+					continue
+				}
+				visits++
+				mag := math.Abs(e.Val)
+				if mag < stabilityU*colMax[e.Col] || mag == 0 {
+					continue
+				}
+				score := (rowCount[i] - 1) * (colCount[e.Col] - 1)
+				if betterPivot(score, mag, e, bestScore, bestMag, pivot) {
+					pivot, bestScore, bestMag = e, score, mag
+				}
+			}
+			st.Search.RowCosts = append(st.Search.RowCosts, visits)
+		}
+		st.Search.Seq = len(st.Search.RowCosts) // combine the row champions
+		if pivot == nil {
+			return nil, fmt.Errorf("%w at step %d", ErrSingular, k)
+		}
+		pr, pc := pivot.Row, pivot.Col
+
+		// Phase 3 — adjust: bring the pivot into position.  Logically a
+		// row/column permutation; the paper physically rearranges the lists.
+		// Sequential either way; cost ~ pivot row + column lengths.
+		lu.PRow = append(lu.PRow, pr)
+		lu.PCol = append(lu.PCol, pc)
+		lu.RowOrder[pr] = k
+		lu.ColOrder[pc] = k
+		st.Adjust = rowCount[pr] + colCount[pc]
+
+		// Maintain counts: the pivot row and column leave the submatrix.
+		for e := w.cols[pc].First; e != nil; e = e.NextInCol {
+			if e.Row != pr && activeRow(e.Row) {
+				rowCount[e.Row]--
+			}
+		}
+		for e := w.rows[pr].First; e != nil; e = e.NextInRow {
+			if e.Col != pc && activeCol(e.Col) {
+				colCount[e.Col]--
+			}
+		}
+
+		// Phase 4 — fillin: for every active row with an element in the
+		// pivot column, insert the missing elements of the update pattern.
+		// Structural modification: in the paper's terms this is the phase
+		// whose stores invalidate the element-link axioms.
+		type updRow struct {
+			row  int
+			mult *Elem
+		}
+		var updates []updRow
+		for e := w.cols[pc].First; e != nil; e = e.NextInCol {
+			if e.Row != pr && activeRow(e.Row) {
+				updates = append(updates, updRow{e.Row, e})
+			}
+		}
+		for _, u := range updates {
+			cost := 0
+			cursor := w.rows[u.row].First
+			for pe := w.rows[pr].First; pe != nil; pe = pe.NextInRow {
+				if pe.Col == pc || !activeCol(pe.Col) {
+					continue
+				}
+				cost++
+				for cursor != nil && cursor.Col < pe.Col {
+					cursor = cursor.NextInRow
+				}
+				if cursor == nil || cursor.Col != pe.Col {
+					w.Set(u.row, pe.Col, 0)
+					rowCount[u.row]++
+					colCount[pe.Col]++
+					lu.Trace.Fills++
+					cost += 2 // the two list insertions
+				}
+			}
+			st.Fillin.RowCosts = append(st.Fillin.RowCosts, cost)
+		}
+		if w.NNZ() > fillLimit {
+			return nil, fmt.Errorf("sparse: fill-in exceeded %d elements at step %d", fillLimit, k)
+		}
+
+		// Phase 5 — elimination: update each row of the submatrix.  Values
+		// only; the structure was completed by the fillin phase, which is
+		// what makes this phase structurally read-only.
+		for _, u := range updates {
+			mult := u.mult.Val / pivot.Val
+			u.mult.Val = mult // store the L multiplier in place
+			cost := 0
+			cursor := w.rows[u.row].First
+			for pe := w.rows[pr].First; pe != nil; pe = pe.NextInRow {
+				if pe.Col == pc || !activeCol(pe.Col) {
+					continue
+				}
+				for cursor.Col < pe.Col {
+					cursor = cursor.NextInRow
+				}
+				cursor.Val -= mult * pe.Val
+				cost += 3 // row-merge advance plus the multiply-add
+			}
+			st.Elim.RowCosts = append(st.Elim.RowCosts, cost)
+		}
+
+		lu.Trace.Steps = append(lu.Trace.Steps, st)
+	}
+	return lu, nil
+}
+
+// betterPivot imposes a total order on pivot candidates — lowest Markowitz
+// score, then largest magnitude, then lowest (row, col) — so that
+// sequential and parallel searches select identical pivots.
+func betterPivot(score int, mag float64, e *Elem, bestScore int, bestMag float64, best *Elem) bool {
+	if best == nil {
+		return true
+	}
+	if score != bestScore {
+		return score < bestScore
+	}
+	if mag != bestMag {
+		return mag > bestMag
+	}
+	if e.Row != best.Row {
+		return e.Row < best.Row
+	}
+	return e.Col < best.Col
+}
+
+// Solve solves A·x = b using the factorization: with P A Q = L U, it solves
+// L w = P b forward, U y = w backward, and scatters x = Q y.
+func (lu *LU) Solve(b []float64) []float64 {
+	n := lu.M.N
+	if len(b) != n {
+		panic("sparse: dimension mismatch in Solve")
+	}
+	// Forward substitution, pushing each finalized w[k] down its column.
+	w := make([]float64, n)
+	for k := 0; k < n; k++ {
+		w[k] = b[lu.PRow[k]]
+	}
+	for k := 0; k < n; k++ {
+		for e := lu.M.cols[lu.PCol[k]].First; e != nil; e = e.NextInCol {
+			m := lu.RowOrder[e.Row]
+			if m > k {
+				w[m] -= e.Val * w[k]
+			}
+		}
+	}
+	// Backward substitution.
+	y := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		sum := w[k]
+		var diag float64
+		for e := lu.M.rows[lu.PRow[k]].First; e != nil; e = e.NextInRow {
+			m := lu.ColOrder[e.Col]
+			switch {
+			case m == k:
+				diag = e.Val
+			case m > k:
+				sum -= e.Val * y[m]
+			}
+		}
+		y[k] = sum / diag
+	}
+	x := make([]float64, n)
+	for k := 0; k < n; k++ {
+		x[lu.PCol[k]] = y[k]
+	}
+	return x
+}
+
+// SolveTrace returns the per-row work of forward+backward substitution
+// (element visits per pivot step), for the Figure 7 harness.
+func (lu *LU) SolveTrace() []int {
+	n := lu.M.N
+	costs := make([]int, n)
+	for k := 0; k < n; k++ {
+		c := 0
+		for e := lu.M.cols[lu.PCol[k]].First; e != nil; e = e.NextInCol {
+			if lu.RowOrder[e.Row] > k {
+				c++
+			}
+		}
+		for e := lu.M.rows[lu.PRow[k]].First; e != nil; e = e.NextInRow {
+			if lu.ColOrder[e.Col] >= k {
+				c++
+			}
+		}
+		costs[k] = c
+	}
+	return costs
+}

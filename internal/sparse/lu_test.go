@@ -1,0 +1,138 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// extractLU reconstructs the dense L and U factors from the in-place
+// factorization under the pivot permutation: L[k][j] for j<k holds the
+// multipliers, with a unit diagonal; U[k][j] for j>=k holds the upper part.
+func extractLU(lu *LU) (l, u [][]float64) {
+	n := lu.M.N
+	l = make([][]float64, n)
+	u = make([][]float64, n)
+	for k := 0; k < n; k++ {
+		l[k] = make([]float64, n)
+		u[k] = make([]float64, n)
+		l[k][k] = 1
+	}
+	for i := 0; i < n; i++ {
+		for e := lu.M.RowHeader(i).First; e != nil; e = e.NextInRow {
+			r, c := lu.RowOrder[e.Row], lu.ColOrder[e.Col]
+			if c < r {
+				l[r][c] = e.Val
+			} else {
+				u[r][c] = e.Val
+			}
+		}
+	}
+	return l, u
+}
+
+// TestLUReconstructsPAQ: multiplying the extracted factors reproduces the
+// permuted input, L·U = P·A·Q.
+func TestLUReconstructsPAQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 6; trial++ {
+		n := 8 + rng.Intn(20)
+		m := RandomCircuit(rng, n, 4*n)
+		lu, err := m.Factor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, u := extractLU(lu)
+		a := m.Dense()
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				var prod float64
+				for k := 0; k < n; k++ {
+					prod += l[r][k] * u[k][c]
+				}
+				want := a[lu.PRow[r]][lu.PCol[c]]
+				if math.Abs(prod-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("trial %d: (L·U)[%d][%d] = %v, PAQ = %v", trial, r, c, prod, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPermutationsAreBijections: PRow/PCol enumerate every index once and
+// RowOrder/ColOrder invert them.
+func TestPermutationsAreBijections(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	m := RandomCircuit(rng, 40, 200)
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenR := make([]bool, m.N)
+	seenC := make([]bool, m.N)
+	for k := 0; k < m.N; k++ {
+		if seenR[lu.PRow[k]] || seenC[lu.PCol[k]] {
+			t.Fatalf("pivot %d repeats a row or column", k)
+		}
+		seenR[lu.PRow[k]] = true
+		seenC[lu.PCol[k]] = true
+		if lu.RowOrder[lu.PRow[k]] != k || lu.ColOrder[lu.PCol[k]] != k {
+			t.Fatalf("order arrays do not invert the permutation at %d", k)
+		}
+	}
+}
+
+// TestMarkowitzPrefersSparsePivots: on a matrix with one dense row/column
+// (an arrowhead), Markowitz must not pick the dense intersection first —
+// eliminating the plain diagonal first produces zero fill.
+func TestMarkowitzPrefersSparsePivots(t *testing.T) {
+	n := 12
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 10)
+		if i > 0 {
+			m.Set(0, i, 1)
+			m.Set(i, 0, 1)
+		}
+	}
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.Trace.Fills != 0 {
+		t.Errorf("arrowhead with good ordering fills %d, want 0", lu.Trace.Fills)
+	}
+	if lu.PRow[0] == 0 && lu.PCol[0] == 0 {
+		t.Error("Markowitz picked the dense corner first")
+	}
+}
+
+// TestStabilityThresholdRejectsTinyPivots: a structurally attractive but
+// numerically tiny pivot is passed over.
+func TestStabilityThresholdRejectsTinyPivots(t *testing.T) {
+	m := New(3)
+	// (0,0) has the best Markowitz count but is tiny relative to its
+	// column; rows 1-2 are denser but well-scaled.
+	m.Set(0, 0, 1e-14)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 4)
+	m.Set(1, 2, 1)
+	m.Set(2, 1, 1)
+	m.Set(2, 2, 4)
+	m.Set(0, 1, 1)
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.PRow[0] == 0 && lu.PCol[0] == 0 {
+		t.Error("tiny pivot (0,0) selected despite the stability threshold")
+	}
+	// The factorization still solves accurately.
+	xTrue := []float64{1, 2, 3}
+	x := lu.Solve(m.MulVec(xTrue))
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x = %v, want %v", x, xTrue)
+		}
+	}
+}

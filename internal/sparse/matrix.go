@@ -1,0 +1,327 @@
+// Package sparse implements the §5 application: sparse matrices stored as
+// orthogonal linked lists (Figure 6), with the three fundamental operations
+// the paper names — Scale (linear), Factor (Gaussian elimination with
+// Markowitz-style fill-minimizing pivoting, quadratic), and Solve (linear).
+//
+// The element and header links carry the Appendix A field names: an element
+// chains along its row via NextInRow (the paper's ncolE — "next column
+// element") and down its column via NextInCol (nrowE); headers chain via
+// NextH (nrowH/ncolH) and point to their first element via First
+// (relem/celem).
+//
+// Factor records a per-phase work trace (how many element visits each phase
+// of each elimination step performed, per row) which the sched package
+// replays on a simulated multiprocessor to regenerate Figure 7.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Elem is one nonzero element of the matrix.
+type Elem struct {
+	Row, Col int
+	Val      float64
+	// NextInRow is the next element of the same row, increasing column
+	// (Figure 6's ncolE).
+	NextInRow *Elem
+	// NextInCol is the next element of the same column, increasing row
+	// (Figure 6's nrowE).
+	NextInCol *Elem
+}
+
+// Header heads one row or column list (Figure 6's header vertices).
+type Header struct {
+	Index int
+	// NextH is the next header (nrowH for rows, ncolH for columns).
+	NextH *Header
+	// First is the first element of the row/column (relem/celem).
+	First *Elem
+}
+
+// Matrix is an n×n sparse matrix over orthogonal lists.
+type Matrix struct {
+	N int
+	// RowsHead and ColsHead are the matrix root's rows/cols pointers.
+	RowsHead, ColsHead *Header
+	// rows and cols index the headers for O(1) access; the linked chains
+	// remain the authoritative structure.
+	rows, cols []*Header
+	nnz        int
+}
+
+// New returns an empty n×n matrix with all row and column headers built.
+func New(n int) *Matrix {
+	if n <= 0 {
+		panic("sparse: matrix dimension must be positive")
+	}
+	m := &Matrix{N: n, rows: make([]*Header, n), cols: make([]*Header, n)}
+	for i := n - 1; i >= 0; i-- {
+		m.rows[i] = &Header{Index: i, NextH: m.RowsHead}
+		m.RowsHead = m.rows[i]
+	}
+	for j := n - 1; j >= 0; j-- {
+		m.cols[j] = &Header{Index: j, NextH: m.ColsHead}
+		m.ColsHead = m.cols[j]
+	}
+	return m
+}
+
+// NNZ returns the number of stored elements.
+func (m *Matrix) NNZ() int { return m.nnz }
+
+// RowHeader returns the header of row i.
+func (m *Matrix) RowHeader(i int) *Header { return m.rows[i] }
+
+// ColHeader returns the header of column j.
+func (m *Matrix) ColHeader(j int) *Header { return m.cols[j] }
+
+// Get returns the value at (i, j); absent elements are 0.
+func (m *Matrix) Get(i, j int) float64 {
+	for e := m.rows[i].First; e != nil && e.Col <= j; e = e.NextInRow {
+		if e.Col == j {
+			return e.Val
+		}
+	}
+	return 0
+}
+
+// find returns the element at (i, j), or nil.
+func (m *Matrix) find(i, j int) *Elem {
+	for e := m.rows[i].First; e != nil && e.Col <= j; e = e.NextInRow {
+		if e.Col == j {
+			return e
+		}
+	}
+	return nil
+}
+
+// Set stores v at (i, j), inserting an element if needed.  Setting 0 stores
+// an explicit zero (structure is not pruned; factorization relies on
+// explicit fill-in elements).
+func (m *Matrix) Set(i, j int, v float64) *Elem {
+	if i < 0 || i >= m.N || j < 0 || j >= m.N {
+		panic(fmt.Sprintf("sparse: Set(%d, %d) outside %d×%d", i, j, m.N, m.N))
+	}
+	if e := m.find(i, j); e != nil {
+		e.Val = v
+		return e
+	}
+	e := &Elem{Row: i, Col: j, Val: v}
+	m.insertInRow(e)
+	m.insertInCol(e)
+	m.nnz++
+	return e
+}
+
+func (m *Matrix) insertInRow(e *Elem) {
+	h := m.rows[e.Row]
+	if h.First == nil || h.First.Col > e.Col {
+		e.NextInRow = h.First
+		h.First = e
+		return
+	}
+	prev := h.First
+	for prev.NextInRow != nil && prev.NextInRow.Col < e.Col {
+		prev = prev.NextInRow
+	}
+	e.NextInRow = prev.NextInRow
+	prev.NextInRow = e
+}
+
+func (m *Matrix) insertInCol(e *Elem) {
+	h := m.cols[e.Col]
+	if h.First == nil || h.First.Row > e.Row {
+		e.NextInCol = h.First
+		h.First = e
+		return
+	}
+	prev := h.First
+	for prev.NextInCol != nil && prev.NextInCol.Row < e.Row {
+		prev = prev.NextInCol
+	}
+	e.NextInCol = prev.NextInCol
+	prev.NextInCol = e
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.N)
+	for i := 0; i < m.N; i++ {
+		for e := m.rows[i].First; e != nil; e = e.NextInRow {
+			out.Set(e.Row, e.Col, e.Val)
+		}
+	}
+	return out
+}
+
+// FromTriplets builds a matrix from (row, col, value) triplets.
+func FromTriplets(n int, triplets [][3]float64) *Matrix {
+	m := New(n)
+	for _, t := range triplets {
+		m.Set(int(t[0]), int(t[1]), t[2])
+	}
+	return m
+}
+
+// Dense returns the dense [][]float64 form (for small-matrix validation).
+func (m *Matrix) Dense() [][]float64 {
+	out := make([][]float64, m.N)
+	for i := range out {
+		out[i] = make([]float64, m.N)
+		for e := m.rows[i].First; e != nil; e = e.NextInRow {
+			out[i][e.Col] = e.Val
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by s, traversing the structure row by row
+// exactly as the paper's linear-time scale step does.
+func (m *Matrix) Scale(s float64) {
+	for h := m.RowsHead; h != nil; h = h.NextH {
+		for e := h.First; e != nil; e = e.NextInRow {
+			e.Val *= s
+		}
+	}
+}
+
+// ScaleTrace returns the per-row work of a Scale pass (element visits per
+// row), used by the Figure 7 harness.
+func (m *Matrix) ScaleTrace() []int {
+	costs := make([]int, m.N)
+	for h := m.RowsHead; h != nil; h = h.NextH {
+		n := 0
+		for e := h.First; e != nil; e = e.NextInRow {
+			n++
+		}
+		costs[h.Index] = n
+	}
+	return costs
+}
+
+// Random builds an n×n matrix with approximately nnz nonzeros at uniformly
+// random off-diagonal positions, plus a full, diagonally dominant diagonal
+// (each |a_ii| exceeds the absolute sum of its row's off-diagonals), so that
+// elimination is numerically benign and pivoting is governed by sparsity.
+func Random(rng *rand.Rand, n, nnz int) *Matrix {
+	m := New(n)
+	rowAbs := make([]float64, n)
+	placed := 0
+	for placed < nnz-n && placed < n*(n-1)/2 {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j || m.find(i, j) != nil {
+			continue
+		}
+		v := rng.Float64()*2 - 1
+		m.Set(i, j, v)
+		rowAbs[i] += math.Abs(v)
+		placed++
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return m
+}
+
+// RandomCircuit builds an n×n matrix with approximately nnz nonzeros whose
+// sparsity pattern mimics circuit matrices [Kun86]: connectivity is mostly
+// local (geometrically distributed distance from the diagonal) with a few
+// long-range connections, symmetric pattern, full diagonally dominant
+// diagonal.  Such patterns factor with moderate fill-in, unlike uniformly
+// random patterns.
+func RandomCircuit(rng *rand.Rand, n, nnz int) *Matrix {
+	m := New(n)
+	rowAbs := make([]float64, n)
+	placed := 0
+	for placed < nnz-n {
+		i := rng.Intn(n)
+		// Geometric jump length, occasionally long-range.
+		d := 1 + int(rng.ExpFloat64()*3)
+		if rng.Intn(20) == 0 {
+			d = 1 + rng.Intn(n-1)
+		}
+		j := i + d
+		if j >= n {
+			continue
+		}
+		if m.find(i, j) != nil {
+			continue
+		}
+		v := rng.Float64()*2 - 1
+		m.Set(i, j, v)
+		m.Set(j, i, v*(0.5+rng.Float64()))
+		rowAbs[i] += math.Abs(m.Get(i, j))
+		rowAbs[j] += math.Abs(m.Get(j, i))
+		placed += 2
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return m
+}
+
+// GridLaplacian builds the 5-point finite-difference Laplacian on a
+// side×side grid (dimension side²): the classic PDE test matrix, with
+// unavoidable fill under any elimination order.  A second workload family
+// for the Figure 7 harness alongside the circuit pattern.
+func GridLaplacian(side int) *Matrix {
+	n := side * side
+	m := New(n)
+	at := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			i := at(r, c)
+			m.Set(i, i, 5)
+			if r > 0 {
+				m.Set(i, at(r-1, c), -1)
+			}
+			if r < side-1 {
+				m.Set(i, at(r+1, c), -1)
+			}
+			if c > 0 {
+				m.Set(i, at(r, c-1), -1)
+			}
+			if c < side-1 {
+				m.Set(i, at(r, c+1), -1)
+			}
+		}
+	}
+	return m
+}
+
+// MulVec returns A·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.N {
+		panic("sparse: dimension mismatch in MulVec")
+	}
+	out := make([]float64, m.N)
+	for h := m.RowsHead; h != nil; h = h.NextH {
+		sum := 0.0
+		for e := h.First; e != nil; e = e.NextInRow {
+			sum += e.Val * x[e.Col]
+		}
+		out[h.Index] = sum
+	}
+	return out
+}
+
+// rowLen returns the number of elements in row i (linked traversal).
+func (m *Matrix) rowLen(i int) int {
+	n := 0
+	for e := m.rows[i].First; e != nil; e = e.NextInRow {
+		n++
+	}
+	return n
+}
+
+// colLen returns the number of elements in column j.
+func (m *Matrix) colLen(j int) int {
+	n := 0
+	for e := m.cols[j].First; e != nil; e = e.NextInCol {
+		n++
+	}
+	return n
+}

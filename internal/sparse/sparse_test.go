@@ -1,0 +1,331 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetAndStructure(t *testing.T) {
+	m := New(3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	m.Set(2, 0, 4)
+	m.Set(0, 1, 5) // insert between existing row elements
+
+	if got := m.Get(0, 1); got != 5 {
+		t.Errorf("Get(0,1) = %v", got)
+	}
+	if got := m.Get(2, 2); got != 0 {
+		t.Errorf("Get(2,2) = %v, want 0", got)
+	}
+	if m.NNZ() != 5 {
+		t.Errorf("NNZ = %d, want 5", m.NNZ())
+	}
+	// Row 0 chain is sorted by column: 0 -> 1 -> 2.
+	var cols []int
+	for e := m.RowHeader(0).First; e != nil; e = e.NextInRow {
+		cols = append(cols, e.Col)
+	}
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 1 || cols[2] != 2 {
+		t.Errorf("row 0 columns = %v", cols)
+	}
+	// Column 0 chain sorted by row: 0 -> 2.
+	var rows []int
+	for e := m.ColHeader(0).First; e != nil; e = e.NextInCol {
+		rows = append(rows, e.Row)
+	}
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Errorf("col 0 rows = %v", rows)
+	}
+	// Header chains exist from the matrix root.
+	count := 0
+	for h := m.RowsHead; h != nil; h = h.NextH {
+		count++
+	}
+	if count != 3 {
+		t.Errorf("row header chain length = %d", count)
+	}
+}
+
+func TestSetOverwrites(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 0, 7)
+	if m.NNZ() != 1 || m.Get(0, 0) != 7 {
+		t.Errorf("overwrite failed: nnz=%d val=%v", m.NNZ(), m.Get(0, 0))
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := FromTriplets(2, [][3]float64{{0, 0, 2}, {1, 1, 3}, {0, 1, -1}})
+	m.Scale(2)
+	if m.Get(0, 0) != 4 || m.Get(1, 1) != 6 || m.Get(0, 1) != -2 {
+		t.Errorf("scale failed: %v", m.Dense())
+	}
+	tr := m.ScaleTrace()
+	if tr[0] != 2 || tr[1] != 1 {
+		t.Errorf("scale trace = %v", tr)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromTriplets(2, [][3]float64{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}})
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 3 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestFactorSolveSmall(t *testing.T) {
+	// A well-conditioned 3×3 system with a known solution.
+	m := FromTriplets(3, [][3]float64{
+		{0, 0, 4}, {0, 1, 1},
+		{1, 0, 1}, {1, 1, 5}, {1, 2, 2},
+		{2, 1, 1}, {2, 2, 6},
+	})
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := []float64{1, -2, 3}
+	b := m.MulVec(xTrue)
+	x := lu.Solve(b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, xTrue)
+		}
+	}
+}
+
+func TestFactorSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(40)
+		m := Random(rng, n, 4*n)
+		lu, err := m.Factor()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.Float64()*4 - 2
+		}
+		b := m.MulVec(xTrue)
+		x := lu.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("trial %d (n=%d): x[%d] = %v, want %v", trial, n, i, x[i], xTrue[i])
+			}
+		}
+		// Factoring must not mutate the input.
+		b2 := m.MulVec(xTrue)
+		for i := range b {
+			if b[i] != b2[i] {
+				t.Fatal("Factor mutated the input matrix")
+			}
+		}
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1) // row 1 empty: singular
+	if _, err := m.Factor(); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestFactorTraceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := Random(rng, 30, 120)
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := lu.Trace
+	if tr.N != 30 || len(tr.Steps) != 30 {
+		t.Fatalf("trace has %d steps for n=%d", len(tr.Steps), tr.N)
+	}
+	if tr.NNZ0 != m.NNZ() {
+		t.Errorf("trace NNZ0 = %d, want %d", tr.NNZ0, m.NNZ())
+	}
+	var heur, search, adjust, fill, elim int64
+	for _, st := range tr.Steps {
+		heur += st.Heuristic.Total()
+		search += st.Search.Total()
+		adjust += int64(st.Adjust)
+		fill += st.Fillin.Total()
+		elim += st.Elim.Total()
+	}
+	if heur == 0 || search == 0 || adjust == 0 || elim == 0 {
+		t.Errorf("empty phase work: h=%d s=%d a=%d f=%d e=%d", heur, search, adjust, fill, elim)
+	}
+	// Heuristic and search scan the same submatrix: comparable totals.
+	if search < heur/2 || search > 2*heur {
+		t.Errorf("search/heuristic imbalance: %d vs %d", search, heur)
+	}
+}
+
+func TestFillinsAreRecorded(t *testing.T) {
+	// A 5-point Laplacian on a 4×4 grid: every elimination order produces
+	// fill (grid graphs have treewidth > 1), so even Markowitz must insert.
+	const side = 4
+	m := New(side * side)
+	at := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			i := at(r, c)
+			m.Set(i, i, 5)
+			if r > 0 {
+				m.Set(i, at(r-1, c), -1)
+			}
+			if r < side-1 {
+				m.Set(i, at(r+1, c), -1)
+			}
+			if c > 0 {
+				m.Set(i, at(r, c-1), -1)
+			}
+			if c < side-1 {
+				m.Set(i, at(r, c+1), -1)
+			}
+		}
+	}
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.Trace.Fills == 0 {
+		t.Error("expected fill-ins for this pattern")
+	}
+	if lu.M.NNZ() != m.NNZ()+lu.Trace.Fills {
+		t.Errorf("nnz %d != original %d + fills %d", lu.M.NNZ(), m.NNZ(), lu.Trace.Fills)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromTriplets(2, [][3]float64{{0, 0, 1}, {1, 1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	c.Set(0, 1, 5)
+	if m.Get(0, 0) != 1 || m.Get(0, 1) != 0 {
+		t.Error("Clone shares structure with the original")
+	}
+}
+
+func TestRandomMatrixProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Random(rng, 50, 200)
+	// Full diagonal.
+	for i := 0; i < 50; i++ {
+		if m.Get(i, i) == 0 {
+			t.Fatalf("diagonal (%d,%d) missing", i, i)
+		}
+	}
+	// Diagonal dominance.
+	for i := 0; i < 50; i++ {
+		sum := 0.0
+		for e := m.RowHeader(i).First; e != nil; e = e.NextInRow {
+			if e.Col != i {
+				sum += math.Abs(e.Val)
+			}
+		}
+		if math.Abs(m.Get(i, i)) <= sum {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+	if m.NNZ() < 200 {
+		t.Errorf("nnz = %d, want >= 200", m.NNZ())
+	}
+}
+
+// TestPropertySolveRoundTrip: for random diagonally dominant systems,
+// factor+solve recovers the solution.
+func TestPropertySolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		m := Random(rng, n, 3*n)
+		lu, err := m.Factor()
+		if err != nil {
+			return false
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		x := lu.Solve(m.MulVec(xTrue))
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyColumnListsMirrorRowLists: the orthogonal lists stay
+// consistent through arbitrary insertion orders.
+func TestPropertyColumnListsMirrorRowLists(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := New(n)
+		for k := 0; k < 20; k++ {
+			m.Set(rng.Intn(n), rng.Intn(n), rng.Float64())
+		}
+		// Every element in a row list appears in its column list and vice
+		// versa, with both lists strictly sorted.
+		seen := map[*Elem]bool{}
+		for i := 0; i < n; i++ {
+			last := -1
+			for e := m.RowHeader(i).First; e != nil; e = e.NextInRow {
+				if e.Row != i || e.Col <= last {
+					return false
+				}
+				last = e.Col
+				seen[e] = true
+			}
+		}
+		count := 0
+		for j := 0; j < n; j++ {
+			last := -1
+			for e := m.ColHeader(j).First; e != nil; e = e.NextInCol {
+				if e.Col != j || e.Row <= last || !seen[e] {
+					return false
+				}
+				last = e.Row
+				count++
+			}
+		}
+		return count == len(seen) && count == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := Random(rng, 20, 60)
+	lu, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := lu.SolveTrace()
+	if len(tr) != 20 {
+		t.Fatalf("solve trace length = %d", len(tr))
+	}
+	total := 0
+	for _, c := range tr {
+		total += c
+	}
+	if total < 20 {
+		t.Errorf("solve trace total = %d, implausibly small", total)
+	}
+}

@@ -1,0 +1,19 @@
+// Figure 1's right fragment: the list-update loop whose loop-carried output
+// dependence on U is false when the list is acyclic.
+struct Node {
+	struct Node *link;
+	int f;
+	axioms {
+		forall p <> q, p.link <> q.link;
+		forall p, p.link+ <> p.eps;
+	}
+};
+
+void update(struct Node *head) {
+	struct Node *q;
+	q = head;
+	while (q != NULL) {
+U:		q->f = fun();
+		q = q->link;
+	}
+}

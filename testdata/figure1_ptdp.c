@@ -1,0 +1,10 @@
+// Figure 1's left fragment: the pointer TARGET dependence problem.  There
+// is an output dependence from S to T iff p points to i at S.
+void f() {
+	int i;
+	int j;
+	int *p;
+	p = &i;
+S:	*p = 10;
+T:	i = 20;
+}

@@ -1,0 +1,16 @@
+// List mutators for axiomcheck -maintain: insertion and in-place reversal
+// preserve list-ness; makeCycle does not (§3.4's verification concern).
+struct Node { struct Node *next; int f; };
+
+void insertAfter(struct Node *pos) {
+	struct Node *n;
+	struct Node *rest;
+	n = malloc(struct Node);
+	rest = pos->next;
+	n->next = rest;
+	pos->next = n;
+}
+
+void makeCycle(struct Node *head) {
+	head->next = head;
+}
