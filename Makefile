@@ -1,0 +1,34 @@
+# Pre-merge gate and common development targets.  `make check` is the full
+# gate: vet, build, race-enabled tests, and a one-iteration pass over every
+# benchmark (catches bit-rot in benchmark code without paying for timing).
+
+GO ?= go
+
+.PHONY: check vet build test race bench allocs figure7 clean
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# The 0-allocation guarantee for disabled telemetry, with real numbers.
+allocs:
+	$(GO) test -run='^$$' -bench=BenchmarkTelemetryDisabled -benchmem ./internal/telemetry
+
+figure7:
+	$(GO) run ./cmd/sparsebench
+
+clean:
+	$(GO) clean ./...

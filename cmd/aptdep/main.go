@@ -7,83 +7,121 @@
 //	aptdep -fn subr -from S -to T prog.c          straight-line dependence
 //	aptdep -fn update -loop U prog.c              loop-carried dependence
 //	aptdep -fn subr -apm prog.c                   dump the APM tables
+//	aptdep -stats -trace-json t.jsonl -fn subr -from S -to T prog.c
+//
+// Exit status: 0 when every query answered No, 1 when a dependence was found
+// or assumed, 2 on usage or input errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/prover"
 	"repro/internal/ptdp"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	fn := flag.String("fn", "", "function to analyze (default: the only function)")
-	from := flag.String("from", "", "label of statement S")
-	to := flag.String("to", "", "label of statement T")
-	loop := flag.String("loop", "", "label for a loop-carried self-dependence query")
-	crossIter := flag.Bool("cross-iteration", false, "with -from/-to in one loop: compare S at iteration i against T at a later iteration")
-	usePTDP := flag.Bool("ptdp", false, "run the named-variable points-to test instead of APT (Figure 1's left problem)")
-	apm := flag.Bool("apm", false, "print the access path matrix at every label")
-	trace := flag.Bool("trace", false, "print proof traces")
-	assumeInv := flag.Bool("assume-invariants", false, "assume loops re-establish axioms despite structural modifications (the 'full' analysis of §5)")
-	verify := flag.Bool("verify", false, "independently re-check every proof before trusting a No")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fatalf("usage: aptdep [flags] file.c")
+// run is main without the process-global bindings, so tests can drive the
+// whole CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aptdep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fn := fs.String("fn", "", "function to analyze (default: the only function)")
+	from := fs.String("from", "", "label of statement S")
+	to := fs.String("to", "", "label of statement T")
+	loop := fs.String("loop", "", "label for a loop-carried self-dependence query")
+	crossIter := fs.Bool("cross-iteration", false, "with -from/-to in one loop: compare S at iteration i against T at a later iteration")
+	usePTDP := fs.Bool("ptdp", false, "run the named-variable points-to test instead of APT (Figure 1's left problem)")
+	apm := fs.Bool("apm", false, "print the access path matrix at every label")
+	trace := fs.Bool("trace", false, "print proof traces")
+	assumeInv := fs.Bool("assume-invariants", false, "assume loops re-establish axioms despite structural modifications (the 'full' analysis of §5)")
+	verify := fs.Bool("verify", false, "independently re-check every proof before trusting a No")
+	var tf cliutil.TelemetryFlags
+	tf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatalf("%v", err)
+
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptdep: "+format+"\n", fargs...)
+		return 2
 	}
-	prog, err := lang.Parse(string(src))
+	if fs.NArg() != 1 {
+		return fatalf("usage: aptdep [flags] file.c")
+	}
+	tel, err := tf.Open()
 	if err != nil {
-		fatalf("%v", err)
+		return fatalf("%v", err)
+	}
+	phases := telemetry.NewPhases(tel)
+	defer tf.Close(stderr, phases)
+
+	var prog *lang.Program
+	if err := phases.Run("parse", func() error {
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		prog, err = lang.Parse(string(src))
+		return err
+	}); err != nil {
+		return fatalf("%v", err)
 	}
 	name := *fn
 	if name == "" {
 		if len(prog.Funcs) != 1 {
-			fatalf("file has %d functions; pick one with -fn", len(prog.Funcs))
+			return fatalf("file has %d functions; pick one with -fn", len(prog.Funcs))
 		}
 		name = prog.Funcs[0].Name
 	}
 
 	if *usePTDP {
 		if *from == "" || *to == "" {
-			fatalf("-ptdp needs -from and -to")
+			return fatalf("-ptdp needs -from and -to")
 		}
 		r, err := ptdp.Analyze(prog, name)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		res, err := r.DepTest(*from, *to)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
-		fmt.Printf("%v  (points-to intersection, %s → %s)\n", res, *from, *to)
+		fmt.Fprintf(stdout, "%v  (points-to intersection, %s → %s)\n", res, *from, *to)
 		if env := r.PointsTo[*from]; env != nil {
 			for v, pts := range env {
-				fmt.Printf("    at %s: %s -> %s\n", *from, v, pts)
+				fmt.Fprintf(stdout, "    at %s: %s -> %s\n", *from, v, pts)
 			}
 		}
 		if res != core.No {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	res, err := analysis.Analyze(prog, name, analysis.Options{
-		InferTypeAxioms:      true,
-		AssumeLoopInvariants: *assumeInv,
-	})
-	if err != nil {
-		fatalf("%v", err)
+	var res *analysis.Result
+	if err := phases.Run("analyze", func() error {
+		var err error
+		res, err = analysis.Analyze(prog, name, analysis.Options{
+			InferTypeAxioms:      true,
+			AssumeLoopInvariants: *assumeInv,
+			Telemetry:            tel,
+		})
+		return err
+	}); err != nil {
+		return fatalf("%v", err)
 	}
 
 	if *apm {
@@ -93,42 +131,52 @@ func main() {
 		}
 		sort.Strings(labels)
 		for _, l := range labels {
-			fmt.Printf("at %s:\n%s\n", l, res.APMs[l])
+			fmt.Fprintf(stdout, "at %s:\n%s\n", l, res.APMs[l])
 		}
 		if *from == "" && *loop == "" {
-			return
+			return 0
 		}
 	}
 
 	var queries []core.Query
-	switch {
-	case *loop != "":
-		queries, err = res.LoopCarriedQueries(*loop)
-	case *from != "" && *to != "" && *crossIter:
-		queries, err = res.LoopCarriedBetween(*from, *to)
-	case *from != "" && *to != "":
-		queries, err = res.QueriesBetween(*from, *to)
-	default:
-		fatalf("provide -from/-to or -loop")
-	}
-	if err != nil {
-		fatalf("%v", err)
+	if err := phases.Run("build-queries", func() error {
+		var err error
+		switch {
+		case *loop != "":
+			queries, err = res.LoopCarriedQueries(*loop)
+		case *from != "" && *to != "" && *crossIter:
+			queries, err = res.LoopCarriedBetween(*from, *to)
+		case *from != "" && *to != "":
+			queries, err = res.QueriesBetween(*from, *to)
+		default:
+			err = fmt.Errorf("provide -from/-to or -loop")
+		}
+		return err
+	}); err != nil {
+		return fatalf("%v", err)
 	}
 
-	tester := core.NewTester(res.Axioms, prover.Options{})
+	tester := core.NewTester(res.Axioms, prover.Options{Telemetry: tel})
 	tester.VerifyProofs = *verify
 	exit := 0
-	for _, q := range queries {
-		out := tester.DepTest(q)
-		fmt.Printf("%v  [%s]  S: %v  T: %v\n    %s\n", out.Result, out.Kind, q.S, q.T, out.Reason)
-		if *trace && out.Proof != nil {
-			fmt.Println(indent(out.Proof.Render()))
+	phases.Run("deptest", func() error {
+		for _, q := range queries {
+			out := tester.DepTest(q)
+			fmt.Fprintf(stdout, "%v  [%s]  S: %v  T: %v\n    %s\n", out.Result, out.Kind, q.S, q.T, out.Reason)
+			if *trace && out.Proof != nil {
+				fmt.Fprintln(stdout, indent(out.Proof.Render()))
+			}
+			if out.Result != core.No {
+				exit = 1
+			}
 		}
-		if out.Result != core.No {
-			exit = 1
-		}
+		return nil
+	})
+	if err := tf.Close(stderr, phases); err != nil {
+		return fatalf("%v", err)
 	}
-	os.Exit(exit)
+	tf = cliutil.TelemetryFlags{} // deferred Close becomes a no-op
+	return exit
 }
 
 func indent(s string) string {
@@ -143,9 +191,4 @@ func indent(s string) string {
 		}
 	}
 	return out
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "aptdep: "+format+"\n", args...)
-	os.Exit(2)
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -15,5 +19,102 @@ func TestIndent(t *testing.T) {
 	}
 	if !strings.HasPrefix(indent("x"), "    x") {
 		t.Error("single line")
+	}
+}
+
+// TestTraceJSONSchema drives the whole CLI in-process over the paper's §3.3
+// example and validates the JSONL trace schema: every line is one JSON
+// object with ts_us / strictly-increasing seq / ev, the prover span carries
+// its effort attributes, and the expected event kinds are present.
+func TestTraceJSONSchema(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-stats", "-trace-json", tracePath,
+		"-fn", "subr", "-from", "S", "-to", "T",
+		"../../testdata/section33.c",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (independence provable)\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "No") {
+		t.Errorf("stdout missing verdict: %s", stdout.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("only %d trace lines", len(lines))
+	}
+	events := map[string]int{}
+	lastSeq := int64(0)
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, ln)
+		}
+		for _, k := range []string{"ts_us", "seq", "ev"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line missing %q: %s", k, ln)
+			}
+		}
+		seq := int64(m["seq"].(float64))
+		if seq <= lastSeq {
+			t.Errorf("seq not strictly increasing: %d after %d", seq, lastSeq)
+		}
+		lastSeq = seq
+		ev := m["ev"].(string)
+		events[ev]++
+		if ev == "prover.query" {
+			for _, k := range []string{"dur_us", "theorem", "result", "steps", "peak_depth", "dfa_compiles", "cache_hits"} {
+				if _, ok := m[k]; !ok {
+					t.Errorf("prover.query missing %q: %s", k, ln)
+				}
+			}
+			if m["result"] != "proved" {
+				t.Errorf("prover.query result = %v, want proved", m["result"])
+			}
+		}
+	}
+	for _, ev := range []string{"pipeline.phase", "analysis.analyze", "prover.query",
+		"prover.suffix_split", "automata.compile", "core.deptest"} {
+		if events[ev] == 0 {
+			t.Errorf("no %s events in trace", ev)
+		}
+	}
+
+	// The -stats stderr summary carries the derived effort numbers.
+	for _, want := range []string{"wall-clock per phase", "cache hit rate", "DFA compiles:", "counters:", "histograms:"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestRunPlainStillWorks: without telemetry flags the CLI behaves as before.
+func TestRunPlainStillWorks(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fn", "subr", "-from", "S", "-to", "T", "../../testdata/section33.c"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr without -stats: %s", stderr.String())
+	}
+}
+
+// TestRunUsageError: bad flags exit 2 without panicking.
+func TestRunUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	if code := run([]string{}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing file: exit = %d, want 2", code)
 	}
 }

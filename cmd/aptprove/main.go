@@ -7,15 +7,18 @@
 //	aptprove -structure leaf-linked-tree 'L.L.N' 'L.R.N'
 //	aptprove -structure sparse-matrix-core 'ncolE+' 'nrowE+ncolE+'
 //	aptprove -axioms axioms.txt -form diff 'relem.ncolE*' 'relem.ncolE*'
+//	aptprove -stats -trace-json t.jsonl -structure sparse-matrix-core 'ncolE+' 'nrowE+ncolE+'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/axiom"
+	"repro/internal/cliutil"
 	"repro/internal/pathexpr"
 	"repro/internal/prover"
 )
@@ -35,14 +38,29 @@ var builtins = map[string]func() *axiom.Set{
 }
 
 func main() {
-	structure := flag.String("structure", "", "built-in axiom set (see -list)")
-	axiomFile := flag.String("axioms", "", "file of axioms, one per line")
-	form := flag.String("form", "same", "quantifier form: same (∀h) or diff (∀h<>k)")
-	list := flag.Bool("list", false, "list built-in structures and exit")
-	quiet := flag.Bool("q", false, "print only the verdict")
-	steps := flag.Int("maxsteps", 0, "proof step budget (0 = default)")
-	check := flag.Bool("check", false, "re-validate the derivation with the independent proof checker")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aptprove", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	structure := fs.String("structure", "", "built-in axiom set (see -list)")
+	axiomFile := fs.String("axioms", "", "file of axioms, one per line")
+	form := fs.String("form", "same", "quantifier form: same (∀h) or diff (∀h<>k)")
+	list := fs.Bool("list", false, "list built-in structures and exit")
+	quiet := fs.Bool("q", false, "print only the verdict")
+	steps := fs.Int("maxsteps", 0, "proof step budget (0 = default)")
+	check := fs.Bool("check", false, "re-validate the derivation with the independent proof checker")
+	var tf cliutil.TelemetryFlags
+	tf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptprove: "+format+"\n", fargs...)
+		return 2
+	}
 
 	if *list {
 		var names []string
@@ -51,9 +69,9 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Printf("%-20s %d axioms\n", n, builtins[n]().Len())
+			fmt.Fprintf(stdout, "%-20s %d axioms\n", n, builtins[n]().Len())
 		}
-		return
+		return 0
 	}
 
 	var set *axiom.Set
@@ -61,32 +79,32 @@ func main() {
 	case *structure != "":
 		mk, ok := builtins[*structure]
 		if !ok {
-			fatalf("unknown structure %q (use -list)", *structure)
+			return fatalf("unknown structure %q (use -list)", *structure)
 		}
 		set = mk()
 	case *axiomFile != "":
 		data, err := os.ReadFile(*axiomFile)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		set, err = axiom.ParseSet(*axiomFile, string(data))
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 	default:
-		fatalf("provide -structure or -axioms (and two path expressions)")
+		return fatalf("provide -structure or -axioms (and two path expressions)")
 	}
 
-	if flag.NArg() != 2 {
-		fatalf("need exactly two path expressions, got %d", flag.NArg())
+	if fs.NArg() != 2 {
+		return fatalf("need exactly two path expressions, got %d", fs.NArg())
 	}
-	x, err := pathexpr.ParseAlphabet(flag.Arg(0), set.Fields())
+	x, err := pathexpr.ParseAlphabet(fs.Arg(0), set.Fields())
 	if err != nil {
-		fatalf("left path: %v", err)
+		return fatalf("left path: %v", err)
 	}
-	y, err := pathexpr.ParseAlphabet(flag.Arg(1), set.Fields())
+	y, err := pathexpr.ParseAlphabet(fs.Arg(1), set.Fields())
 	if err != nil {
-		fatalf("right path: %v", err)
+		return fatalf("right path: %v", err)
 	}
 
 	var goalForm prover.Form
@@ -96,35 +114,39 @@ func main() {
 	case "diff":
 		goalForm = prover.DiffSrc
 	default:
-		fatalf("-form must be same or diff")
+		return fatalf("-form must be same or diff")
+	}
+
+	tel, err := tf.Open()
+	if err != nil {
+		return fatalf("%v", err)
 	}
 
 	if !*quiet {
-		fmt.Print(set)
-		fmt.Println()
+		fmt.Fprint(stdout, set)
+		fmt.Fprintln(stdout)
 	}
-	p := prover.New(set, prover.Options{MaxSteps: *steps})
+	p := prover.New(set, prover.Options{MaxSteps: *steps, Telemetry: tel})
 	proof := p.Prove(goalForm, x, y)
 	if *quiet {
-		fmt.Println(proof.Result)
+		fmt.Fprintln(stdout, proof.Result)
 	} else {
-		fmt.Print(proof.Render())
+		fmt.Fprint(stdout, proof.Render())
 	}
+	exit := 0
 	if *check && proof.Result == prover.Proved {
 		if err := p.CheckProof(proof); err != nil {
-			fmt.Fprintf(os.Stderr, "aptprove: derivation FAILED independent checking: %v\n", err)
-			os.Exit(1)
-		}
-		if !*quiet {
-			fmt.Println("derivation independently re-validated ✓")
+			fmt.Fprintf(stderr, "aptprove: derivation FAILED independent checking: %v\n", err)
+			exit = 1
+		} else if !*quiet {
+			fmt.Fprintln(stdout, "derivation independently re-validated ✓")
 		}
 	}
 	if proof.Result != prover.Proved {
-		os.Exit(1)
+		exit = 1
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "aptprove: "+format+"\n", args...)
-	os.Exit(2)
+	if err := tf.Close(stderr, nil); err != nil {
+		return fatalf("%v", err)
+	}
+	return exit
 }

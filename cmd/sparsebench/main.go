@@ -6,16 +6,24 @@
 //	sparsebench -pattern grid -n 900   a 30×30 grid Laplacian instead
 //	sparsebench -sweep                 size/pattern sweep of the 7-PE column
 //	sparsebench -detail                per-phase work breakdown
+//	sparsebench -live 4 -stats         also factor on 4 real workers, with metrics
+//	sparsebench -live 4 -http :6060    serve pprof + expvar while (and after) running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
+	"repro/internal/cliutil"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,10 +34,33 @@ func main() {
 	barrier := flag.Int64("barrier", sched.DefaultBarrierCost, "per-phase synchronization cost in work units")
 	sweep := flag.Bool("sweep", false, "sweep sizes and patterns, reporting 7-PE speedups")
 	detail := flag.Bool("detail", false, "print the per-phase work breakdown")
+	live := flag.Int("live", 0, "also run the full factorization live on this many goroutine workers")
+	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar (/debug/vars) on this `address`, keeping the process alive after the run")
+	var tf cliutil.TelemetryFlags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		tf.EnsureRegistry()
+	}
+	tel, err := tf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparsebench:", err)
+		os.Exit(2)
+	}
+	if *httpAddr != "" {
+		tf.Registry().PublishExpvar("sparsebench")
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sparsebench: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving /debug/pprof and /debug/vars on %s\n", *httpAddr)
+	}
 
 	if *sweep {
 		runSweep(*seed, *barrier)
+		finish(&tf, *httpAddr)
 		return
 	}
 
@@ -44,6 +75,12 @@ func main() {
 	fmt.Printf("factor: %d fill-ins, %d total elements\n", lu.Trace.Fills, lu.M.NNZ())
 	if *detail {
 		printDetail(lu.Trace)
+	}
+	if *live > 0 {
+		if err := runLive(m, *live, tel, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "live factor:", err)
+			os.Exit(1)
+		}
 	}
 
 	w := sched.Workload{Scale: m.ScaleTrace(), Factor: lu.Trace, Solve: lu.SolveTrace()}
@@ -60,6 +97,34 @@ func main() {
 	fmt.Println("Scale, Factor, Solve (partial)        1.7    2.4    3.0")
 	fmt.Println("Factor only (full)                    1.8    3.3    5.2")
 	fmt.Println("Scale, Factor, Solve (full)           1.8    3.3    5.2")
+	finish(&tf, *httpAddr)
+}
+
+// runLive executes the factorization on real goroutines (the live
+// counterpart of the simulated Figure 7 run), feeding the pool's worker and
+// per-phase telemetry.
+func runLive(m *sparse.Matrix, workers int, tel *telemetry.Set, stdout io.Writer) error {
+	pool := parallel.NewPool(workers).SetTelemetry(tel)
+	lu, err := m.FactorParallel(pool, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "live factor (%d workers, full analysis): %d fill-ins, %d total elements\n",
+		workers, lu.Trace.Fills, lu.M.NNZ())
+	return nil
+}
+
+// finish flushes telemetry and, when an HTTP endpoint is up, parks the
+// process so the profiles stay inspectable.
+func finish(tf *cliutil.TelemetryFlags, httpAddr string) {
+	if err := tf.Close(os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sparsebench:", err)
+		os.Exit(1)
+	}
+	if httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "run complete; still serving %s (interrupt to exit)\n", httpAddr)
+		select {}
+	}
 }
 
 func build(pattern string, n, nnz int, seed int64) (*sparse.Matrix, string) {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/axiom"
 	"repro/internal/lang"
 	"repro/internal/pathexpr"
+	"repro/internal/telemetry"
 )
 
 // Options configures the analysis.
@@ -47,6 +48,9 @@ type Options struct {
 	// InferTypeAxioms adds the Appendix A style inferred axioms: pointer
 	// fields with different target types lead to different vertices.
 	InferTypeAxioms bool
+	// Telemetry receives per-function analysis spans, widening events, and
+	// aggregate counters.  Nil (the default) disables instrumentation.
+	Telemetry *telemetry.Set
 }
 
 // Access records one memory reference var->Field observed by the analysis.

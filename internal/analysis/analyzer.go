@@ -8,6 +8,7 @@ import (
 	"repro/internal/axiom"
 	"repro/internal/lang"
 	"repro/internal/pathexpr"
+	"repro/internal/telemetry"
 )
 
 // Analyze runs the memory-reference analysis on function fnName of prog.
@@ -16,13 +17,19 @@ func Analyze(prog *lang.Program, fnName string, opts Options) (*Result, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("analysis: function %q not found", fnName)
 	}
+	tel := opts.Telemetry
+	sp := tel.Begin("analysis.analyze")
+	ssp := tel.Begin("analysis.summarize")
+	summaries := Summarize(prog)
+	ssp.End(telemetry.Int("funcs", len(summaries)))
 	a := &analyzer{
 		prog:      prog,
 		fn:        fn,
 		opts:      opts,
+		tel:       tel,
 		varTypes:  make(map[string]string),
 		counters:  make(map[string]int),
-		summaries: Summarize(prog),
+		summaries: summaries,
 		res: &Result{
 			Fn:   fn,
 			APMs: make(map[string]*APM),
@@ -40,6 +47,18 @@ func Analyze(prog *lang.Program, fnName string, opts Options) (*Result, error) {
 		}
 	}
 	a.walkBlock(st, fn.Body)
+
+	tel.Counter("analysis.functions").Add(1)
+	tel.Counter("analysis.accesses").Add(int64(len(a.res.Accesses)))
+	tel.Counter("analysis.mods").Add(int64(len(a.res.Mods)))
+	tel.Counter("analysis.loops_widened").Add(int64(a.loopID))
+	sp.End(
+		telemetry.String("fn", fnName),
+		telemetry.Int("accesses", len(a.res.Accesses)),
+		telemetry.Int("mods", len(a.res.Mods)),
+		telemetry.Int("apms", len(a.res.APMs)),
+		telemetry.Int("loops", a.loopID),
+		telemetry.Int("axioms", a.res.Axioms.Len()))
 	return a.res, nil
 }
 
@@ -57,6 +76,7 @@ type analyzer struct {
 	prog      *lang.Program
 	fn        *lang.FuncDecl
 	opts      Options
+	tel       *telemetry.Set
 	res       *Result
 	varTypes  map[string]string
 	counters  map[string]int
@@ -359,6 +379,13 @@ func (a *analyzer) walkWhile(st *state, w *lang.WhileStmt) *state {
 		ih := fmt.Sprintf("_it%d_%s", lc.id, v)
 		lc.iterDeltas[ih] = d
 		fix.set(ih, v, pathexpr.Eps)
+	}
+	if a.tel.TraceEnabled() {
+		a.tel.Emit("analysis.widen",
+			telemetry.Int("loop", lc.id),
+			telemetry.String("label", w.Label()),
+			telemetry.Int("widened_vars", len(deltas)),
+			telemetry.Int("iter_handles", len(lc.iterDeltas)))
 	}
 
 	// Recording pass at the widened fixpoint.

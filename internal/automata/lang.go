@@ -1,8 +1,31 @@
 package automata
 
 import (
+	"time"
+
 	"repro/internal/pathexpr"
+	"repro/internal/telemetry"
 )
+
+// CacheStats counts the language-cache's work.  The cache is single-owner
+// (one prover), so plain ints suffice; cross-prover aggregation happens in
+// the telemetry registry.
+type CacheStats struct {
+	// Lookups is the number of DFA requests.
+	Lookups int
+	// Hits is the number of requests served from the cache.
+	Hits int
+	// Compiles is the number of subset constructions performed.
+	Compiles int
+	// StatesBuilt sums DFA states out of subset construction, before
+	// minimization.
+	StatesBuilt int
+	// StatesMinimized sums DFA states after Hopcroft minimization (equal to
+	// StatesBuilt when minimization is disabled).
+	StatesMinimized int
+	// LimitFailures counts compilations aborted by the state limit.
+	LimitFailures int
+}
 
 // Cache memoizes compiled DFAs keyed by (expression, alphabet).  The prover
 // tests the same small expressions against many axioms; caching makes the
@@ -13,6 +36,17 @@ type Cache struct {
 	limit      int
 	noMinimize bool
 	dfas       map[string]*DFA
+	stats      CacheStats
+
+	// Telemetry (nil instruments when disabled; see internal/telemetry).
+	tel           *telemetry.Set
+	cLookups      *telemetry.Counter
+	cHits         *telemetry.Counter
+	cCompiles     *telemetry.Counter
+	cStatesBuilt  *telemetry.Counter
+	cStatesSaved  *telemetry.Counter
+	cLimitFails   *telemetry.Counter
+	compileTimeNS *telemetry.Histogram
 }
 
 // NewCache returns a cache whose compilations use the given subset
@@ -32,18 +66,62 @@ func NewCacheNoMinimize(limit int) *Cache {
 	return c
 }
 
+// SetTelemetry wires the cache's counters and compile events into tel
+// (nil disables, the default).
+func (c *Cache) SetTelemetry(tel *telemetry.Set) {
+	c.tel = tel
+	c.cLookups = tel.Counter("automata.lookups")
+	c.cHits = tel.Counter("automata.cache_hits")
+	c.cCompiles = tel.Counter("automata.compiles")
+	c.cStatesBuilt = tel.Counter("automata.states_built")
+	c.cStatesSaved = tel.Counter("automata.states_saved_by_minimization")
+	c.cLimitFails = tel.Counter("automata.state_limit_failures")
+	c.compileTimeNS = tel.Histogram("automata.compile_ns")
+}
+
+// Stats returns the cache's work counters so far.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
 // DFA returns the compiled, minimized DFA for e over alphabet a.
 func (c *Cache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
+	c.stats.Lookups++
+	c.cLookups.Add(1)
 	key := a.Key() + "\x00" + e.String()
 	if d, ok := c.dfas[key]; ok {
+		c.stats.Hits++
+		c.cHits.Add(1)
 		return d, nil
+	}
+	timed := c.compileTimeNS != nil || c.tel.TraceEnabled()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
 	}
 	d, err := CompileLimit(e, a, c.limit)
 	if err != nil {
+		c.stats.LimitFailures++
+		c.cLimitFails.Add(1)
 		return nil, err
 	}
+	built := d.NumStates()
 	if !c.noMinimize {
 		d = d.Minimize()
+	}
+	minimized := d.NumStates()
+	c.stats.Compiles++
+	c.stats.StatesBuilt += built
+	c.stats.StatesMinimized += minimized
+	c.cCompiles.Add(1)
+	c.cStatesBuilt.Add(int64(built))
+	c.cStatesSaved.Add(int64(built - minimized))
+	if timed {
+		dur := time.Since(t0)
+		c.compileTimeNS.Observe(dur.Nanoseconds())
+		c.tel.Emit("automata.compile",
+			telemetry.String("expr", e.String()),
+			telemetry.Int("states", built),
+			telemetry.Int("min_states", minimized),
+			telemetry.DurUS("dur_us", dur))
 	}
 	c.dfas[key] = d
 	return d, nil

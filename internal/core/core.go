@@ -21,6 +21,7 @@ import (
 	"repro/internal/axiom"
 	"repro/internal/pathexpr"
 	"repro/internal/prover"
+	"repro/internal/telemetry"
 )
 
 // Result is the three-valued answer of the dependence test.
@@ -204,6 +205,24 @@ func (t *Tester) Axioms() *axiom.Set { return t.axioms }
 //  5. proveDisj succeeds               → No
 //  6. otherwise                        → Maybe
 func (t *Tester) DepTest(q Query) Outcome {
+	tel := t.opts.Telemetry
+	if !tel.Enabled() {
+		return t.depTest(q)
+	}
+	sp := tel.Begin("core.deptest")
+	out := t.depTest(q)
+	tel.Counter("core.deptests").Add(1)
+	tel.Counter("core.answer_" + out.Result.String()).Add(1)
+	sp.End(
+		telemetry.String("s", q.S.String()),
+		telemetry.String("t", q.T.String()),
+		telemetry.String("result", out.Result.String()),
+		telemetry.String("kind", out.Kind.String()),
+		telemetry.String("reason", out.Reason))
+	return out
+}
+
+func (t *Tester) depTest(q Query) Outcome {
 	kind := classify(q.S, q.T)
 	out := Outcome{Kind: kind}
 	prv := t.proverFor(q)

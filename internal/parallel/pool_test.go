@@ -1,9 +1,12 @@
 package parallel
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/telemetry"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -90,5 +93,89 @@ func TestPropertyReduceMatchesSequential(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestForEachPanicRecovered: a panicking worker must not crash the process
+// on a detached goroutine; the pool joins every worker and re-raises the
+// first panic on the caller's goroutine as a *WorkerPanic.
+func TestForEachPanicRecovered(t *testing.T) {
+	p := NewPool(4)
+	var completed int32
+	defer func() {
+		r := recover()
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *WorkerPanic", r, r)
+		}
+		if wp.Value != "boom" {
+			t.Errorf("panic value = %v, want boom", wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Error("WorkerPanic carries no stack")
+		}
+		if !strings.Contains(wp.Error(), "boom") {
+			t.Errorf("Error() = %q, missing panic value", wp.Error())
+		}
+		// The panic abandons the rest of its own chunk, but every other
+		// worker ran to completion before the re-raise (the pool joins
+		// first): at least the 75 items of the three healthy chunks.
+		if n := atomic.LoadInt32(&completed); n < 75 || n >= 100 {
+			t.Errorf("completed = %d, want [75, 100)", n)
+		}
+	}()
+	p.ForEach(100, func(i int) {
+		if i == 42 {
+			panic("boom")
+		}
+		atomic.AddInt32(&completed, 1)
+	})
+	t.Fatal("ForEach returned normally despite worker panic")
+}
+
+// TestReducePanicRecovered: same contract for Reduce.
+func TestReducePanicRecovered(t *testing.T) {
+	p := NewPool(3)
+	defer func() {
+		if _, ok := recover().(*WorkerPanic); !ok {
+			t.Fatal("Reduce did not re-raise a *WorkerPanic")
+		}
+	}()
+	Reduce(p, 10,
+		func() int { return 0 },
+		func(acc, i int) int {
+			if i == 7 {
+				panic("reduce boom")
+			}
+			return acc + i
+		},
+		func(a, b int) int { return a + b })
+	t.Fatal("Reduce returned normally despite worker panic")
+}
+
+// TestPoolTelemetry: fork/chunk counters and busy/barrier histograms are
+// recorded when a telemetry set is attached.
+func TestPoolTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewPool(4).SetTelemetry(telemetry.New(reg, nil))
+	p.ForEach(100, func(i int) {})
+	Reduce(p, 100,
+		func() int { return 0 },
+		func(acc, i int) int { return acc + 1 },
+		func(a, b int) int { return a + b })
+	p.ForEachChunk(1, func(lo, hi int) {}) // inline path is metered too
+
+	snap := reg.Snapshot()
+	if snap.Counters["pool.forks"] != 3 {
+		t.Errorf("pool.forks = %d, want 3", snap.Counters["pool.forks"])
+	}
+	if snap.Counters["pool.chunks"] != 9 {
+		t.Errorf("pool.chunks = %d, want 9 (4+4+1)", snap.Counters["pool.chunks"])
+	}
+	if snap.Hists["pool.worker_busy_ns"].Count != 9 {
+		t.Errorf("worker_busy_ns count = %d, want 9", snap.Hists["pool.worker_busy_ns"].Count)
+	}
+	if snap.Hists["pool.barrier_wait_ns"].Count != 9 {
+		t.Errorf("barrier_wait_ns count = %d, want 9", snap.Hists["pool.barrier_wait_ns"].Count)
 	}
 }

@@ -137,6 +137,14 @@ type Stats struct {
 	DirectChecks int
 	// Inductions is the number of Kleene induction schemata instantiated.
 	Inductions int
+	// DFACompiles is the number of DFA compilations (language-cache misses)
+	// the query triggered in the automata layer.
+	DFACompiles int
+	// PeakDepth is the deepest goal nesting the search reached.
+	PeakDepth int
+	// StepsUsed is the portion of the Options.MaxSteps budget consumed
+	// (equal to ProveCalls; named for budget-consumption reporting).
+	StepsUsed int
 }
 
 // Proof is the outcome of one prover invocation.
@@ -168,8 +176,9 @@ func (p *Proof) Render() string {
 	case Exhausted:
 		b.WriteString("Resource budget exhausted before the search completed (answer: Maybe).\n")
 	}
-	fmt.Fprintf(&b, "[%d goals examined, %d cache hits, %d axiom applications tried, %d inductions]\n",
-		p.Stats.ProveCalls, p.Stats.CacheHits, p.Stats.DirectChecks, p.Stats.Inductions)
+	fmt.Fprintf(&b, "[%d goals examined, %d cache hits, %d axiom applications tried, %d inductions, %d DFA compiles, peak depth %d]\n",
+		p.Stats.ProveCalls, p.Stats.CacheHits, p.Stats.DirectChecks, p.Stats.Inductions,
+		p.Stats.DFACompiles, p.Stats.PeakDepth)
 	return b.String()
 }
 

@@ -2,10 +2,12 @@ package prover
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/automata"
 	"repro/internal/axiom"
 	"repro/internal/pathexpr"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Prover's search.  The zero value selects defaults.
@@ -28,6 +30,10 @@ type Options struct {
 	// DisableMinimize skips DFA minimization in the language cache
 	// (ablation).
 	DisableMinimize bool
+	// Telemetry receives per-query spans, rule-application trace events, and
+	// aggregate search counters.  Nil (the default) disables instrumentation
+	// at ~zero cost on the hot path.
+	Telemetry *telemetry.Set
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +73,43 @@ type Prover struct {
 	// eqWordAxioms are the equality axioms whose both sides are single
 	// words, usable for congruence rewriting of prefixes.
 	eqWordRewrites [][2][]string
+	// tel and m hold the telemetry sink and its pre-resolved instruments
+	// (all nil, hence no-op, when Options.Telemetry is nil).
+	tel *telemetry.Set
+	m   proverMetrics
+}
+
+// proverMetrics are the prover's pre-resolved registry instruments.
+type proverMetrics struct {
+	queries      *telemetry.Counter
+	goals        *telemetry.Counter
+	cacheHits    *telemetry.Counter
+	directChecks *telemetry.Counter
+	inductions   *telemetry.Counter
+	suffixSplits *telemetry.Counter
+	starUnfolds  *telemetry.Counter
+	altSplits    *telemetry.Counter
+	exhausted    *telemetry.Counter
+	peakDepth    *telemetry.Max
+	queryTimeNS  *telemetry.Histogram
+	querySteps   *telemetry.Histogram
+}
+
+func newProverMetrics(tel *telemetry.Set) proverMetrics {
+	return proverMetrics{
+		queries:      tel.Counter("prover.queries"),
+		goals:        tel.Counter("prover.goals"),
+		cacheHits:    tel.Counter("prover.cache_hits"),
+		directChecks: tel.Counter("prover.direct_checks"),
+		inductions:   tel.Counter("prover.inductions"),
+		suffixSplits: tel.Counter("prover.suffix_splits"),
+		starUnfolds:  tel.Counter("prover.star_unfolds"),
+		altSplits:    tel.Counter("prover.alt_splits"),
+		exhausted:    tel.Counter("prover.exhausted"),
+		peakDepth:    tel.Max("prover.peak_depth"),
+		queryTimeNS:  tel.Histogram("prover.query_ns"),
+		querySteps:   tel.Histogram("prover.steps_per_query"),
+	}
 }
 
 // New returns a prover over the given axiom set.
@@ -78,11 +121,14 @@ func New(axioms *axiom.Set, opts Options) *Prover {
 	} else {
 		dfas = automata.NewCache(opts.DFAStateLimit)
 	}
+	dfas.SetTelemetry(opts.Telemetry)
 	p := &Prover{
 		axioms: axioms,
 		opts:   opts,
 		dfas:   dfas,
 		cache:  make(map[string]cacheEntry),
+		tel:    opts.Telemetry,
+		m:      newProverMetrics(opts.Telemetry),
 	}
 	for _, a := range axioms.ByForm(axiom.SameSrcEqual) {
 		w1, ok1 := pathexpr.Word(a.RE1)
@@ -107,12 +153,22 @@ func (p *Prover) ProveDisjoint(x, y pathexpr.Expr) *Proof {
 func (p *Prover) Prove(form Form, x, y pathexpr.Expr) *Proof {
 	g := newGoal(form, pathexpr.Components(pathexpr.Simplify(x)), pathexpr.Components(pathexpr.Simplify(y)))
 	r := &run{
-		p:     p,
-		alpha: automata.NewAlphabet(append(p.axioms.Fields(), pathexpr.Fields(x, y)...)...),
+		p:       p,
+		alpha:   automata.NewAlphabet(append(p.axioms.Fields(), pathexpr.Fields(x, y)...)...),
+		traceOn: p.tel.TraceEnabled(),
 	}
+	timed := r.traceOn || p.m.queryTimeNS != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	compiles0 := p.dfas.Stats().Compiles
 	proof := &Proof{Theorem: g.String()}
 	proved, st, err := r.prove(g, nil, 0)
 	proof.Stats = r.stats
+	proof.Stats.StepsUsed = r.stats.ProveCalls
+	proof.Stats.PeakDepth = r.peakDepth
+	proof.Stats.DFACompiles = p.dfas.Stats().Compiles - compiles0
 	switch {
 	case err != nil:
 		proof.Result = Exhausted
@@ -121,6 +177,31 @@ func (p *Prover) Prove(form Form, x, y pathexpr.Expr) *Proof {
 		proof.Root = st
 	default:
 		proof.Result = NotProved
+	}
+	p.m.queries.Add(1)
+	p.m.goals.Add(int64(r.stats.ProveCalls))
+	p.m.cacheHits.Add(int64(r.stats.CacheHits))
+	p.m.directChecks.Add(int64(r.stats.DirectChecks))
+	p.m.inductions.Add(int64(r.stats.Inductions))
+	if proof.Result == Exhausted {
+		p.m.exhausted.Add(1)
+	}
+	p.m.peakDepth.Observe(int64(r.peakDepth))
+	p.m.querySteps.Observe(int64(r.stats.ProveCalls))
+	if timed {
+		dur := time.Since(t0)
+		p.m.queryTimeNS.Observe(dur.Nanoseconds())
+		if r.traceOn {
+			p.tel.Emit("prover.query",
+				telemetry.DurUS("dur_us", dur),
+				telemetry.String("theorem", proof.Theorem),
+				telemetry.String("result", proof.Result.String()),
+				telemetry.Int("steps", proof.Stats.StepsUsed),
+				telemetry.Int("budget", p.opts.MaxSteps),
+				telemetry.Int("peak_depth", proof.Stats.PeakDepth),
+				telemetry.Int("cache_hits", proof.Stats.CacheHits),
+				telemetry.Int("dfa_compiles", proof.Stats.DFACompiles))
+		}
 	}
 	return proof
 }
@@ -147,6 +228,20 @@ type run struct {
 	// truncated by the depth limit; failures in incomplete subtrees are not
 	// definitive and must not be cached.
 	incomplete bool
+	// traceOn caches p.tel.TraceEnabled() so hot paths skip building event
+	// attributes (goal rendering) when tracing is off.
+	traceOn bool
+	// peakDepth is the deepest goal nesting reached this query.
+	peakDepth int
+}
+
+// event emits a rule-application trace event for goal g at depth.
+func (r *run) event(name string, g goal, depth int, extra ...telemetry.Attr) {
+	attrs := append([]telemetry.Attr{
+		telemetry.String("goal", g.String()),
+		telemetry.Int("depth", depth),
+	}, extra...)
+	r.p.tel.Emit(name, attrs...)
 }
 
 // prove is the paper's proveDisj: it returns whether a proof of g was found.
@@ -156,6 +251,9 @@ func (r *run) prove(g goal, lems []lemma, depth int) (bool, *Step, error) {
 	r.stats.ProveCalls++
 	if r.stats.ProveCalls > r.p.opts.MaxSteps {
 		return false, nil, errBudget
+	}
+	if depth > r.peakDepth {
+		r.peakDepth = depth
 	}
 	if depth > r.p.opts.MaxDepth {
 		r.incomplete = true
@@ -189,6 +287,9 @@ func (r *run) prove(g goal, lems []lemma, depth int) (bool, *Step, error) {
 	if !r.p.opts.DisableProofCache {
 		if entry, ok := r.p.cache[key]; ok {
 			r.stats.CacheHits++
+			if r.traceOn {
+				r.event("prover.cache_hit", g, depth, telemetry.Bool("proved", entry.proved))
+			}
 			if entry.proved {
 				st := step(g, RuleCached)
 				st.Children = []*Step{entry.st}
@@ -218,6 +319,9 @@ func (r *run) proveUncached(g goal, lems []lemma, depth int) (bool, *Step, error
 	if name, err := r.direct(g.form, g.x, g.y, lems, g.size()); err != nil {
 		return false, nil, err
 	} else if name != "" {
+		if r.traceOn {
+			r.event("prover.axiom", g, depth, telemetry.String("by", name))
+		}
 		st := step(g, RuleAxiom)
 		st.By = name
 		return true, st, nil
@@ -410,6 +514,13 @@ func (r *run) splitSearch(g goal, lems []lemma, depth int) (bool, *Step, error) 
 				return false, nil, err
 			}
 			if t1 != "" && t2 != "" {
+				r.p.m.suffixSplits.Add(1)
+				if r.traceOn {
+					r.event("prover.suffix_split", g, depth,
+						telemetry.String("case", "A∧B"),
+						telemetry.Int("i", i), telemetry.Int("j", j),
+						telemetry.String("t1", t1), telemetry.String("t2", t2))
+				}
 				st := step(g, RuleSuffixAB)
 				st.SuffixI, st.SuffixJ = i, j
 				st.ByT1, st.ByT2 = t1, t2
@@ -424,6 +535,13 @@ func (r *run) splitSearch(g goal, lems []lemma, depth int) (bool, *Step, error) 
 					return false, nil, err
 				}
 				if eq {
+					r.p.m.suffixSplits.Add(1)
+					if r.traceOn {
+						r.event("prover.suffix_split", g, depth,
+							telemetry.String("case", "C"),
+							telemetry.Int("i", i), telemetry.Int("j", j),
+							telemetry.String("t1", t1))
+					}
 					st := step(g, RuleCaseC)
 					st.SuffixI, st.SuffixJ = i, j
 					st.ByT1 = t1
@@ -442,6 +560,13 @@ func (r *run) splitSearch(g goal, lems []lemma, depth int) (bool, *Step, error) 
 					return false, nil, err
 				}
 				if proved {
+					r.p.m.suffixSplits.Add(1)
+					if r.traceOn {
+						r.event("prover.suffix_split", g, depth,
+							telemetry.String("case", "D"),
+							telemetry.Int("i", i), telemetry.Int("j", j),
+							telemetry.String("t2", t2))
+					}
 					node := step(g, RuleCaseD)
 					node.SuffixI, node.SuffixJ = i, j
 					node.ByT2 = t2
@@ -519,6 +644,9 @@ func (r *run) starUnfold(g goal, lems []lemma, depth int) (bool, *Step, error) {
 		return withEps, withPlus, true
 	}
 	if eps, plus, ok := unfold(g.x); ok {
+		if r.traceOn {
+			r.event("prover.star_unfold", g, depth, telemetry.String("side", "left"))
+		}
 		g1 := newGoal(g.form, eps, g.y)
 		g2 := newGoal(g.form, plus, g.y)
 		p1, s1, err := r.prove(g1, lems, depth+1)
@@ -529,12 +657,16 @@ func (r *run) starUnfold(g goal, lems []lemma, depth int) (bool, *Step, error) {
 		if err != nil || !p2 {
 			return false, nil, err
 		}
+		r.p.m.starUnfolds.Add(1)
 		st := step(g, RuleStarUnfold)
 		st.StarOnLeft = true
 		st.Children = []*Step{s1, s2}
 		return true, st, nil
 	}
 	if eps, plus, ok := unfold(g.y); ok {
+		if r.traceOn {
+			r.event("prover.star_unfold", g, depth, telemetry.String("side", "right"))
+		}
 		g1 := newGoal(g.form, g.x, eps)
 		g2 := newGoal(g.form, g.x, plus)
 		p1, s1, err := r.prove(g1, lems, depth+1)
@@ -545,6 +677,7 @@ func (r *run) starUnfold(g goal, lems []lemma, depth int) (bool, *Step, error) {
 		if err != nil || !p2 {
 			return false, nil, err
 		}
+		r.p.m.starUnfolds.Add(1)
 		st := step(g, RuleStarUnfold)
 		st.Children = []*Step{s1, s2}
 		return true, st, nil
@@ -563,6 +696,9 @@ func (r *run) plusInduction(g goal, lems []lemma, depth int) (bool, *Step, error
 	switch {
 	case xok && yok:
 		r.stats.Inductions++
+		if r.traceOn {
+			r.event("prover.plus_induction", g, depth, telemetry.String("schema", "double"))
+		}
 		u, a := g.x[:len(g.x)-1], xp.Inner
 		v, b := g.y[:len(g.y)-1], yp.Inner
 		cases := []goal{
@@ -593,6 +729,9 @@ func (r *run) plusInduction(g goal, lems []lemma, depth int) (bool, *Step, error
 
 	case xok:
 		r.stats.Inductions++
+		if r.traceOn {
+			r.event("prover.plus_induction", g, depth, telemetry.String("schema", "left"))
+		}
 		u, a := g.x[:len(g.x)-1], xp.Inner
 		base := newGoal(g.form, appendComp(u, a), g.y)
 		ok, s1, err := r.prove(base, lems, depth+1)
@@ -612,6 +751,9 @@ func (r *run) plusInduction(g goal, lems []lemma, depth int) (bool, *Step, error
 
 	case yok:
 		r.stats.Inductions++
+		if r.traceOn {
+			r.event("prover.plus_induction", g, depth, telemetry.String("schema", "right"))
+		}
 		v, b := g.y[:len(g.y)-1], yp.Inner
 		base := newGoal(g.form, g.x, appendComp(v, b))
 		ok, s1, err := r.prove(base, lems, depth+1)
@@ -673,6 +815,11 @@ func (r *run) altSplit(g goal, lems []lemma, depth int) (bool, *Step, error) {
 					return false, nil, err
 				}
 				kids = append(kids, st)
+			}
+			r.p.m.altSplits.Add(1)
+			if r.traceOn {
+				r.event("prover.alt_split", g, depth,
+					telemetry.Bool("left", isX), telemetry.Int("alts", len(alt.Alts)))
 			}
 			node := step(g, RuleAltSplit)
 			node.AltOnLeft = isX

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // FactorParallel is Factor with the row-parallel phases executed on real
@@ -44,6 +46,24 @@ func (m *Matrix) FactorParallel(pool *parallel.Pool, full bool) (*LU, error) {
 	fillLimit := maxFillGrowth * (m.NNZ() + n)
 	activeRows := make([]int, 0, n)
 
+	// Phase profiling: when the pool carries telemetry, accumulate the time
+	// spent in each of the five phases across all n pivot steps and record
+	// the totals once per factorization.
+	tel := pool.Telemetry()
+	metered := tel.Enabled()
+	var heuristicNS, searchNS, adjustNS, fillinNS, elimNS int64
+	var mark time.Time
+	if metered {
+		mark = time.Now()
+	}
+	phase := func(acc *int64) {
+		if metered {
+			now := time.Now()
+			*acc += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
+	}
+
 	for k := 0; k < n; k++ {
 		activeRows = activeRows[:0]
 		for i := 0; i < n; i++ {
@@ -51,6 +71,7 @@ func (m *Matrix) FactorParallel(pool *parallel.Pool, full bool) (*LU, error) {
 				activeRows = append(activeRows, i)
 			}
 		}
+		phase(&adjustNS) // active-row scan is bookkeeping; charge to adjust
 
 		// Heuristic phase: per-column magnitude bounds, merged from
 		// per-worker partial maxima.
@@ -77,6 +98,7 @@ func (m *Matrix) FactorParallel(pool *parallel.Pool, full bool) (*LU, error) {
 				return a
 			})
 		copy(colMax, merged)
+		phase(&heuristicNS)
 
 		// Search phase: per-worker champions combined with the same total
 		// order the sequential search uses.
@@ -110,6 +132,7 @@ func (m *Matrix) FactorParallel(pool *parallel.Pool, full bool) (*LU, error) {
 				}
 				return a
 			})
+		phase(&searchNS)
 		if best.e == nil {
 			return nil, fmt.Errorf("%w at step %d", ErrSingular, k)
 		}
@@ -138,6 +161,7 @@ func (m *Matrix) FactorParallel(pool *parallel.Pool, full bool) (*LU, error) {
 				updates = append(updates, e)
 			}
 		}
+		phase(&adjustNS)
 
 		// Fill-in phase.  Row lists are private to their update row; column
 		// lists are shared and guarded per column.
@@ -186,6 +210,7 @@ func (m *Matrix) FactorParallel(pool *parallel.Pool, full bool) (*LU, error) {
 			lu.Trace.Fills += fills[u]
 			w.nnz += fills[u]
 		}
+		phase(&fillinNS)
 		if w.NNZ() > fillLimit {
 			return nil, fmt.Errorf("sparse: fill-in exceeded %d elements at step %d", fillLimit, k)
 		}
@@ -212,6 +237,25 @@ func (m *Matrix) FactorParallel(pool *parallel.Pool, full bool) (*LU, error) {
 				elim(u)
 			}
 		}
+		phase(&elimNS)
+	}
+	if metered {
+		tel.Histogram("sparse.phase_heuristic_ns").Observe(heuristicNS)
+		tel.Histogram("sparse.phase_search_ns").Observe(searchNS)
+		tel.Histogram("sparse.phase_adjust_ns").Observe(adjustNS)
+		tel.Histogram("sparse.phase_fillin_ns").Observe(fillinNS)
+		tel.Histogram("sparse.phase_elim_ns").Observe(elimNS)
+		tel.Emit("sparse.factor_parallel",
+			telemetry.Int("n", n),
+			telemetry.Int("nnz", w.NNZ()),
+			telemetry.Int("fills", lu.Trace.Fills),
+			telemetry.Int("workers", pool.Workers()),
+			telemetry.Bool("full", full),
+			telemetry.DurUS("heuristic_us", time.Duration(heuristicNS)),
+			telemetry.DurUS("search_us", time.Duration(searchNS)),
+			telemetry.DurUS("adjust_us", time.Duration(adjustNS)),
+			telemetry.DurUS("fillin_us", time.Duration(fillinNS)),
+			telemetry.DurUS("elim_us", time.Duration(elimNS)))
 	}
 	return lu, nil
 }

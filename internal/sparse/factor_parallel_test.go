@@ -1,10 +1,14 @@
 package sparse
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // sameLU asserts two factorizations are identical: pivots, structure, and
@@ -88,5 +92,66 @@ func TestFactorParallelSingular(t *testing.T) {
 	m.Set(0, 0, 1)
 	if _, err := m.FactorParallel(parallel.NewPool(2), true); err == nil {
 		t.Fatal("expected singular error")
+	}
+}
+
+// TestFactorParallelTelemetry: a telemetry-carrying pool yields per-phase
+// timings, worker metrics, and a factorization trace event — and the factors
+// themselves are unchanged by the instrumentation.
+func TestFactorParallelTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	m := RandomCircuit(rng, 50, 250)
+	seq, err := m.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	reg := telemetry.NewRegistry()
+	pool := parallel.NewPool(4).SetTelemetry(telemetry.New(reg, telemetry.NewTraceWriter(&buf)))
+	par, err := m.FactorParallel(pool, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLU(t, seq, par)
+
+	snap := reg.Snapshot()
+	for _, h := range []string{
+		"sparse.phase_heuristic_ns", "sparse.phase_search_ns", "sparse.phase_adjust_ns",
+		"sparse.phase_fillin_ns", "sparse.phase_elim_ns",
+	} {
+		hs, ok := snap.Hists[h]
+		if !ok || hs.Count != 1 {
+			t.Errorf("histogram %s: count = %d, want 1", h, hs.Count)
+		}
+	}
+	if snap.Counters["pool.forks"] == 0 || snap.Counters["pool.chunks"] == 0 {
+		t.Error("pool fork/chunk counters not recorded")
+	}
+	if snap.Hists["pool.worker_busy_ns"].Count == 0 {
+		t.Error("no worker busy samples")
+	}
+
+	found := false
+	for _, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, ln)
+		}
+		if ev["ev"] == "sparse.factor_parallel" {
+			found = true
+			for _, k := range []string{"n", "nnz", "fills", "workers", "full",
+				"heuristic_us", "search_us", "adjust_us", "fillin_us", "elim_us"} {
+				if _, ok := ev[k]; !ok {
+					t.Errorf("sparse.factor_parallel missing %q: %v", k, ev)
+				}
+			}
+			if ev["n"].(float64) != 50 || ev["workers"].(float64) != 4 || ev["full"] != true {
+				t.Errorf("sparse.factor_parallel attrs wrong: %v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Error("no sparse.factor_parallel trace event")
 	}
 }

@@ -1,0 +1,14 @@
+package telemetry
+
+import "expvar"
+
+// PublishExpvar exposes the registry as a live expvar variable, so a
+// net/http/pprof + /debug/vars endpoint (sparsebench -http) serves a JSON
+// snapshot of every instrument.  Publishing the same name twice is a no-op
+// (expvar itself panics on duplicates).
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

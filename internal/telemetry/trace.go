@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one typed key/value attribute of a trace event.  The concrete
+// constructors (String, Int, ...) avoid interface boxing so that building
+// attributes never allocates.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, kind: attrString, s: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, kind: attrInt, i: int64(v)} }
+
+// Int64 builds an integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, kind: attrInt, i: v} }
+
+// Float64 builds a float attribute (NaN/Inf serialize as null).
+func Float64(k string, v float64) Attr { return Attr{Key: k, kind: attrFloat, f: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr {
+	a := Attr{Key: k, kind: attrBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// DurUS builds an integer attribute holding d in microseconds.
+func DurUS(k string, d time.Duration) Attr { return Int64(k, d.Microseconds()) }
+
+// TraceWriter emits structured events as JSON Lines: one object per line
+// with monotonic "ts_us" (microseconds since the writer was created), a
+// strictly increasing "seq", the event name "ev", and the event's
+// attributes as top-level keys.  Spans add "dur_us".  Safe for concurrent
+// use; a nil *TraceWriter is a valid, disabled writer.
+type TraceWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	start time.Time
+	seq   int64
+	err   error
+}
+
+// NewTraceWriter returns a writer emitting JSONL to w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: w, start: time.Now(), buf: make([]byte, 0, 256)}
+}
+
+// Enabled reports whether events will actually be written.
+func (t *TraceWriter) Enabled() bool { return t != nil }
+
+// Err returns the first write error encountered, if any.
+func (t *TraceWriter) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Emit writes one event line.
+func (t *TraceWriter) Emit(event string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	b := t.buf[:0]
+	b = append(b, `{"ts_us":`...)
+	b = strconv.AppendInt(b, time.Since(t.start).Microseconds(), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, t.seq, 10)
+	b = append(b, `,"ev":`...)
+	b = strconv.AppendQuote(b, event)
+	for _, a := range attrs {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, a.Key)
+		b = append(b, ':')
+		switch a.kind {
+		case attrString:
+			b = strconv.AppendQuote(b, a.s)
+		case attrInt:
+			b = strconv.AppendInt(b, a.i, 10)
+		case attrFloat:
+			if math.IsNaN(a.f) || math.IsInf(a.f, 0) {
+				b = append(b, "null"...)
+			} else {
+				b = strconv.AppendFloat(b, a.f, 'g', -1, 64)
+			}
+		case attrBool:
+			if a.i != 0 {
+				b = append(b, "true"...)
+			} else {
+				b = append(b, "false"...)
+			}
+		}
+	}
+	b = append(b, '}', '\n')
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.buf = b[:0]
+}
+
+// Begin opens a span: a timed region reported as a single event carrying
+// "dur_us" when End is called.  The zero Span (and any span from a nil
+// writer) is a valid no-op.
+func (t *TraceWriter) Begin(event string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, event: event, start: time.Now()}
+}
+
+// Span is an in-flight timed region.  Spans are values; copying is fine.
+type Span struct {
+	t     *TraceWriter
+	event string
+	start time.Time
+}
+
+// End emits the span's event with its duration and the given attributes.
+func (s Span) End(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	all := make([]Attr, 0, len(attrs)+1)
+	all = append(all, DurUS("dur_us", time.Since(s.start)))
+	all = append(all, attrs...)
+	s.t.Emit(s.event, all...)
+}
