@@ -1,12 +1,13 @@
 # Pre-merge gate and common development targets.  `make check` is the full
-# gate: vet, build, race-enabled tests, and a one-iteration pass over every
-# benchmark (catches bit-rot in benchmark code without paying for timing).
+# gate: vet, build, race-enabled tests, a one-iteration pass over every
+# benchmark (catches bit-rot in benchmark code without paying for timing),
+# and the aptlint self-smoke over all of testdata/.
 
 GO ?= go
 
-.PHONY: check vet build test race bench allocs figure7 clean
+.PHONY: check vet build test race bench lintsmoke allocs figure7 clean
 
-check: vet build race bench
+check: vet build race bench lintsmoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +23,18 @@ race:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Lint every program in testdata/ with aptlint and diff the diagnostics
+# against the committed golden.  Regenerate after intentional changes with:
+#   go test ./cmd/aptlint -run TestSelfSmoke -update
+lintsmoke:
+	@$(GO) build -o $(CURDIR)/.aptlint.smoke ./cmd/aptlint
+	@{ for f in testdata/*.c testdata/lint/*.c; do \
+		echo "== $$f"; \
+		$(CURDIR)/.aptlint.smoke $$f; \
+		echo "exit=$$?"; \
+	done; } | diff -u testdata/lint/selfsmoke.golden - \
+		&& echo "lintsmoke: OK" ; rc=$$?; rm -f $(CURDIR)/.aptlint.smoke; exit $$rc
 
 # The 0-allocation guarantee for disabled telemetry, with real numbers.
 allocs:

@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/axiom"
 	"repro/internal/baseline"
@@ -40,10 +42,20 @@ var corpus = []query{
 }
 
 func main() {
-	k := flag.Int("k", 2, "k for the k-limited baseline")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fmt.Printf("%-34s %-8s %-8s %-8s %-8s %s\n", "query", "APT", "LH88", "HN90", fmt.Sprintf("k-lim(%d)", *k), "")
+// run is main without the process-global bindings, so tests can drive the
+// whole CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aptcompare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k := fs.Int("k", 2, "k for the k-limited baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "%-34s %-8s %-8s %-8s %-8s %s\n", "query", "APT", "LH88", "HN90", fmt.Sprintf("k-lim(%d)", *k), "")
 	for _, c := range corpus {
 		set := c.axioms()
 		q := core.Query{
@@ -54,15 +66,16 @@ func main() {
 		lh := baseline.NewLarusHilfinger(set).DepTest(q)
 		hn := baseline.NewHendrenNicolau(set).DepTest(q)
 		kl := baseline.NewKLimited(*k, set).DepTest(q)
-		fmt.Printf("%-34s %-8v %-8v %-8v %-8v %-10s\n", c.name, apt, lh, hn, kl, c.reference)
+		fmt.Fprintf(stdout, "%-34s %-8v %-8v %-8v %-8v %-10s\n", c.name, apt, lh, hn, kl, c.reference)
 	}
 
-	fmt.Println()
-	fmt.Println("loop-carried, whole loop (k-limited proves only the first k iterations):")
-	kl := baseline.NewKLimited(*k, axiom.SinglyLinkedList("link"))
-	upTo, res := kl.LoopIndependent(pathexpr.MustParse("link"), pathexpr.Eps)
-	fmt.Printf("  list loop: k-limited proves iterations 0..%d independent, overall %v\n", upTo-1, res)
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "loop-carried, whole loop (k-limited proves only the first k iterations):")
+	kl2 := baseline.NewKLimited(*k, axiom.SinglyLinkedList("link"))
+	upTo, res := kl2.LoopIndependent(pathexpr.MustParse("link"), pathexpr.Eps)
+	fmt.Fprintf(stdout, "  list loop: k-limited proves iterations 0..%d independent, overall %v\n", upTo-1, res)
 	apt := core.NewTester(axiom.SinglyLinkedList("link"), prover.Options{})
 	lc := core.LoopCarried(apt.Axioms(), "_h", pathexpr.MustParse("link"), pathexpr.Eps, "f", true)
-	fmt.Printf("  list loop: APT proves all iterations independent: %v\n", apt.DepTest(lc).Result)
+	fmt.Fprintf(stdout, "  list loop: APT proves all iterations independent: %v\n", apt.DepTest(lc).Result)
+	return 0
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestGolden pins the full comparison table: the corpus is deterministic, so
+// any drift in a baseline or in APT itself shows up as a diff.  Regenerate
+// with: go test ./cmd/aptcompare -update
+func TestGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output drifted:\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+}
+
+// TestHeadlineResults pins the paper's headline claims independent of
+// formatting: APT separates the leaf-linked-tree and Theorem T queries where
+// the baselines cannot, and stays Maybe on the circular list.
+func TestHeadlineResults(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, stderr.String())
+	}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "LLN vs LRN"),
+			strings.HasPrefix(line, "Theorem T (sparse rows)"):
+			if !strings.Contains(line, "No") {
+				t.Errorf("APT should answer No: %q", line)
+			}
+		case strings.HasPrefix(line, "circular list"):
+			if !strings.Contains(line, "Maybe") {
+				t.Errorf("circular list must stay Maybe: %q", line)
+			}
+		case strings.HasPrefix(line, "identical paths"):
+			if !strings.Contains(line, "Yes") {
+				t.Errorf("identical paths must be Yes: %q", line)
+			}
+		}
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,130 @@
+// Command aptlint runs the pass-based static analyzer over mini-C source
+// files and prints source-anchored diagnostics.
+//
+// Examples:
+//
+//	aptlint prog.c                        lint with every pass
+//	aptlint -pass handle-safety prog.c    run a single pass
+//	aptlint -json prog.c other.c          machine-readable output
+//	aptlint -passes                       list the available passes
+//	aptlint -stats -trace-json t.jsonl prog.c
+//
+// Exit status: 0 when no error-severity diagnostic was emitted, 1 when at
+// least one was (including parse failures, which are reported as diagnostics
+// in the "parse" category), 2 on usage or internal errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/lang"
+	"repro/internal/lint"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global bindings, so tests can drive the
+// whole CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aptlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	passNames := fs.String("pass", "", "comma-separated `list` of passes to run (default: all)")
+	listPasses := fs.Bool("passes", false, "list the available passes and exit")
+	var tf cliutil.TelemetryFlags
+	tf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptlint: "+format+"\n", fargs...)
+		return 2
+	}
+	if *listPasses {
+		for _, p := range lint.DefaultPasses() {
+			fmt.Fprintf(stdout, "%-26s %s\n", p.Name(), p.Doc())
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		return fatalf("usage: aptlint [flags] file.c ...")
+	}
+	passes := lint.DefaultPasses()
+	if *passNames != "" {
+		var err error
+		passes, err = lint.PassesByName(strings.Split(*passNames, ","))
+		if err != nil {
+			return fatalf("%v", err)
+		}
+	}
+
+	tel, err := tf.Open()
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	phases := telemetry.NewPhases(tel)
+	defer tf.Close(stderr, phases)
+
+	driver := lint.NewDriver(tel, passes...)
+	var results []lint.FileResult
+	anyErrors := false
+	for _, file := range fs.Args() {
+		var diags []lint.Diagnostic
+		var prog *lang.Program
+		err := phases.Run("parse", func() error {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			prog, err = lang.Parse(string(src))
+			return err
+		})
+		switch {
+		case err != nil && prog == nil && isParseError(err):
+			// A file the frontend rejects is a finding, not a tool failure.
+			pos, _ := lang.ErrPos(err)
+			diags = []lint.Diagnostic{{
+				Pos: pos, Severity: lint.Error, Category: "parse", Message: err.Error(),
+			}}
+		case err != nil:
+			return fatalf("%s: %v", file, err)
+		default:
+			if err := phases.Run("lint", func() error {
+				diags, err = driver.Run(file, prog)
+				return err
+			}); err != nil {
+				return fatalf("%v", err)
+			}
+		}
+		anyErrors = anyErrors || lint.HasErrors(diags)
+		results = append(results, lint.FileResult{File: file, Diags: diags})
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, results); err != nil {
+			return fatalf("%v", err)
+		}
+	} else {
+		lint.WriteText(stdout, results)
+	}
+	if anyErrors {
+		return 1
+	}
+	return 0
+}
+
+// isParseError distinguishes frontend rejections (reported as diagnostics)
+// from I/O failures (reported as tool errors).
+func isParseError(err error) bool {
+	_, ok := lang.ErrPos(err)
+	return ok
+}

@@ -1,7 +1,10 @@
 // Command axiomcheck validates aliasing axioms against concrete data
 // structures: it builds random instances of a chosen structure family and
 // model-checks every axiom on every instance (§3.2's "supplied by the
-// programmer (and perhaps automatically verified)").
+// programmer (and perhaps automatically verified)").  Before touching any
+// instance it statically checks the set for internal consistency with the
+// same machinery as aptlint's axiom-consistency pass — a contradictory set
+// holds on no structure, so model-checking it would only mislead.
 //
 // Examples:
 //
@@ -11,11 +14,16 @@
 //	axiomcheck -family leaf-linked-tree -adds tree.adds # ADDS-generated
 //	axiomcheck -family list -maintain insertFront -src prog.c
 //	                                   # does insertFront(root) keep the axioms?
+//
+// Exit status: 0 when every axiom holds, 1 when an axiom is violated, fails
+// to be maintained, or the set is statically inconsistent, 2 on usage or
+// input errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -24,18 +32,34 @@ import (
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/lint"
 )
 
 func main() {
-	family := flag.String("family", "", "structure family: list | ring | tree | leaf-linked-tree | sparse")
-	axiomFile := flag.String("axioms", "", "axiom file to check (default: the family's built-in set)")
-	addsFile := flag.String("adds", "", "ADDS declaration to compile and check")
-	trials := flag.Int("trials", 20, "number of random instances")
-	size := flag.Int("size", 12, "instance size parameter")
-	seed := flag.Int64("seed", 1, "random seed")
-	maintain := flag.String("maintain", "", "mini-C function (see -src) to verify as axiom-maintaining: called as fn(root) on each instance")
-	srcFile := flag.String("src", "", "mini-C source file providing the -maintain function")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global bindings, so tests can drive the
+// whole CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("axiomcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	family := fs.String("family", "", "structure family: list | ring | tree | leaf-linked-tree | sparse")
+	axiomFile := fs.String("axioms", "", "axiom file to check (default: the family's built-in set)")
+	addsFile := fs.String("adds", "", "ADDS declaration to compile and check")
+	trials := fs.Int("trials", 20, "number of random instances")
+	size := fs.Int("size", 12, "instance size parameter")
+	seed := fs.Int64("seed", 1, "random seed")
+	maintain := fs.String("maintain", "", "mini-C function (see -src) to verify as axiom-maintaining: called as fn(root) on each instance")
+	srcFile := fs.String("src", "", "mini-C source file providing the -maintain function")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "axiomcheck: "+format+"\n", fargs...)
+		return 2
+	}
 
 	builders := map[string]func(rng *rand.Rand, size int) *heap.Graph{
 		"list": func(rng *rand.Rand, size int) *heap.Graph {
@@ -71,7 +95,7 @@ func main() {
 
 	build, ok := builders[*family]
 	if !ok {
-		fatalf("unknown -family %q (list, ring, tree, leaf-linked-tree, sparse)", *family)
+		return fatalf("unknown -family %q (list, ring, tree, leaf-linked-tree, sparse)", *family)
 	}
 
 	var set *axiom.Set
@@ -79,38 +103,49 @@ func main() {
 	case *addsFile != "":
 		data, err := os.ReadFile(*addsFile)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		decl, err := adds.Parse(string(data))
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		set = decl.Axioms()
-		fmt.Printf("compiled ADDS declaration %s into %d axioms\n", decl.Name, set.Len())
+		fmt.Fprintf(stdout, "compiled ADDS declaration %s into %d axioms\n", decl.Name, set.Len())
 	case *axiomFile != "":
 		data, err := os.ReadFile(*axiomFile)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		set, err = axiom.ParseSet(*axiomFile, string(data))
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 	default:
 		set = defaults[*family]()
 	}
 
+	// Static consistency first: a contradictory set has no model, so every
+	// instance-based answer would be vacuous.
+	static := lint.CheckSet(set)
+	for _, d := range static {
+		fmt.Fprintf(stderr, "axiomcheck: %s: %s\n", d.Severity, d.Message)
+	}
+	if lint.HasErrors(static) {
+		fmt.Fprintln(stdout, "axiom set is statically inconsistent; refusing to model-check")
+		return 1
+	}
+
 	if *maintain != "" {
 		if *srcFile == "" {
-			fatalf("-maintain needs -src file.c")
+			return fatalf("-maintain needs -src file.c")
 		}
 		data, err := os.ReadFile(*srcFile)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		prog, err := lang.Parse(string(data))
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		roots := map[string]func(rng *rand.Rand, size int) (*heap.Graph, heap.Vertex){
 			"list": func(rng *rand.Rand, size int) (*heap.Graph, heap.Vertex) {
@@ -128,19 +163,19 @@ func main() {
 		}
 		rootBuild, ok := roots[*family]
 		if !ok {
-			fatalf("-maintain supports families: list, ring, tree, leaf-linked-tree")
+			return fatalf("-maintain supports families: list, ring, tree, leaf-linked-tree")
 		}
 		gen := func(rng *rand.Rand) interp.Instance {
 			g, root := rootBuild(rng, *size)
 			return interp.Instance{Graph: g, Args: []interp.Value{interp.Ptr(root)}}
 		}
 		if err := interp.MaintainsAxioms(prog, *maintain, set, gen, *trials, *seed); err != nil {
-			fmt.Println(err)
-			os.Exit(1)
+			fmt.Fprintln(stdout, err)
+			return 1
 		}
-		fmt.Printf("%s maintains all %d axioms across %d random %s instances"+"\n",
+		fmt.Fprintf(stdout, "%s maintains all %d axioms across %d random %s instances\n",
 			*maintain, set.Len(), *trials, *family)
-		return
+		return 0
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -149,20 +184,15 @@ func main() {
 		g := build(rng, *size)
 		for _, a := range set.Axioms {
 			if err := g.CheckAxiom(a); err != nil {
-				fmt.Printf("trial %d (%d vertices): VIOLATED %v\n", trial, g.NumVertices(), a)
+				fmt.Fprintf(stdout, "trial %d (%d vertices): VIOLATED %v\n", trial, g.NumVertices(), a)
 				violations++
 			}
 		}
 	}
 	if violations == 0 {
-		fmt.Printf("all %d axioms hold on %d random %s instances\n", set.Len(), *trials, *family)
-		return
+		fmt.Fprintf(stdout, "all %d axioms hold on %d random %s instances\n", set.Len(), *trials, *family)
+		return 0
 	}
-	fmt.Printf("%d violations\n", violations)
-	os.Exit(1)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "axiomcheck: "+format+"\n", args...)
-	os.Exit(2)
+	fmt.Fprintf(stdout, "%d violations\n", violations)
+	return 1
 }

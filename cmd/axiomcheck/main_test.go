@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCheck(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestBuiltinFamiliesHold(t *testing.T) {
+	for _, family := range []string{"list", "ring", "tree", "leaf-linked-tree", "sparse"} {
+		code, out, errOut := runCheck(t, "-family", family, "-trials", "5", "-size", "6")
+		if code != 0 {
+			t.Errorf("%s: exit = %d\n%s%s", family, code, out, errOut)
+		}
+		if !strings.Contains(out, "axioms hold") {
+			t.Errorf("%s: unexpected output: %s", family, out)
+		}
+	}
+}
+
+// TestViolatedAxiomExitsOne: the list axioms include acyclicity, which a
+// ring violates on every instance.
+func TestViolatedAxiomExitsOne(t *testing.T) {
+	listAxioms := filepath.Join(t.TempDir(), "list.axioms")
+	if err := os.WriteFile(listAxioms, []byte("A1: forall p, p.next+ <> p.eps\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCheck(t, "-family", "ring", "-axioms", listAxioms, "-trials", "3", "-size", "5")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATED") {
+		t.Errorf("missing violation report: %s", out)
+	}
+}
+
+// TestInconsistentSetRefused: a statically contradictory axiom set exits 1
+// before any instance is built.
+func TestInconsistentSetRefused(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.axioms")
+	if err := os.WriteFile(bad, []byte("A1: forall p, p.(next|next.next) <> p.next\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCheck(t, "-family", "list", "-axioms", bad)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "statically inconsistent") {
+		t.Errorf("stdout: %s", out)
+	}
+	if !strings.Contains(errOut, "self-contradictory") {
+		t.Errorf("stderr lacks the diagnostic: %s", errOut)
+	}
+}
+
+// TestMaintain: listops.c's insertAfter preserves the list axioms;
+// makeCycle breaks acyclicity, so -maintain must exit 1.
+func TestMaintain(t *testing.T) {
+	src := filepath.Join("..", "..", "testdata", "listops.c")
+	code, out, errOut := runCheck(t, "-family", "list", "-maintain", "insertAfter", "-src", src, "-trials", "5")
+	if code != 0 {
+		t.Fatalf("insertAfter: exit = %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "maintains all") {
+		t.Errorf("insertAfter output: %s", out)
+	}
+
+	code, out, _ = runCheck(t, "-family", "list", "-maintain", "makeCycle", "-src", src, "-trials", "5")
+	if code != 1 {
+		t.Fatalf("makeCycle: exit = %d, want 1\n%s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCheck(t); code != 2 {
+		t.Errorf("no -family: exit = %d, want 2", code)
+	}
+	if code, _, _ := runCheck(t, "-family", "nope"); code != 2 {
+		t.Errorf("unknown family: exit = %d, want 2", code)
+	}
+	if code, _, _ := runCheck(t, "-family", "list", "-maintain", "f"); code != 2 {
+		t.Errorf("-maintain without -src: exit = %d, want 2", code)
+	}
+	if code, _, _ := runCheck(t, "-family", "list", "-axioms", "does-not-exist"); code != 2 {
+		t.Errorf("missing axiom file: exit = %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "syntax.axioms")
+	if err := os.WriteFile(bad, []byte("not an axiom\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runCheck(t, "-family", "list", "-axioms", bad); code != 2 {
+		t.Errorf("unparsable axiom file: exit = %d, want 2 (%s)", code, errOut)
+	}
+}

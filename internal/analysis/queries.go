@@ -169,25 +169,34 @@ func (r *Result) LoopCarriedQueries(label string) ([]core.Query, error) {
 	}
 	var out []core.Query
 	for _, a := range accs {
-		if !a.IsWrite {
-			// A read conflicts across iterations only with writes; the
-			// write access at the same label produces those queries.
-			continue
-		}
-		for ih, delta := range a.IterDeltas {
-			axioms := r.Axioms
-			if !r.opts.AssumeLoopInvariants {
-				axioms = r.windowAxioms(0, 0, a.LoopModFields)
-			}
-			q := core.LoopCarried(axioms, ih, delta, a.Paths[ih], a.Field, a.IsWrite)
-			q.S.Type, q.T.Type = a.Type, a.Type
-			out = append(out, q)
-		}
+		out = append(out, r.LoopCarriedSelf(a)...)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("analysis: label %q has no written access inside an analyzable loop", label)
 	}
 	return out, nil
+}
+
+// LoopCarriedSelf builds the loop-carried self-dependence queries for one
+// recorded access: nil unless the access writes inside a loop with an
+// analyzable induction variable.
+func (r *Result) LoopCarriedSelf(a Access) []core.Query {
+	if !a.IsWrite {
+		// A read conflicts across iterations only with writes; the
+		// write access produces those queries.
+		return nil
+	}
+	var out []core.Query
+	for ih, delta := range a.IterDeltas {
+		axioms := r.Axioms
+		if !r.opts.AssumeLoopInvariants {
+			axioms = r.windowAxioms(0, 0, a.LoopModFields)
+		}
+		q := core.LoopCarried(axioms, ih, delta, a.Paths[ih], a.Field, a.IsWrite)
+		q.S.Type, q.T.Type = a.Type, a.Type
+		out = append(out, q)
+	}
+	return out
 }
 
 // LoopCarriedBetween builds cross-iteration queries between two statements
@@ -199,39 +208,49 @@ func (r *Result) LoopCarriedBetween(labelS, labelT string) ([]core.Query, error)
 	var out []core.Query
 	for _, s := range sAccs {
 		for _, t := range tAccs {
-			if !s.IsWrite && !t.IsWrite {
-				continue
-			}
-			for ih, delta := range s.IterDeltas {
-				tPath, ok := t.Paths[ih]
-				if !ok {
-					continue
-				}
-				if td, ok := t.IterDeltas[ih]; !ok || !pathexpr.Equal(td, delta) {
-					continue
-				}
-				axioms := r.Axioms
-				if !r.opts.AssumeLoopInvariants {
-					axioms = r.windowAxioms(0, 0, append(append([]string{}, s.LoopModFields...), t.LoopModFields...))
-				}
-				out = append(out, core.Query{
-					Axioms: axioms,
-					S: core.Access{
-						Handle: ih, Path: s.Paths[ih], Field: s.Field,
-						Type: s.Type, IsWrite: s.IsWrite,
-					},
-					T: core.Access{
-						Handle: ih,
-						Path:   pathexpr.Cat(pathexpr.Rep1(delta), tPath),
-						Field:  t.Field,
-						Type:   t.Type, IsWrite: t.IsWrite,
-					},
-				})
-			}
+			out = append(out, r.LoopCarriedPair(s, t)...)
 		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("analysis: no loop-carried pair between %q and %q", labelS, labelT)
 	}
 	return out, nil
+}
+
+// LoopCarriedPair builds the cross-iteration queries between two recorded
+// accesses of the same loop (s at iteration i, t at iteration j > i): one
+// per iteration handle the two accesses advance in lockstep.  Nil when
+// neither access writes or the accesses share no induction handle.
+func (r *Result) LoopCarriedPair(s, t Access) []core.Query {
+	if !s.IsWrite && !t.IsWrite {
+		return nil
+	}
+	var out []core.Query
+	for ih, delta := range s.IterDeltas {
+		tPath, ok := t.Paths[ih]
+		if !ok {
+			continue
+		}
+		if td, ok := t.IterDeltas[ih]; !ok || !pathexpr.Equal(td, delta) {
+			continue
+		}
+		axioms := r.Axioms
+		if !r.opts.AssumeLoopInvariants {
+			axioms = r.windowAxioms(0, 0, append(append([]string{}, s.LoopModFields...), t.LoopModFields...))
+		}
+		out = append(out, core.Query{
+			Axioms: axioms,
+			S: core.Access{
+				Handle: ih, Path: s.Paths[ih], Field: s.Field,
+				Type: s.Type, IsWrite: s.IsWrite,
+			},
+			T: core.Access{
+				Handle: ih,
+				Path:   pathexpr.Cat(pathexpr.Rep1(delta), tPath),
+				Field:  t.Field,
+				Type:   t.Type, IsWrite: t.IsWrite,
+			},
+		})
+	}
+	return out
 }

@@ -259,6 +259,26 @@ type DerefExpr struct {
 	Name string
 }
 
+// WalkStmts calls fn on every statement of the block, recursing into nested
+// blocks, loop bodies, and both branches of conditionals.
+func WalkStmts(b *Block, fn func(Stmt)) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.Stmts {
+		fn(st)
+		switch v := st.(type) {
+		case *WhileStmt:
+			WalkStmts(v.Body, fn)
+		case *IfStmt:
+			WalkStmts(v.Then, fn)
+			WalkStmts(v.Else, fn)
+		case *BlockStmt:
+			WalkStmts(v.Body, fn)
+		}
+	}
+}
+
 // WalkExprs calls fn on e and all sub-expressions.
 func WalkExprs(e Expr, fn func(Expr)) {
 	if e == nil {

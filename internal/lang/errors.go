@@ -1,0 +1,40 @@
+package lang
+
+import "fmt"
+
+// ParseError is the error type every lexer and parser failure resolves to: a
+// source position plus a message.  Tools that report diagnostics (aptlint)
+// anchor parse failures at Pos instead of re-parsing the "line:col:" prefix
+// out of the error text.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// parseErrorf builds a positioned parse error.
+func parseErrorf(pos Pos, format string, args ...any) *ParseError {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrPos extracts the source position from a Parse error, reporting ok=false
+// when err carries none (e.g. an os.ReadFile error wrapped by a caller).
+func ErrPos(err error) (Pos, bool) {
+	for e := err; e != nil; {
+		if pe, ok := e.(*ParseError); ok {
+			return pe.Pos, true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
+	}
+	return Pos{}, false
+}
+
+// maxNestingDepth bounds recursive descent in the parser.  Pathological
+// inputs like 10⁵ opening parentheses or braces would otherwise recurse past
+// the goroutine stack and crash instead of returning a positioned error.
+const maxNestingDepth = 200

@@ -1,7 +1,6 @@
 package lang
 
 import (
-	"fmt"
 	"unicode"
 )
 
@@ -39,7 +38,7 @@ func (l *Lexer) Tokens() ([]Token, error) {
 				return nil, err
 			}
 			if open.Kind != LBrace {
-				return nil, fmt.Errorf("%s: expected '{' after axioms", open.Pos)
+				return nil, parseErrorf(open.Pos, "expected '{' after axioms")
 			}
 			out = append(out, open)
 			raw, closing, err := l.rawUntilBrace()
@@ -60,7 +59,7 @@ func (l *Lexer) rawUntilBrace() (Token, Token, error) {
 	for {
 		switch l.at() {
 		case 0:
-			return Token{}, Token{}, fmt.Errorf("%s: unterminated axioms block", start)
+			return Token{}, Token{}, parseErrorf(start, "unterminated axioms block")
 		case '{':
 			depth++
 		case '}':
@@ -118,7 +117,7 @@ func (l *Lexer) skipSpaceAndComments() error {
 			l.advance()
 			for !(l.at() == '*' && l.peek(1) == '/') {
 				if l.at() == 0 {
-					return fmt.Errorf("%s: unterminated block comment", start)
+					return parseErrorf(start, "unterminated block comment")
 				}
 				l.advance()
 			}
@@ -163,7 +162,7 @@ func (l *Lexer) next() (Token, error) {
 		start := l.pos
 		for l.at() != '"' {
 			if l.at() == 0 {
-				return Token{}, fmt.Errorf("%s: unterminated string", pos)
+				return Token{}, parseErrorf(pos, "unterminated string")
 			}
 			l.advance()
 		}
@@ -237,5 +236,5 @@ func (l *Lexer) next() (Token, error) {
 			return two(PipePipe, "||")
 		}
 	}
-	return Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+	return Token{}, parseErrorf(pos, "unexpected character %q", string(c))
 }

@@ -1,7 +1,6 @@
 package lang
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/axiom"
@@ -27,10 +26,23 @@ func MustParse(src string) *Program {
 }
 
 type parser struct {
-	src  []rune
-	toks []Token
-	pos  int
+	src   []rune
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// enter guards recursive descent against stack exhaustion on pathological
+// nesting; every call must be paired with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return p.errorf("nesting deeper than %d levels", maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) at() Token   { return p.toks[p.pos] }
 func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
@@ -51,7 +63,7 @@ func (p *parser) expect(k Kind) (Token, error) {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("%s: %s", p.at().Pos, fmt.Sprintf(format, args...))
+	return parseErrorf(p.at().Pos, format, args...)
 }
 
 func min(a, b int) int {
@@ -177,7 +189,7 @@ func (p *parser) structDecl() (*StructDecl, error) {
 		fields := decl.PointerFields()
 		set, err := axiom.ParseSetWithFields(decl.Name, axiomText, fields)
 		if err != nil {
-			return nil, fmt.Errorf("%s: in axioms of struct %s: %w", pos, decl.Name, err)
+			return nil, parseErrorf(pos, "in axioms of struct %s: %v", decl.Name, err)
 		}
 		decl.Axioms = set
 	}
@@ -265,6 +277,10 @@ func (p *parser) block() (*Block, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	// Optional label: IDENT ':' not followed by something that makes it an
 	// expression (mini-C has no ternary, so IDENT ':' is always a label).
 	label := ""
@@ -385,7 +401,7 @@ func (p *parser) stmt() (Stmt, error) {
 		switch lhs.(type) {
 		case *Ident, *FieldAccess, *DerefExpr:
 		default:
-			return nil, fmt.Errorf("%s: assignment target must be a variable, var->field, or *var", pos)
+			return nil, parseErrorf(pos, "assignment target must be a variable, var->field, or *var")
 		}
 		return &AssignStmt{stmtBase: base, LHS: lhs, RHS: rhs}, nil
 	}
@@ -456,6 +472,10 @@ func (p *parser) binary(sub func() (Expr, error), ops ...Kind) (Expr, error) {
 }
 
 func (p *parser) unaryExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.at().Kind {
 	case Bang, Minus:
 		op := p.advance()
@@ -552,7 +572,7 @@ func (p *parser) primary() (Expr, error) {
 				return nil, err
 			}
 			if p.at().Kind == Arrow {
-				return nil, fmt.Errorf("%s: chained dereference %s->%s->...: rewrite with a temporary (one field per statement)", tok.Pos, tok.Text, f.Text)
+				return nil, parseErrorf(tok.Pos, "chained dereference %s->%s->...: rewrite with a temporary (one field per statement)", tok.Text, f.Text)
 			}
 			return &FieldAccess{exprBase: exprBase{Pos: tok.Pos}, Base: tok.Text, Field: f.Text}, nil
 		case LParen:

@@ -1,0 +1,255 @@
+// Package lint is a pass-based static-analysis driver over the APT stack:
+// it turns what the prover, automata, and memory-reference analysis already
+// know into source-anchored diagnostics, the way §5 of the paper uses
+// deptest's No/Yes/Maybe verdicts to drive parallelization decisions.
+//
+// A Pass inspects one parsed translation unit through a shared Context and
+// reports Diagnostics.  The Driver runs a pass list in order, records
+// per-pass telemetry spans and counters, and returns the diagnostics sorted
+// by source position.  Five passes ship by default:
+//
+//	axiom-consistency        contradictory axiom sets (§3.1 axioms)
+//	handle-safety            nil/uninitialized dereferences, stale handles
+//	invariant-maintenance    §3.4 axiom invalidation at update sites
+//	parallelization-legality per-loop DOALL verdicts from deptest (§5)
+//	lang-hygiene             undefined fields/structs, dead stores, …
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/prover"
+	"repro/internal/telemetry"
+)
+
+// Severity ranks a diagnostic.  Only Error severities make aptlint exit
+// non-zero.
+type Severity int
+
+// Severities, in increasing order.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return "invalid"
+}
+
+// Related is a secondary source location attached to a diagnostic (the
+// modification site behind a stale-handle warning, the axiom behind a
+// contradiction, …).
+type Related struct {
+	Pos     lang.Pos
+	Message string
+}
+
+// Diagnostic is one finding, anchored at a source position.
+type Diagnostic struct {
+	Pos      lang.Pos
+	Severity Severity
+	// Category is the reporting pass's name (or "parse" for frontend
+	// failures surfaced by the CLI).
+	Category string
+	Message  string
+	Related  []Related
+}
+
+// Pass is one analysis run by the driver.
+type Pass interface {
+	// Name is the pass's stable identifier, used as the diagnostic category
+	// and in telemetry instrument names.
+	Name() string
+	// Doc is a one-line description for -passes listings.
+	Doc() string
+	// Run inspects ctx.Prog and reports diagnostics via ctx.Report.  An
+	// error aborts the whole lint run (reserved for internal failures;
+	// findings about the program are diagnostics, not errors).
+	Run(ctx *Context) error
+}
+
+// Context carries the unit under analysis and memoizes the expensive
+// artifacts passes share: per-function memory-reference analyses and the
+// dependence testers built on their axiom sets.
+type Context struct {
+	// File is the display name of the unit (used only in diagnostics
+	// rendering; the driver never touches the filesystem).
+	File string
+	// Prog is the parsed translation unit.
+	Prog *lang.Program
+	// Telemetry receives pass spans and counters; nil disables.
+	Telemetry *telemetry.Set
+
+	pass     string
+	diags    []Diagnostic
+	analyses map[string]*analysis.Result
+	anErrs   map[string]error
+	testers  map[string]*core.Tester
+}
+
+// Report files a diagnostic.  An empty Category is filled with the running
+// pass's name.
+func (c *Context) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = c.pass
+	}
+	c.diags = append(c.diags, d)
+}
+
+// Reportf files a related-free diagnostic.
+func (c *Context) Reportf(pos lang.Pos, sev Severity, format string, args ...any) {
+	c.Report(Diagnostic{Pos: pos, Severity: sev, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analysis returns the memoized memory-reference analysis of the named
+// function, running it on first use with the full option set (inferred type
+// axioms on, loop invariants not assumed — the conservative configuration).
+func (c *Context) Analysis(fn string) (*analysis.Result, error) {
+	if c.analyses == nil {
+		c.analyses = make(map[string]*analysis.Result)
+		c.anErrs = make(map[string]error)
+	}
+	if res, ok := c.analyses[fn]; ok {
+		return res, c.anErrs[fn]
+	}
+	res, err := analysis.Analyze(c.Prog, fn, analysis.Options{
+		InferTypeAxioms: true,
+		Telemetry:       c.Telemetry,
+	})
+	c.analyses[fn], c.anErrs[fn] = res, err
+	return res, err
+}
+
+// Tester returns a memoized dependence tester for the analysis result's
+// axiom set (provers and their caches are shared across queries and passes).
+func (c *Context) Tester(res *analysis.Result) *core.Tester {
+	key := res.Axioms.Key()
+	if c.testers == nil {
+		c.testers = make(map[string]*core.Tester)
+	}
+	if t, ok := c.testers[key]; ok {
+		return t
+	}
+	t := core.NewTester(res.Axioms, prover.Options{Telemetry: c.Telemetry})
+	c.testers[key] = t
+	return t
+}
+
+// Driver runs a fixed pass list over translation units.
+type Driver struct {
+	passes []Pass
+	tel    *telemetry.Set
+}
+
+// NewDriver builds a driver over the given passes (DefaultPasses when none
+// are given), reporting telemetry through tel (nil disables).
+func NewDriver(tel *telemetry.Set, passes ...Pass) *Driver {
+	if len(passes) == 0 {
+		passes = DefaultPasses()
+	}
+	return &Driver{passes: passes, tel: tel}
+}
+
+// Passes returns the driver's pass list in run order.
+func (d *Driver) Passes() []Pass { return d.passes }
+
+// Run lints one parsed unit and returns its diagnostics sorted by position.
+func (d *Driver) Run(file string, prog *lang.Program) ([]Diagnostic, error) {
+	ctx := &Context{File: file, Prog: prog, Telemetry: d.tel}
+	for _, p := range d.passes {
+		sp := d.tel.Begin("lint.pass")
+		before := len(ctx.diags)
+		ctx.pass = p.Name()
+		err := p.Run(ctx)
+		n := len(ctx.diags) - before
+		d.tel.Counter("lint.pass." + p.Name() + ".diags").Add(int64(n))
+		sp.End(
+			telemetry.String("pass", p.Name()),
+			telemetry.String("file", file),
+			telemetry.Int("diags", n),
+			telemetry.Bool("ok", err == nil))
+		if err != nil {
+			return nil, fmt.Errorf("lint: pass %s: %w", p.Name(), err)
+		}
+	}
+	Sort(ctx.diags)
+	d.tel.Counter("lint.files").Add(1)
+	for _, diag := range ctx.diags {
+		d.tel.Counter("lint.diags_" + diag.Severity.String()).Add(1)
+	}
+	return ctx.diags, nil
+}
+
+// Sort orders diagnostics by position, then severity (most severe first),
+// then category and message — a deterministic order for golden files.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any diagnostic is Error severity — the aptlint
+// exit-status rule.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultPasses returns the standard pass list in run order.
+func DefaultPasses() []Pass {
+	return []Pass{
+		AxiomConsistency(),
+		LangHygiene(),
+		HandleSafety(),
+		InvariantMaintenance(),
+		ParallelizationLegality(),
+	}
+}
+
+// PassesByName resolves names against DefaultPasses.
+func PassesByName(names []string) ([]Pass, error) {
+	all := DefaultPasses()
+	byName := make(map[string]Pass, len(all))
+	for _, p := range all {
+		byName[p.Name()] = p
+	}
+	var out []Pass
+	for _, n := range names {
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown pass %q", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FileResult pairs a unit's display name with its diagnostics.
+type FileResult struct {
+	File  string
+	Diags []Diagnostic
+}
+
+// WriteText renders results in the classic compiler style:
+//
+//	file:line:col: severity: message [category]
+//	    file:line:col: note: related message
+func WriteText(w io.Writer, results []FileResult) {
+	for _, r := range results {
+		for _, d := range r.Diags {
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s [%s]\n",
+				r.File, d.Pos.Line, d.Pos.Col, d.Severity, d.Message, d.Category)
+			for _, rel := range d.Related {
+				fmt.Fprintf(w, "    %s:%d:%d: note: %s\n",
+					r.File, rel.Pos.Line, rel.Pos.Col, rel.Message)
+			}
+		}
+	}
+}
+
+type jsonRelated struct {
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+type jsonDiagnostic struct {
+	File     string        `json:"file"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	Severity string        `json:"severity"`
+	Category string        `json:"category"`
+	Message  string        `json:"message"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+// WriteJSON renders all results as one JSON array of diagnostic objects.
+func WriteJSON(w io.Writer, results []FileResult) error {
+	out := []jsonDiagnostic{}
+	for _, r := range results {
+		for _, d := range r.Diags {
+			jd := jsonDiagnostic{
+				File:     r.File,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Col,
+				Severity: d.Severity.String(),
+				Category: d.Category,
+				Message:  d.Message,
+			}
+			for _, rel := range d.Related {
+				jd.Related = append(jd.Related, jsonRelated{
+					Line: rel.Pos.Line, Col: rel.Pos.Col, Message: rel.Message,
+				})
+			}
+			out = append(out, jd)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

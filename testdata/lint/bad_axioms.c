@@ -1,0 +1,17 @@
+// A contradictory axiom set: A1's sides share the word "r", so it asserts a
+// vertex is distinct from itself; E1 asserts an equality that A2 refutes.
+// A3 duplicates A2.
+struct T {
+	struct T *l;
+	struct T *r;
+	axioms {
+		A1: forall p, p.(l|r) <> p.r;
+		A2: forall p, p.l <> p.r;
+		A3: forall p, p.l <> p.r;
+		E1: forall p, p.l = p.r;
+	}
+};
+
+int touch(struct T *t) {
+	return 0;
+}

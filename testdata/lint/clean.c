@@ -1,0 +1,8 @@
+// A program every pass accepts: no diagnostics, exit status 0.
+struct K {
+	int v;
+};
+
+int get(struct K *k) {
+	return k->v;
+}

@@ -1,0 +1,18 @@
+// A DOALL-safe loop: the acyclicity axiom lets the dependence test prove
+// iteration i's write p->v disjoint from iteration j's (§5).
+struct Cell {
+	struct Cell *next;
+	int v;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+
+void scale(struct Cell *l) {
+	struct Cell *p;
+	p = l;
+	while (p != NULL) {
+L:		p->v = 2;
+		p = p->next;
+	}
+}

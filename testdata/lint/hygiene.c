@@ -1,0 +1,13 @@
+// Hygiene-pass fodder: a field of an undeclared struct type, an access to a
+// field the struct does not declare, a dead store, and unreachable code.
+struct H {
+	int a;
+	struct M *m;
+};
+
+int f(struct H *h) {
+	int x;
+	x = h->b;
+	return x;
+	x = 0;
+}

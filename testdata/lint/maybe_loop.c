@@ -1,0 +1,19 @@
+// A loop the test cannot classify: struct Ring declares no acyclicity axiom
+// (the list may be circular), so iteration i's write p->v and iteration j's
+// write p.next+->v cannot be proved disjoint.
+struct Ring {
+	struct Ring *next;
+	int v;
+};
+
+void bump(struct Ring *s, int k) {
+	struct Ring *p;
+	int i;
+	p = s;
+	i = 0;
+	while (i < k) {
+		p->v = i;
+		p = p->next;
+		i = i + 1;
+	}
+}

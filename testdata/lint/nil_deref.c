@@ -1,0 +1,28 @@
+// Handle-safety fodder: a never-initialized handle, a definite NULL
+// dereference, a dereference under a == NULL guard, and a guard that makes a
+// dereference safe.
+struct Node {
+	struct Node *next;
+	int d;
+};
+
+int bad(struct Node *h) {
+	struct Node *p;
+	struct Node *q;
+	q = NULL;
+	p->d = 1;
+	q->d = 2;
+	if (h == NULL) {
+		h->d = 3;
+	}
+	return 0;
+}
+
+int good(struct Node *h) {
+	struct Node *r;
+	r = h->next;
+	if (r != NULL) {
+		r->d = 4;
+	}
+	return 0;
+}

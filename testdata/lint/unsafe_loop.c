@@ -1,0 +1,14 @@
+// An unsafe loop: every iteration writes a->sum, a provable loop-carried
+// output dependence, so DOALL parallelization is illegal.
+struct Acc {
+	struct Acc *next;
+	int sum;
+	int v;
+};
+
+void accumulate(struct Acc *a, struct Acc *l) {
+	while (l != NULL) {
+		a->sum = a->sum + l->v;
+		l = l->next;
+	}
+}

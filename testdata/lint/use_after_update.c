@@ -1,0 +1,15 @@
+// A handle computed through field nx is used after a destructive update
+// rewrote nx: the §3.4 hazard the axiom windows exist to contain.
+struct N {
+	struct N *nx;
+	int d;
+};
+
+void splice(struct N *a) {
+	struct N *t;
+	t = a->nx;
+	if (t != NULL) {
+		a->nx = NULL;
+		t->d = 1;
+	}
+}
