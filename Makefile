@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool bench bench-json lintsmoke allocs figure7 clean
 
 check: vet build race bench lintsmoke
 
@@ -21,8 +21,25 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race coverage for the batched query engine and everything it
+# leans on (worker pool, shared DFA cache).
+race-engine:
+	$(GO) test -race ./internal/engine ./internal/parallel ./internal/automata
+
+# The pool's concurrency tests synchronize through explicit channels (no
+# sleeps), so hammering them under the race detector is cheap and
+# deterministic.
+race-pool:
+	$(GO) test -race -count=50 ./internal/parallel
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Engine-vs-sequential benchmark report (ns/op, cache hit rates, speedup at
+# 1/4/8 workers) written to BENCH_engine.json; the acceptance thresholds
+# (≥2× at 8 workers, >50% shared-cache hit rate) are asserted by the test.
+bench-json:
+	BENCH_ENGINE_JSON=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteBenchEngineJSON -v ./internal/engine
 
 # Lint every program in testdata/ with aptlint and diff the diagnostics
 # against the committed golden.  Regenerate after intentional changes with:

@@ -7,22 +7,38 @@
 //	aptdep -fn subr -from S -to T prog.c          straight-line dependence
 //	aptdep -fn update -loop U prog.c              loop-carried dependence
 //	aptdep -fn subr -apm prog.c                   dump the APM tables
+//	aptdep -fn subr -batch queries.txt prog.c     many queries, one run
 //	aptdep -stats -trace-json t.jsonl -fn subr -from S -to T prog.c
+//
+// A -batch file holds one query per line ('#' starts a comment):
+//
+//	between S T     every dependence query from statement S to statement T
+//	cross S T       S at iteration i against T at a later iteration
+//	loop U          the loop-carried self-dependence queries of label U
+//
+// Batch queries are answered by the concurrency-safe query engine
+// (internal/engine): -workers sets the pool width, -timeout bounds each
+// query's proof search (expiry degrades that query to Maybe), and -stats
+// reports the shared-cache hit rates alongside the usual counters.
 //
 // Exit status: 0 when every query answered No, 1 when a dependence was found
 // or assumed, 2 on usage or input errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/prover"
 	"repro/internal/ptdp"
@@ -48,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print proof traces")
 	assumeInv := fs.Bool("assume-invariants", false, "assume loops re-establish axioms despite structural modifications (the 'full' analysis of §5)")
 	verify := fs.Bool("verify", false, "independently re-check every proof before trusting a No")
+	batch := fs.String("batch", "", "`file` of queries (between S T | cross S T | loop U, one per line) answered by the batched engine")
+	workers := fs.Int("workers", 1, "engine pool `width` for -batch")
+	timeout := fs.Duration("timeout", 0, "per-query proof-search `bound` for -batch (0 = none; expiry degrades the query to Maybe)")
 	var tf cliutil.TelemetryFlags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +157,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *batch != "" {
+		return runBatch(batchConfig{
+			file:    *batch,
+			workers: *workers,
+			timeout: *timeout,
+			verify:  *verify,
+			trace:   *trace,
+			res:     res,
+			tel:     tel,
+			phases:  phases,
+			tf:      &tf,
+		}, stdout, stderr)
+	}
+
 	var queries []core.Query
 	if err := phases.Run("build-queries", func() error {
 		var err error
@@ -177,6 +210,111 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	tf = cliutil.TelemetryFlags{} // deferred Close becomes a no-op
 	return exit
+}
+
+// batchConfig carries everything runBatch needs from the main flag set.
+type batchConfig struct {
+	file    string
+	workers int
+	timeout time.Duration
+	verify  bool
+	trace   bool
+	res     *analysis.Result
+	tel     *telemetry.Set
+	phases  *telemetry.Phases
+	tf      *cliutil.TelemetryFlags
+}
+
+// runBatch answers a query file through the batched engine: every line
+// expands to its dependence queries, the whole set runs in one
+// engine.Batch call, and one result line per query is printed in file
+// order.  Exit status follows the usual rule (0 iff every query is No).
+func runBatch(cfg batchConfig, stdout, stderr io.Writer) int {
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptdep: "+format+"\n", fargs...)
+		return 2
+	}
+	var queries []core.Query
+	if err := cfg.phases.Run("build-queries", func() error {
+		src, err := os.ReadFile(cfg.file)
+		if err != nil {
+			return err
+		}
+		queries, err = parseBatchFile(string(src), cfg.res)
+		return err
+	}); err != nil {
+		return fatalf("%v", err)
+	}
+
+	eng := engine.New(cfg.res.Axioms, engine.Options{
+		Workers:      cfg.workers,
+		QueryTimeout: cfg.timeout,
+		Prover:       prover.Options{Telemetry: cfg.tel},
+		VerifyProofs: cfg.verify,
+		Telemetry:    cfg.tel,
+	})
+	exit := 0
+	cfg.phases.Run("deptest", func() error {
+		for i, out := range eng.Batch(context.Background(), queries) {
+			q := queries[i]
+			fmt.Fprintf(stdout, "%v  [%s]  S: %v  T: %v\n    %s\n", out.Result, out.Kind, q.S, q.T, out.Reason)
+			if cfg.trace && out.Proof != nil {
+				fmt.Fprintln(stdout, indent(out.Proof.Render()))
+			}
+			if out.Result != core.No {
+				exit = 1
+			}
+		}
+		return nil
+	})
+	st := eng.Stats()
+	if cfg.tel.Enabled() {
+		fmt.Fprintf(stderr, "aptdep: batch: %d queries, %d workers; proof memo %d/%d hits (%.0f%%), shared DFA cache %d/%d hits, %d timeouts\n",
+			st.Queries, eng.Workers(),
+			st.Memo.Hits, st.Memo.Lookups, 100*st.Memo.HitRate(),
+			st.DFA.Hits, st.DFA.Lookups, st.Timeouts)
+	}
+	if err := cfg.tf.Close(stderr, cfg.phases); err != nil {
+		return fatalf("%v", err)
+	}
+	*cfg.tf = cliutil.TelemetryFlags{} // deferred Close becomes a no-op
+	return exit
+}
+
+// parseBatchFile expands a batch query file against the analysis result.
+// Blank lines and '#' comments are skipped; each remaining line is
+// "between S T", "cross S T", or "loop U".
+func parseBatchFile(src string, res *analysis.Result) ([]core.Query, error) {
+	var out []core.Query
+	for n, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		var (
+			qs  []core.Query
+			err error
+		)
+		switch {
+		case fields[0] == "between" && len(fields) == 3:
+			qs, err = res.QueriesBetween(fields[1], fields[2])
+		case fields[0] == "cross" && len(fields) == 3:
+			qs, err = res.LoopCarriedBetween(fields[1], fields[2])
+		case fields[0] == "loop" && len(fields) == 2:
+			qs, err = res.LoopCarriedQueries(fields[1])
+		default:
+			return nil, fmt.Errorf("%s:%d: want 'between S T', 'cross S T', or 'loop U', got %q",
+				"batch file", n+1, strings.TrimSpace(line))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("batch file:%d: %w", n+1, err)
+		}
+		out = append(out, qs...)
+	}
+	return out, nil
 }
 
 func indent(s string) string {

@@ -108,6 +108,104 @@ func TestRunPlainStillWorks(t *testing.T) {
 	}
 }
 
+// TestBatchMode: a -batch file expands to queries answered by the engine,
+// printed in file order; batch results match the one-query-at-a-time CLI.
+func TestBatchMode(t *testing.T) {
+	batchFile := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(batchFile, []byte(`
+# the §3.3 pair, both orientations (the engine canonicalizes the swap)
+between S T
+between T S
+
+between S I
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fn", "subr", "-batch", batchFile, "-workers", "4",
+		"../../testdata/section33.c",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (every §3.3 query is No)\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	verdicts := 0
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if strings.HasPrefix(line, "No") {
+			verdicts++
+		}
+		if strings.HasPrefix(line, "Maybe") || strings.HasPrefix(line, "Yes") {
+			t.Errorf("unexpected verdict line: %s", line)
+		}
+	}
+	if verdicts < 3 {
+		t.Errorf("only %d verdict lines for 3 batch lines:\n%s", verdicts, stdout.String())
+	}
+}
+
+// TestBatchModeStats: -stats adds the engine's cache summary, and the
+// swapped orientation hits the canonicalized proof memo.
+func TestBatchModeStats(t *testing.T) {
+	batchFile := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(batchFile, []byte("between S T\nbetween T S\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-stats", "-fn", "subr", "-batch", batchFile,
+		"../../testdata/section33.c",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "proof memo") {
+		t.Errorf("stderr missing the engine summary:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "engine.memo_hits") && !strings.Contains(stderr.String(), "counters:") {
+		t.Errorf("stderr missing engine counters:\n%s", stderr.String())
+	}
+}
+
+// TestBatchModeLoop: 'loop L' expands to the loop-carried self-dependence
+// queries (the DOALL-legal loop of testdata/lint/doall.c answers No).
+func TestBatchModeLoop(t *testing.T) {
+	batchFile := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(batchFile, []byte("loop L\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fn", "scale", "-batch", batchFile,
+		"../../testdata/lint/doall.c",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (doall.c is DOALL-legal)\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "No") {
+		t.Errorf("no verdict printed:\n%s", stdout.String())
+	}
+}
+
+// TestBatchModeBadLine: a malformed batch line is a usage error (exit 2)
+// naming the offending line.
+func TestBatchModeBadLine(t *testing.T) {
+	batchFile := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(batchFile, []byte("between S\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fn", "subr", "-batch", batchFile, "../../testdata/section33.c"},
+		&stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a malformed line", code)
+	}
+	if !strings.Contains(stderr.String(), "between S") {
+		t.Errorf("stderr does not name the bad line:\n%s", stderr.String())
+	}
+}
+
 // TestRunUsageError: bad flags exit 2 without panicking.
 func TestRunUsageError(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	passNames := fs.String("pass", "", "comma-separated `list` of passes to run (default: all)")
 	listPasses := fs.Bool("passes", false, "list the available passes and exit")
+	workers := fs.Int("j", 1, "worker `width` for the batched dependence-query engine; verdicts are identical at any width, but widths above 1 may vary the proof-search statistics quoted in diagnostics")
 	var tf cliutil.TelemetryFlags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -74,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	phases := telemetry.NewPhases(tel)
 	defer tf.Close(stderr, phases)
 
-	driver := lint.NewDriver(tel, passes...)
+	driver := lint.NewDriver(tel, passes...).SetWorkers(*workers)
 	var results []lint.FileResult
 	anyErrors := false
 	for _, file := range fs.Args() {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 func TestBuildPatterns(t *testing.T) {
 	m, desc := build("circuit", 60, 300, 1)
@@ -15,5 +21,23 @@ func TestBuildPatterns(t *testing.T) {
 	g2, _ := build("grid", 90, 0, 1)
 	if g2.N != 100 {
 		t.Errorf("grid rounding: n=%d, want 100", g2.N)
+	}
+}
+
+// TestRunCertify: the §5 kernel certifies DOALL-legal through the batched
+// engine, the swapped orientations land in the canonicalized proof memo,
+// and the summary reaches stdout/stderr.
+func TestRunCertify(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tel := telemetry.New(reg, nil)
+	var stdout, stderr bytes.Buffer
+	if err := runCertify(4, tel, &stdout, &stderr); err != nil {
+		t.Fatalf("runCertify: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "DOALL-legal") {
+		t.Errorf("stdout missing verdict:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "proof memo 4/8 hits") {
+		t.Errorf("stderr missing memo summary (want 4/8 hits from the swapped orientations):\n%s", stderr.String())
 	}
 }

@@ -31,7 +31,8 @@ type CacheStats struct {
 // tests the same small expressions against many axioms; caching makes the
 // paper's "proof attempt is never repeated" complexity argument hold for the
 // automata layer too.  A Cache is not safe for concurrent use; each prover
-// instance owns one.
+// instance owns one by default.  Concurrent clients (the batched query
+// engine) share a SharedCache across worker provers instead.
 type Cache struct {
 	limit      int
 	noMinimize bool

@@ -13,6 +13,7 @@ package automata
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/pathexpr"
 )
@@ -22,6 +23,7 @@ import (
 type Alphabet struct {
 	symbols []string
 	index   map[string]int
+	key     string
 }
 
 // NewAlphabet builds an alphabet from the given field names, deduplicating
@@ -41,7 +43,7 @@ func NewAlphabet(fields ...string) *Alphabet {
 	for i, s := range syms {
 		idx[s] = i
 	}
-	return &Alphabet{symbols: syms, index: idx}
+	return &Alphabet{symbols: syms, index: idx, key: strings.Join(syms, " ")}
 }
 
 // AlphabetOf builds the alphabet of all fields mentioned in the expressions.
@@ -74,8 +76,10 @@ func (a *Alphabet) Index(s string) int {
 func (a *Alphabet) Contains(s string) bool { _, ok := a.index[s]; return ok }
 
 // Key returns a canonical string identifying the alphabet, for caching.
+// It is precomputed at construction: cache lookups hit it on every DFA
+// request, far too hot a path for per-call rendering.
 func (a *Alphabet) Key() string {
-	return fmt.Sprint(a.symbols)
+	return a.key
 }
 
 // nfa is a Thompson-construction NFA with ε-transitions.  States are dense

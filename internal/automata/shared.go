@@ -1,0 +1,292 @@
+package automata
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pathexpr"
+	"repro/internal/telemetry"
+)
+
+// DFACache is the compilation-cache interface the prover draws DFAs (and
+// the language decisions built on them) from.  Two implementations exist:
+// Cache, the single-owner cache each prover builds by default, and
+// SharedCache, the sharded concurrency-safe cache the batched query engine
+// hands to every worker prover so subset constructions are paid once per
+// (expression, alphabet) across the whole batch.
+type DFACache interface {
+	DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error)
+	Includes(sub, sup pathexpr.Expr, a *Alphabet) (bool, error)
+	Disjoint(x, y pathexpr.Expr, a *Alphabet) (bool, error)
+	Equivalent(x, y pathexpr.Expr, a *Alphabet) (bool, error)
+	Stats() CacheStats
+}
+
+var (
+	_ DFACache = (*Cache)(nil)
+	_ DFACache = (*SharedCache)(nil)
+)
+
+// DefaultSharedShards is the shard count used when NewSharedCache is given
+// a non-positive one.  Sixteen shards keep lock contention negligible for
+// pool widths far beyond anything the engine spawns.
+const DefaultSharedShards = 16
+
+// SharedCache is a concurrency-safe DFA cache: a fixed array of
+// mutex-guarded shards keyed, like Cache, by (alphabet, expression).
+// Compiled DFAs are immutable, so a value read under one shard's lock is
+// safe to use forever after; two goroutines racing to compile the same
+// expression both succeed and the second insert overwrites the first with
+// an equivalent automaton (duplicate work, never wrong answers).
+//
+// An optional per-shard entry cap bounds memory: a shard at its cap is
+// emptied wholesale before the next insert (epoch eviction — no LRU
+// bookkeeping on the hit path), and every dropped entry counts as an
+// eviction in the stats and telemetry.
+type SharedCache struct {
+	limit      int
+	perShard   int // entry cap per shard; 0 = unbounded
+	noMinimize bool
+	shards     []sharedShard
+
+	lookups      atomic.Int64
+	hits         atomic.Int64
+	compiles     atomic.Int64
+	statesBuilt  atomic.Int64
+	statesMin    atomic.Int64
+	limitFails   atomic.Int64
+	evictions    atomic.Int64
+	decisions    atomic.Int64
+	decisionHits atomic.Int64
+
+	tel           *telemetry.Set
+	cLookups      *telemetry.Counter
+	cHits         *telemetry.Counter
+	cCompiles     *telemetry.Counter
+	cLimitFails   *telemetry.Counter
+	cEvictions    *telemetry.Counter
+	cDecisions    *telemetry.Counter
+	cDecisionHits *telemetry.Counter
+	compileTimeNS *telemetry.Histogram
+}
+
+type sharedShard struct {
+	mu   sync.RWMutex
+	dfas map[string]*DFA
+	// ops memoizes the boolean answers of Includes/Disjoint/Equivalent
+	// (keyed by op, alphabet, and both expressions) — the product
+	// constructions they run are pure functions of immutable DFAs.
+	ops map[string]bool
+}
+
+// NewSharedCache returns a concurrency-safe cache with the given subset
+// construction state limit (DefaultStateLimit if limit <= 0), shard count
+// (DefaultSharedShards if shards <= 0), and per-shard entry cap
+// (0 = unbounded).
+func NewSharedCache(limit, shards, perShardCap int) *SharedCache {
+	if limit <= 0 {
+		limit = DefaultStateLimit
+	}
+	if shards <= 0 {
+		shards = DefaultSharedShards
+	}
+	c := &SharedCache{limit: limit, perShard: perShardCap, shards: make([]sharedShard, shards)}
+	for i := range c.shards {
+		c.shards[i].dfas = make(map[string]*DFA)
+		c.shards[i].ops = make(map[string]bool)
+	}
+	return c
+}
+
+// SetTelemetry wires the cache's counters and compile events into tel
+// (nil disables, the default).  Returns the cache for chaining.
+func (c *SharedCache) SetTelemetry(tel *telemetry.Set) *SharedCache {
+	c.tel = tel
+	c.cLookups = tel.Counter("automata.shared_lookups")
+	c.cHits = tel.Counter("automata.shared_hits")
+	c.cCompiles = tel.Counter("automata.shared_compiles")
+	c.cLimitFails = tel.Counter("automata.shared_state_limit_failures")
+	c.cEvictions = tel.Counter("automata.shared_evictions")
+	c.cDecisions = tel.Counter("automata.shared_decision_lookups")
+	c.cDecisionHits = tel.Counter("automata.shared_decision_hits")
+	c.compileTimeNS = tel.Histogram("automata.shared_compile_ns")
+	return c
+}
+
+// fnv32a hashes a key to a shard index.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *SharedCache) shard(key string) *sharedShard {
+	return &c.shards[fnv32a(key)%uint32(len(c.shards))]
+}
+
+// DFA returns the compiled, minimized DFA for e over alphabet a, compiling
+// at most once per key in the steady state.
+func (c *SharedCache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
+	c.lookups.Add(1)
+	c.cLookups.Add(1)
+	key := a.Key() + "\x00" + e.String()
+	sh := c.shard(key)
+	sh.mu.RLock()
+	d, ok := sh.dfas[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		c.cHits.Add(1)
+		return d, nil
+	}
+
+	timed := c.compileTimeNS != nil || c.tel.TraceEnabled()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	d, err := CompileLimit(e, a, c.limit)
+	if err != nil {
+		c.limitFails.Add(1)
+		c.cLimitFails.Add(1)
+		return nil, err
+	}
+	built := d.NumStates()
+	if !c.noMinimize {
+		d = d.Minimize()
+	}
+	c.compiles.Add(1)
+	c.statesBuilt.Add(int64(built))
+	c.statesMin.Add(int64(d.NumStates()))
+	c.cCompiles.Add(1)
+	if timed {
+		dur := time.Since(t0)
+		c.compileTimeNS.Observe(dur.Nanoseconds())
+		c.tel.Emit("automata.shared_compile",
+			telemetry.String("expr", e.String()),
+			telemetry.Int("states", built),
+			telemetry.Int("min_states", d.NumStates()),
+			telemetry.DurUS("dur_us", dur))
+	}
+
+	sh.mu.Lock()
+	if prior, ok := sh.dfas[key]; ok {
+		// A concurrent compile won the race; keep its value so every caller
+		// observes one steady automaton per key.
+		sh.mu.Unlock()
+		return prior, nil
+	}
+	if c.perShard > 0 && len(sh.dfas) >= c.perShard {
+		dropped := len(sh.dfas)
+		sh.dfas = make(map[string]*DFA, c.perShard)
+		c.evictions.Add(int64(dropped))
+		c.cEvictions.Add(int64(dropped))
+	}
+	sh.dfas[key] = d
+	sh.mu.Unlock()
+	return d, nil
+}
+
+// Stats returns the cache's work counters so far.  Safe to call
+// concurrently with lookups; the counters are individually atomic.
+func (c *SharedCache) Stats() CacheStats {
+	return CacheStats{
+		Lookups:         int(c.lookups.Load()),
+		Hits:            int(c.hits.Load()),
+		Compiles:        int(c.compiles.Load()),
+		StatesBuilt:     int(c.statesBuilt.Load()),
+		StatesMinimized: int(c.statesMin.Load()),
+		LimitFailures:   int(c.limitFails.Load()),
+	}
+}
+
+// Evictions returns the number of entries dropped by epoch eviction.
+func (c *SharedCache) Evictions() int64 { return c.evictions.Load() }
+
+// Len reports the number of cached DFAs across all shards.
+func (c *SharedCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].dfas)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// HitRate returns hits/lookups, or 0 when no lookups happened.
+func (c *SharedCache) HitRate() float64 {
+	l := c.lookups.Load()
+	if l == 0 {
+		return 0
+	}
+	return float64(c.hits.Load()) / float64(l)
+}
+
+// decide answers a binary language decision through the per-shard decision
+// memo.  Compiled DFAs are deterministic, so the boolean answer for an
+// (op, alphabet, x, y) key never changes; product constructions (complement,
+// intersection, emptiness) dominate the prover's direct checks once the DFAs
+// themselves are cached, and the same decisions recur across the goals of a
+// batch.
+func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func(dx, dy *DFA) bool) (bool, error) {
+	c.decisions.Add(1)
+	c.cDecisions.Add(1)
+	key := string(op) + "\x00" + a.Key() + "\x00" + x.String() + "\x00" + y.String()
+	sh := c.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.ops[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.decisionHits.Add(1)
+		c.cDecisionHits.Add(1)
+		return v, nil
+	}
+	dx, err := c.DFA(x, a)
+	if err != nil {
+		return false, err
+	}
+	dy, err := c.DFA(y, a)
+	if err != nil {
+		return false, err
+	}
+	v = eval(dx, dy)
+	sh.mu.Lock()
+	if c.perShard > 0 && len(sh.ops) >= c.perShard {
+		dropped := len(sh.ops)
+		sh.ops = make(map[string]bool, c.perShard)
+		c.evictions.Add(int64(dropped))
+		c.cEvictions.Add(int64(dropped))
+	}
+	sh.ops[key] = v
+	sh.mu.Unlock()
+	return v, nil
+}
+
+// Includes reports L(sub) ⊆ L(sup) over alphabet a.
+func (c *SharedCache) Includes(sub, sup pathexpr.Expr, a *Alphabet) (bool, error) {
+	return c.decide('i', sub, sup, a, func(ds, dp *DFA) bool { return ds.Includes(dp) })
+}
+
+// Disjoint reports L(x) ∩ L(y) = ∅ over alphabet a.
+func (c *SharedCache) Disjoint(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
+	return c.decide('d', x, y, a, func(dx, dy *DFA) bool { return dx.Intersect(dy).IsEmpty() })
+}
+
+// Equivalent reports L(x) = L(y) over alphabet a.
+func (c *SharedCache) Equivalent(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
+	return c.decide('e', x, y, a, func(dx, dy *DFA) bool { return dx.Equivalent(dy) })
+}
+
+// DecisionStats returns the decision-memo lookup/hit counts.
+func (c *SharedCache) DecisionStats() (lookups, hits int64) {
+	return c.decisions.Load(), c.decisionHits.Load()
+}

@@ -1,0 +1,134 @@
+package automata
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pathexpr"
+)
+
+func sharedTestExprs() []pathexpr.Expr {
+	srcs := []string{"L", "R", "N", "L.R", "(L|R)", "(L|R)+", "N*", "L.(L|R)*", "(L|R|N)+", "ε"}
+	out := make([]pathexpr.Expr, len(srcs))
+	for i, s := range srcs {
+		out[i] = pathexpr.MustParse(s)
+	}
+	return out
+}
+
+// TestSharedCacheMatchesPrivateCache: both implementations of DFACache must
+// give identical language decisions.
+func TestSharedCacheMatchesPrivateCache(t *testing.T) {
+	alpha := NewAlphabet("L", "R", "N")
+	private := NewCache(0)
+	shared := NewSharedCache(0, 0, 0)
+	exprs := sharedTestExprs()
+	for _, x := range exprs {
+		for _, y := range exprs {
+			for name, op := range map[string]func(DFACache) (bool, error){
+				"Includes":   func(c DFACache) (bool, error) { return c.Includes(x, y, alpha) },
+				"Disjoint":   func(c DFACache) (bool, error) { return c.Disjoint(x, y, alpha) },
+				"Equivalent": func(c DFACache) (bool, error) { return c.Equivalent(x, y, alpha) },
+			} {
+				wantOK, wantErr := op(private)
+				gotOK, gotErr := op(shared)
+				if wantOK != gotOK || (wantErr == nil) != (gotErr == nil) {
+					t.Errorf("%s(%v, %v): shared says (%v,%v), private says (%v,%v)",
+						name, x, y, gotOK, gotErr, wantOK, wantErr)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedCacheConcurrentLookups hammers one cache from many goroutines;
+// correctness is checked by the decisions and the race detector, economy by
+// the compile counter staying near the distinct-key count.
+func TestSharedCacheConcurrentLookups(t *testing.T) {
+	alpha := NewAlphabet("L", "R", "N")
+	c := NewSharedCache(0, 4, 0)
+	exprs := sharedTestExprs()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				for _, e := range exprs {
+					d, err := c.DFA(e, alpha)
+					if err != nil || d == nil {
+						errs <- fmt.Errorf("DFA(%v): %v", e, err)
+						return
+					}
+				}
+			}
+			ok, err := c.Disjoint(pathexpr.MustParse("L"), pathexpr.MustParse("R"), alpha)
+			if err != nil || !ok {
+				errs <- fmt.Errorf("Disjoint(L,R) = %v, %v", ok, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Lookups == 0 || st.Hits == 0 {
+		t.Fatalf("stats show no traffic: %+v", st)
+	}
+	// Racing goroutines may compile the same key more than once (benign),
+	// but steady-state reuse must dominate: far fewer compiles than lookups.
+	if st.Compiles >= st.Lookups/10 {
+		t.Errorf("%d compiles for %d lookups: cache not absorbing repeat traffic", st.Compiles, st.Lookups)
+	}
+	if c.Len() == 0 || c.Len() > len(exprs)+2 {
+		t.Errorf("Len() = %d, want about %d distinct entries", c.Len(), len(exprs))
+	}
+	if c.HitRate() <= 0.5 {
+		t.Errorf("HitRate() = %.2f, want > 0.5", c.HitRate())
+	}
+}
+
+// TestSharedCacheEpochEviction: a full shard is emptied before the next
+// insert and every dropped entry is counted.
+func TestSharedCacheEpochEviction(t *testing.T) {
+	alpha := NewAlphabet("L", "R", "N")
+	c := NewSharedCache(0, 1, 4) // one shard, four entries
+	exprs := sharedTestExprs()
+	for _, e := range exprs {
+		if _, err := c.DFA(e, alpha); err != nil {
+			t.Fatalf("DFA(%v): %v", e, err)
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Errorf("no evictions after inserting %d entries into a 4-entry shard", len(exprs))
+	}
+	if got := c.Len(); got > 4 {
+		t.Errorf("Len() = %d, want <= the per-shard cap of 4", got)
+	}
+	// Evicted entries must simply recompile, not fail.
+	if ok, err := c.Disjoint(pathexpr.MustParse("L"), pathexpr.MustParse("R"), alpha); err != nil || !ok {
+		t.Errorf("Disjoint(L,R) after eviction = %v, %v", ok, err)
+	}
+}
+
+// TestSharedCacheStateLimit: the configured subset-construction limit is
+// enforced and counted, and a failed compilation is not cached.
+func TestSharedCacheStateLimit(t *testing.T) {
+	alpha := NewAlphabet("L", "R", "N")
+	c := NewSharedCache(1, 0, 0)
+	big := pathexpr.MustParse("(L|R).(L|R).(L|R).(L|R)")
+	if _, err := c.DFA(big, alpha); err == nil {
+		t.Fatal("want a state-limit error from a 1-state limit")
+	}
+	if st := c.Stats(); st.LimitFailures == 0 {
+		t.Errorf("stats did not count the limit failure: %+v", st)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed compilation was cached: Len() = %d", c.Len())
+	}
+}

@@ -147,6 +147,17 @@ type Outcome struct {
 	AuxProof *prover.Proof
 }
 
+// ProofMemo shares prover verdicts across queries — and, when its
+// implementation is concurrency-safe, across testers.  Prove either returns
+// a memoized proof for the goal (keyed however the implementation likes;
+// the engine canonicalizes symmetric goals so ⟨h.P, h.Q⟩ and ⟨h.Q, h.P⟩
+// share an entry) or calls compute and remembers its result.  axiomKey is
+// the axiom.Set fingerprint of the window the goal is judged under: proofs
+// are never valid across different axiom sets.
+type ProofMemo interface {
+	Prove(axiomKey string, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof
+}
+
 // Tester runs dependence queries against a fixed default axiom set, reusing
 // provers (and their caches) across queries.  A query carrying its own
 // Axioms (e.g. a §3.4 validity window that dropped some axioms) is answered
@@ -154,7 +165,9 @@ type Outcome struct {
 type Tester struct {
 	prover *prover.Prover
 	axioms *axiom.Set
+	axKey  string
 	opts   prover.Options
+	memo   ProofMemo
 	// provers caches per-window provers by axiom-set fingerprint.
 	provers map[string]*prover.Prover
 	// VerifyProofs re-validates every prover-backed No with the independent
@@ -167,26 +180,37 @@ type Tester struct {
 // NewTester builds a Tester for the axiom set.
 func NewTester(axioms *axiom.Set, opts prover.Options) *Tester {
 	p := prover.New(axioms, opts)
+	key := axioms.Key()
 	return &Tester{
 		prover:  p,
 		axioms:  axioms,
+		axKey:   key,
 		opts:    opts,
-		provers: map[string]*prover.Prover{axioms.Key(): p},
+		provers: map[string]*prover.Prover{key: p},
 	}
 }
 
-// proverFor returns the prover for the query's axiom window.
-func (t *Tester) proverFor(q Query) *prover.Prover {
+// SetProofMemo routes the tester's theorem-proving calls through a
+// cross-query proof memo (nil, the default, disables sharing).  Returns the
+// tester for chaining.
+func (t *Tester) SetProofMemo(m ProofMemo) *Tester {
+	t.memo = m
+	return t
+}
+
+// proverFor returns the prover for the query's axiom window together with
+// the window's fingerprint (the proof-memo namespace).
+func (t *Tester) proverFor(q Query) (*prover.Prover, string) {
 	if q.Axioms == nil {
-		return t.prover
+		return t.prover, t.axKey
 	}
 	key := q.Axioms.Key()
 	if p, ok := t.provers[key]; ok {
-		return p
+		return p, key
 	}
 	p := prover.New(q.Axioms, t.opts)
 	t.provers[key] = p
-	return p
+	return p, key
 }
 
 // Prover exposes the underlying theorem prover (for proof rendering and for
@@ -223,9 +247,17 @@ func (t *Tester) DepTest(q Query) Outcome {
 }
 
 func (t *Tester) depTest(q Query) Outcome {
-	kind := classify(q.S, q.T)
+	kind := Classify(q.S, q.T)
 	out := Outcome{Kind: kind}
-	prv := t.proverFor(q)
+	prv, axKey := t.proverFor(q)
+	prove := func(form prover.Form, x, y pathexpr.Expr) *prover.Proof {
+		if t.memo == nil {
+			return prv.Prove(form, x, y)
+		}
+		return t.memo.Prove(axKey, form, x, y, func() *prover.Proof {
+			return prv.Prove(form, x, y)
+		})
+	}
 
 	if kind == NoAccessConflict {
 		out.Result = No
@@ -276,7 +308,7 @@ func (t *Tester) depTest(q Query) Outcome {
 
 	switch rel {
 	case SameHandle:
-		proof := prv.Prove(prover.SameSrc, q.S.Path, q.T.Path)
+		proof := prove(prover.SameSrc, q.S.Path, q.T.Path)
 		out.Proof = proof
 		if proof.Result == prover.Proved && verified(proof) {
 			out.Result = No
@@ -284,7 +316,7 @@ func (t *Tester) depTest(q Query) Outcome {
 			return out
 		}
 	case DistinctHandles:
-		proof := prv.Prove(prover.DiffSrc, q.S.Path, q.T.Path)
+		proof := prove(prover.DiffSrc, q.S.Path, q.T.Path)
 		out.Proof = proof
 		if proof.Result == prover.Proved && verified(proof) {
 			out.Result = No
@@ -292,8 +324,8 @@ func (t *Tester) depTest(q Query) Outcome {
 			return out
 		}
 	case UnknownHandles:
-		same := prv.Prove(prover.SameSrc, q.S.Path, q.T.Path)
-		diff := prv.Prove(prover.DiffSrc, q.S.Path, q.T.Path)
+		same := prove(prover.SameSrc, q.S.Path, q.T.Path)
+		diff := prove(prover.DiffSrc, q.S.Path, q.T.Path)
 		out.Proof, out.AuxProof = same, diff
 		if same.Result == prover.Proved && diff.Result == prover.Proved && verified(same, diff) {
 			out.Result = No
@@ -309,7 +341,9 @@ func (t *Tester) depTest(q Query) Outcome {
 	return out
 }
 
-func classify(s, t Access) DepKind {
+// Classify reports the dependence kind of an access pair from its
+// read/write pattern alone (no aliasing reasoning).
+func Classify(s, t Access) DepKind {
 	switch {
 	case s.IsWrite && t.IsWrite:
 		return Output

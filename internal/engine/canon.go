@@ -1,0 +1,61 @@
+// Package engine is the concurrency-safe batched dependence-query engine:
+// it answers many core.Query instances over one axiom set by fanning them
+// across parallel.Pool workers, each owning a sequential core.Tester whose
+// expensive layers — the DFA compilation cache and the theorem-prover
+// verdicts — are shared across the whole batch through a sharded
+// automata.SharedCache and a canonicalized cross-query proof memo.
+//
+// The clients this serves (the parallelization-legality lint pass, aptdep
+// -batch sweeps, sparsebench's legality certification) issue hundreds of
+// closely related queries: the same goal re-asked under several §3.4 axiom
+// windows, and symmetric pairs — a loop pass asks both ⟨a,b⟩ and ⟨b,a⟩.
+// Canonicalizing goals (CanonicalGoal) and sharing compiled DFAs across
+// windows converts that redundancy into cache hits while keeping verdicts
+// identical to the sequential tester's (enforced by the differential
+// harness in differential_test.go).
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/pathexpr"
+	"repro/internal/prover"
+)
+
+// canonSep separates the fields of a canonical goal key.  It can never
+// occur inside a rendered path expression: field names are identifiers and
+// the renderer's metacharacters are printable.
+const canonSep = "\x1f"
+
+// CanonicalGoal returns the canonical memo key of the disjointness goal
+// ⟨form, x, y⟩.  Two goals share a key exactly when the prover treats them
+// as the same theorem:
+//
+//   - simplification: x and y are normalized with pathexpr.Simplify, the
+//     same normalization prover.Prove applies before searching;
+//   - symmetric swap: disjointness is symmetric, so ∀h, h.X <> h.Y and
+//     ∀h, h.Y <> h.X are one theorem — and for distinct anchors, renaming
+//     the bound handles h↔k turns ∀h<>k, h.X <> k.Y into ∀h<>k, h.Y <> k.X.
+//
+// The key embeds the two normalized renderings verbatim around a separator
+// that cannot occur inside them, so distinct normalized goals can never
+// collide (see FuzzCanonicalGoal).
+func CanonicalGoal(form prover.Form, x, y pathexpr.Expr) string {
+	a := pathexpr.Simplify(x).String()
+	b := pathexpr.Simplify(y).String()
+	if b < a {
+		a, b = b, a
+	}
+	var sb strings.Builder
+	sb.Grow(2 + len(a) + len(b) + 2*len(canonSep))
+	if form == prover.DiffSrc {
+		sb.WriteByte('D')
+	} else {
+		sb.WriteByte('S')
+	}
+	sb.WriteString(canonSep)
+	sb.WriteString(a)
+	sb.WriteString(canonSep)
+	sb.WriteString(b)
+	return sb.String()
+}

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/axiom"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/prover"
+	"repro/internal/telemetry"
+)
+
+// Options configures an Engine.  The zero value selects a single worker
+// with default prover budgets and no per-query timeout.
+type Options struct {
+	// Workers is the pool width Batch fans queries across (minimum 1).
+	Workers int
+	// QueryTimeout, when positive, bounds each query's wall-clock proof
+	// search; an expired query degrades to Maybe (never to an unsound No).
+	QueryTimeout time.Duration
+	// Prover configures the per-worker provers (budgets, ablations,
+	// telemetry).  DFACache and Interrupt are overwritten by the engine.
+	Prover prover.Options
+	// VerifyProofs re-checks every prover-backed No with the independent
+	// proof checker, as on the sequential Tester.
+	VerifyProofs bool
+	// Telemetry receives the engine's batch/memo/cache counters (nil, the
+	// default, disables them).  Also passed to the worker provers unless
+	// Prover.Telemetry is already set.
+	Telemetry *telemetry.Set
+	// DFAShards and DFAShardCap size the shared DFA cache (defaults:
+	// automata.DefaultSharedShards, unbounded shards).
+	DFAShards   int
+	DFAShardCap int
+	// MemoShards sizes the cross-query proof memo (default
+	// DefaultMemoShards).
+	MemoShards int
+}
+
+// Stats is a point-in-time snapshot of the engine's shared state.
+type Stats struct {
+	// Batches and Queries count Batch calls and the queries they carried.
+	Batches int64
+	Queries int64
+	// Timeouts counts queries degraded to Maybe by QueryTimeout; Canceled
+	// counts queries degraded (or skipped) by context cancellation.
+	Timeouts int64
+	Canceled int64
+	// Memo is the cross-query proof memo's counters.
+	Memo MemoStats
+	// DFA is the shared compilation cache's counters.
+	DFA automata.CacheStats
+}
+
+// Engine answers batches of dependence queries concurrently while keeping
+// every verdict identical to the sequential core.Tester's (see package doc;
+// differential_test.go enforces the equivalence).  An Engine is safe for
+// concurrent use, though a single Batch already saturates its pool.
+type Engine struct {
+	axioms *axiom.Set
+	opts   Options
+	pool   *parallel.Pool
+	dfas   *automata.SharedCache
+	memo   *Memo
+
+	batches  atomic.Int64
+	queries  atomic.Int64
+	timeouts atomic.Int64
+	canceled atomic.Int64
+
+	cBatches  *telemetry.Counter
+	cQueries  *telemetry.Counter
+	cTimeouts *telemetry.Counter
+	cCanceled *telemetry.Counter
+}
+
+// New builds an engine over the default axiom set.  Queries carrying their
+// own Axioms (validity windows) are honored exactly as on the sequential
+// tester; the shared caches key by axiom-set fingerprint, so windows with
+// equal alphabets still share compiled DFAs.
+func New(axioms *axiom.Set, opts Options) *Engine {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	tel := opts.Telemetry
+	if opts.Prover.Telemetry == nil {
+		opts.Prover.Telemetry = tel
+	}
+	dfas := automata.NewSharedCache(opts.Prover.DFAStateLimit, opts.DFAShards, opts.DFAShardCap)
+	dfas.SetTelemetry(tel)
+	return &Engine{
+		axioms:    axioms,
+		opts:      opts,
+		pool:      parallel.NewPool(opts.Workers).SetTelemetry(tel),
+		dfas:      dfas,
+		memo:      NewMemo(opts.MemoShards, tel),
+		cBatches:  tel.Counter("engine.batches"),
+		cQueries:  tel.Counter("engine.queries"),
+		cTimeouts: tel.Counter("engine.timeouts"),
+		cCanceled: tel.Counter("engine.canceled"),
+	}
+}
+
+// Axioms returns the engine's default axiom set.
+func (e *Engine) Axioms() *axiom.Set { return e.axioms }
+
+// Workers returns the engine's pool width.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats snapshots the engine's counters and shared-cache state.  (The
+// engine keeps its own atomics because telemetry instruments are nil, hence
+// unreadable, when telemetry is disabled.)
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Batches:  e.batches.Load(),
+		Queries:  e.queries.Load(),
+		Timeouts: e.timeouts.Load(),
+		Canceled: e.canceled.Load(),
+		Memo:     e.memo.Stats(),
+		DFA:      e.dfas.Stats(),
+	}
+}
+
+// Memo exposes the cross-query proof memo (for stats reporting).
+func (e *Engine) Memo() *Memo { return e.memo }
+
+// DFACache exposes the shared compilation cache (for stats reporting).
+func (e *Engine) DFACache() *automata.SharedCache { return e.dfas }
+
+// interruptGuard is one worker's prover interrupt hook: it trips on batch
+// cancellation or on the running query's deadline, and records which.
+type interruptGuard struct {
+	ctx      context.Context
+	deadline time.Time // zero when no per-query timeout
+	timedOut bool
+	canceled bool
+}
+
+// tripped is polled by the prover mid-search (prover.Options.Interrupt).
+func (g *interruptGuard) tripped() bool {
+	if g.canceled || g.timedOut {
+		return true
+	}
+	select {
+	case <-g.ctx.Done():
+		g.canceled = true
+		return true
+	default:
+	}
+	if !g.deadline.IsZero() && !time.Now().Before(g.deadline) {
+		g.timedOut = true
+		return true
+	}
+	return false
+}
+
+// arm resets the guard for the next query.
+func (g *interruptGuard) arm(timeout time.Duration) {
+	g.timedOut = false
+	g.canceled = false
+	if timeout > 0 {
+		g.deadline = time.Now().Add(timeout)
+	} else {
+		g.deadline = time.Time{}
+	}
+}
+
+// Batch answers every query, fanning the slice across the pool.  The
+// result slice is index-aligned with queries — results[i] answers
+// queries[i] regardless of which worker ran it or in what order — and the
+// verdicts are those the sequential Tester would produce, provided budgets
+// do not bind (a query interrupted by ctx or QueryTimeout degrades to
+// Maybe, the sound direction).  Queries not yet started when ctx is
+// canceled are answered Maybe without searching.
+func (e *Engine) Batch(ctx context.Context, queries []core.Query) []core.Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.batches.Add(1)
+	e.queries.Add(int64(len(queries)))
+	e.cBatches.Add(1)
+	e.cQueries.Add(int64(len(queries)))
+	results := make([]core.Outcome, len(queries))
+	e.pool.ForEachChunk(len(queries), func(lo, hi int) {
+		guard := &interruptGuard{ctx: ctx}
+		opts := e.opts.Prover
+		opts.DFACache = e.dfas
+		opts.Interrupt = guard.tripped
+		tester := core.NewTester(e.axioms, opts).SetProofMemo(e.memo)
+		tester.VerifyProofs = e.opts.VerifyProofs
+		for i := lo; i < hi; i++ {
+			results[i] = e.runOne(tester, guard, queries[i])
+		}
+	})
+	return results
+}
+
+// runOne answers one query on the worker's tester, degrading to Maybe with
+// an explanatory reason when the guard trips.
+func (e *Engine) runOne(tester *core.Tester, guard *interruptGuard, q core.Query) core.Outcome {
+	guard.arm(e.opts.QueryTimeout)
+	if guard.tripped() && guard.canceled {
+		e.canceled.Add(1)
+		e.cCanceled.Add(1)
+		return core.Outcome{
+			Result: core.Maybe,
+			Kind:   core.Classify(q.S, q.T),
+			Reason: fmt.Sprintf("batch canceled before query ran (%v); dependence assumed", guard.ctx.Err()),
+		}
+	}
+	out := tester.DepTest(q)
+	// A guard trip can only have weakened the answer toward Maybe (the
+	// prover maps interrupts to Exhausted); make the reason say why.  A
+	// verdict reached before the trip stands untouched.
+	if out.Result == core.Maybe {
+		switch {
+		case guard.canceled:
+			e.canceled.Add(1)
+			e.cCanceled.Add(1)
+			out.Reason = fmt.Sprintf("batch canceled mid-search (%v); dependence assumed", guard.ctx.Err())
+		case guard.timedOut:
+			e.timeouts.Add(1)
+			e.cTimeouts.Add(1)
+			out.Reason = fmt.Sprintf("query timeout (%v) exhausted the search; dependence assumed", e.opts.QueryTimeout)
+		}
+	}
+	return out
+}

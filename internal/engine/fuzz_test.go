@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pathexpr"
+	"repro/internal/prover"
+)
+
+// FuzzCanonicalGoal checks the memo key's two contracts on arbitrary
+// expression pairs:
+//
+//   - equivalence: goals the prover treats as one theorem — the same pair
+//     with its sides swapped, under either quantifier form — share a key;
+//   - separation: two keys are equal only when the normalized side
+//     multisets and the form agree, so inequivalent goals never collide
+//     (the separator byte cannot occur inside a rendered expression).
+func FuzzCanonicalGoal(f *testing.F) {
+	seeds := [][4]string{
+		{"L", "R", "L", "R"},
+		{"L.R", "R.L", "R.L", "L.R"},
+		{"(L|R)+", "N*", "N*", "(L|R)+"},
+		{"L.(L|R)*", "R.(L|R)*", "L", "R"},
+		{"ε", "N+", "N", "N.N"},
+		{"L", "L", "R", "R"},
+		{"(L|R|N)+", "ε", "(N|R|L)+", "ε"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], true)
+	}
+	f.Fuzz(func(t *testing.T, a, b, c, d string, sameSrc bool) {
+		parse := func(s string) (pathexpr.Expr, bool) {
+			if len(s) > 64 {
+				return nil, false
+			}
+			e, err := pathexpr.Parse(s)
+			if err != nil {
+				return nil, false
+			}
+			return e, true
+		}
+		x, ok := parse(a)
+		if !ok {
+			t.Skip()
+		}
+		y, ok := parse(b)
+		if !ok {
+			t.Skip()
+		}
+		form := prover.SameSrc
+		if !sameSrc {
+			form = prover.DiffSrc
+		}
+		key := CanonicalGoal(form, x, y)
+
+		// Swap invariance: ⟨x,y⟩ and ⟨y,x⟩ are one theorem.
+		if swapped := CanonicalGoal(form, y, x); swapped != key {
+			t.Errorf("key differs under swap: %q vs %q", key, swapped)
+		}
+		// Form separation: the same sides under the other quantifier are a
+		// different theorem.
+		other := prover.DiffSrc
+		if form == prover.DiffSrc {
+			other = prover.SameSrc
+		}
+		if CanonicalGoal(other, x, y) == key {
+			t.Errorf("key %q does not separate SameSrc from DiffSrc", key)
+		}
+		// Round trip: the key decodes to exactly the two normalized sides,
+		// so equal keys imply equal normalized goals (no collisions).
+		parts := strings.Split(key, canonSep)
+		if len(parts) != 3 {
+			t.Fatalf("key %q has %d parts, want 3 (an expression rendered the separator byte)", key, len(parts))
+		}
+		sx, sy := pathexpr.Simplify(x).String(), pathexpr.Simplify(y).String()
+		if sy < sx {
+			sx, sy = sy, sx
+		}
+		if parts[1] != sx || parts[2] != sy {
+			t.Errorf("key %q decoded to (%q,%q), want (%q,%q)", key, parts[1], parts[2], sx, sy)
+		}
+
+		// Cross-pair separation: when a second parseable pair yields the
+		// same key, its normalized sides must be the same two expressions.
+		u, ok := parse(c)
+		if !ok {
+			return
+		}
+		v, ok := parse(d)
+		if !ok {
+			return
+		}
+		if CanonicalGoal(form, u, v) == key {
+			su, sv := pathexpr.Simplify(u).String(), pathexpr.Simplify(v).String()
+			if sv < su {
+				su, sv = sv, su
+			}
+			if su != sx || sv != sy {
+				t.Errorf("collision: (%q,%q) and (%q,%q) share key %q", a, b, c, d, key)
+			}
+		}
+	})
+}
+
+// TestCanonicalSwapIsProverSound pins the semantic claim behind the
+// canonicalization: for every prover-reaching pair in the workload and both
+// quantifier forms, the prover's verdict on ⟨x,y⟩ equals its verdict on
+// ⟨y,x⟩ — disjointness is symmetric for a common anchor, and for distinct
+// anchors renaming the bound handles h↔k swaps the sides.
+func TestCanonicalSwapIsProverSound(t *testing.T) {
+	for _, w := range WorkloadWindows() {
+		for _, spec := range workloadSpecs {
+			x := pathexpr.MustParse(spec.x)
+			y := pathexpr.MustParse(spec.y)
+			for _, form := range []prover.Form{prover.SameSrc, prover.DiffSrc} {
+				fwd := prover.New(w, prover.Options{}).Prove(form, x, y)
+				rev := prover.New(w, prover.Options{}).Prove(form, y, x)
+				if fwd.Result != rev.Result {
+					t.Errorf("window %s, form %v, %s vs %s: verdict %v forward but %v reversed",
+						w.StructName, form, spec.x, spec.y, fwd.Result, rev.Result)
+				}
+			}
+		}
+	}
+}

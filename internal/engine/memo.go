@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pathexpr"
+	"repro/internal/prover"
+	"repro/internal/telemetry"
+)
+
+// DefaultMemoShards is the shard count used when Options.MemoShards is not
+// positive.
+const DefaultMemoShards = 16
+
+// MemoStats counts the proof memo's work.
+type MemoStats struct {
+	// Lookups is the number of Prove calls routed through the memo.
+	Lookups int64
+	// Hits is the number served without a fresh proof search (including
+	// callers that waited for an in-flight computation of the same goal).
+	Hits int64
+	// Misses is the number that ran a proof search.
+	Misses int64
+	// Entries is the number of memoized goals currently held.
+	Entries int
+}
+
+// HitRate returns Hits/Lookups, or 0 when no lookups happened.
+func (s MemoStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// memoEntry is one canonical goal's slot.  done is closed once proof is
+// set; waiters blocked on an in-flight computation read proof afterwards.
+type memoEntry struct {
+	done  chan struct{}
+	proof *prover.Proof
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry
+}
+
+// Memo is the sharded cross-query proof memo.  It implements
+// core.ProofMemo with single-flight semantics: when several workers reach
+// the same canonical goal concurrently, exactly one runs the proof search
+// and the rest wait for its result instead of duplicating the work.
+//
+// Exhausted proofs (budget, timeout, or cancellation artifacts — not
+// verdicts about the axioms) are returned to their caller but never
+// retained, so one timed-out query cannot poison the goal for the rest of
+// the batch.
+type Memo struct {
+	shards []memoShard
+
+	lookups atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+
+	cHits   *telemetry.Counter
+	cMisses *telemetry.Counter
+}
+
+// NewMemo returns a memo with the given shard count (DefaultMemoShards if
+// not positive), reporting hit/miss telemetry through tel (nil disables).
+func NewMemo(shards int, tel *telemetry.Set) *Memo {
+	if shards <= 0 {
+		shards = DefaultMemoShards
+	}
+	m := &Memo{
+		shards:  make([]memoShard, shards),
+		cHits:   tel.Counter("engine.memo_hits"),
+		cMisses: tel.Counter("engine.memo_misses"),
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]*memoEntry)
+	}
+	return m
+}
+
+// Prove implements core.ProofMemo: it returns the memoized proof of the
+// canonicalized goal under axiomKey, or runs compute once and shares its
+// result.
+func (m *Memo) Prove(axiomKey string, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof {
+	m.lookups.Add(1)
+	key := axiomKey + "\x00" + CanonicalGoal(form, x, y)
+	sh := &m.shards[fnv32a(key)%uint32(len(m.shards))]
+
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-e.done
+		if e.proof != nil {
+			m.hits.Add(1)
+			m.cHits.Add(1)
+			return e.proof
+		}
+		// The computing worker died before publishing (panic unwound through
+		// it); fall through to a private computation.
+		m.misses.Add(1)
+		m.cMisses.Add(1)
+		return compute()
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+	m.misses.Add(1)
+	m.cMisses.Add(1)
+
+	defer func() {
+		if e.proof == nil || e.proof.Result == prover.Exhausted {
+			// Never retain budget artifacts (or a missing result after a
+			// panic): drop the entry so later callers re-attempt the goal.
+			sh.mu.Lock()
+			delete(sh.m, key)
+			sh.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	e.proof = compute()
+	return e.proof
+}
+
+// Stats returns the memo's counters and current size.
+func (m *Memo) Stats() MemoStats {
+	n := 0
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		n += len(m.shards[i].m)
+		m.shards[i].mu.Unlock()
+	}
+	return MemoStats{
+		Lookups: m.lookups.Load(),
+		Hits:    m.hits.Load(),
+		Misses:  m.misses.Load(),
+		Entries: n,
+	}
+}
+
+// fnv32a hashes a key to a shard index (FNV-1a, inlined to keep the memo
+// dependency-free).
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/prover"
 	"repro/internal/telemetry"
@@ -92,12 +93,18 @@ type Context struct {
 	Prog *lang.Program
 	// Telemetry receives pass spans and counters; nil disables.
 	Telemetry *telemetry.Set
+	// Workers is the pool width the batched query engine fans dependence
+	// queries across (minimum 1).  Widths above 1 keep every verdict
+	// deterministic but may vary the proof-search statistics quoted in
+	// diagnostics, so the golden-file harness pins 1.
+	Workers int
 
 	pass     string
 	diags    []Diagnostic
 	analyses map[string]*analysis.Result
 	anErrs   map[string]error
 	testers  map[string]*core.Tester
+	engines  map[string]*engine.Engine
 }
 
 // Report files a diagnostic.  An empty Category is filled with the running
@@ -148,10 +155,33 @@ func (c *Context) Tester(res *analysis.Result) *core.Tester {
 	return t
 }
 
+// Engine returns a memoized batched query engine for the analysis result's
+// axiom set.  Passes that generate whole query sets (parallelization
+// legality judges every loop-carried pair) answer them through one Batch
+// call, sharing compiled DFAs and canonicalized prover verdicts across the
+// queries — and across loops and functions with the same axioms.
+func (c *Context) Engine(res *analysis.Result) *engine.Engine {
+	key := res.Axioms.Key()
+	if c.engines == nil {
+		c.engines = make(map[string]*engine.Engine)
+	}
+	if e, ok := c.engines[key]; ok {
+		return e
+	}
+	e := engine.New(res.Axioms, engine.Options{
+		Workers:   c.Workers,
+		Prover:    prover.Options{Telemetry: c.Telemetry},
+		Telemetry: c.Telemetry,
+	})
+	c.engines[key] = e
+	return e
+}
+
 // Driver runs a fixed pass list over translation units.
 type Driver struct {
-	passes []Pass
-	tel    *telemetry.Set
+	passes  []Pass
+	tel     *telemetry.Set
+	workers int
 }
 
 // NewDriver builds a driver over the given passes (DefaultPasses when none
@@ -166,9 +196,17 @@ func NewDriver(tel *telemetry.Set, passes ...Pass) *Driver {
 // Passes returns the driver's pass list in run order.
 func (d *Driver) Passes() []Pass { return d.passes }
 
+// SetWorkers sets the engine pool width for query-batching passes
+// (default 1, fully deterministic output).  Returns the driver for
+// chaining.
+func (d *Driver) SetWorkers(n int) *Driver {
+	d.workers = n
+	return d
+}
+
 // Run lints one parsed unit and returns its diagnostics sorted by position.
 func (d *Driver) Run(file string, prog *lang.Program) ([]Diagnostic, error) {
-	ctx := &Context{File: file, Prog: prog, Telemetry: d.tel}
+	ctx := &Context{File: file, Prog: prog, Telemetry: d.tel, Workers: d.workers}
 	for _, p := range d.passes {
 		sp := d.tel.Begin("lint.pass")
 		before := len(ctx.diags)

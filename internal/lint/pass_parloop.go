@@ -1,11 +1,13 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/prover"
 )
@@ -38,10 +40,10 @@ func (parLegality) Run(ctx *Context) error {
 		if len(loops) == 0 {
 			continue
 		}
-		tester := ctx.Tester(res)
+		eng := ctx.Engine(res)
 		byLoop := attributeAccesses(res.Accesses, loops)
 		for _, lp := range loops {
-			judgeLoop(ctx, res, tester, lp, byLoop[lp.stmt])
+			judgeLoop(ctx, res, eng, lp, byLoop[lp.stmt])
 		}
 	}
 	return nil
@@ -131,9 +133,13 @@ func attributeAccesses(accs []analysis.Access, loops []*loopInfo) map[*lang.Whil
 	return out
 }
 
-// judgeLoop runs every loop-carried dependence query for one loop and emits
-// its DOALL verdict.
-func judgeLoop(ctx *Context, res *analysis.Result, tester *core.Tester, lp *loopInfo, accs []analysis.Access) {
+// judgeLoop collects every loop-carried dependence query for one loop,
+// answers the whole set in a single engine.Batch call (sharing compiled
+// DFAs and canonicalized prover verdicts — symmetric pairs ⟨a,b⟩/⟨b,a⟩
+// cost one proof search), and emits its DOALL verdict.  Batch results are
+// index-aligned with the submitted queries, so the diagnostics come out in
+// the same deterministic order as the old query-at-a-time loop.
+func judgeLoop(ctx *Context, res *analysis.Result, eng *engine.Engine, lp *loopInfo, accs []analysis.Access) {
 	pos := lp.stmt.StmtPos()
 	hasWrite := false
 	for _, a := range accs {
@@ -154,30 +160,37 @@ func judgeLoop(ctx *Context, res *analysis.Result, tester *core.Tester, lp *loop
 		out core.Outcome
 		a   analysis.Access
 	}
-	var yes, maybe []judged
-	proved := 0
-	run := func(q core.Query, a analysis.Access) {
-		out := tester.DepTest(q)
-		switch out.Result {
-		case core.No:
-			proved++
-		case core.Yes:
-			yes = append(yes, judged{q, out, a})
-		default:
-			maybe = append(maybe, judged{q, out, a})
-		}
+	// A slot is one verdict in the deterministic order the old
+	// query-at-a-time loop produced: most slots are answered by the batch
+	// (batchIdx ≥ 0), a few are pre-judged during collection.
+	type slot struct {
+		q core.Query
+		a analysis.Access
+		// invariantWrite marks the loop-invariant-write special case: the
+		// verdict is a certain output dependence regardless of the prover,
+		// so the outcome goes straight to the errors with its own reason.
+		invariantWrite bool
+		batchIdx       int
+		pre            core.Outcome
+	}
+	var slots []slot
+	var batch []core.Query
+	add := func(s slot) {
+		s.batchIdx = len(batch)
+		batch = append(batch, s.q)
+		slots = append(slots, s)
 	}
 
 	for i, a := range accs {
 		for _, q := range res.LoopCarriedSelf(a) {
-			run(q, a)
+			add(slot{q: q, a: a})
 		}
 		for j, b := range accs {
 			if i == j {
 				continue
 			}
 			for _, q := range res.LoopCarriedPair(a, b) {
-				run(q, a)
+				add(slot{q: q, a: a})
 			}
 		}
 		// Loop-invariant write: the induction analysis found no per-iteration
@@ -192,16 +205,34 @@ func judgeLoop(ctx *Context, res *analysis.Result, tester *core.Tester, lp *loop
 					S: core.Access{Handle: h, Path: a.Paths[h], Field: a.Field, Type: a.Type, IsWrite: true},
 					T: core.Access{Handle: h, Path: a.Paths[h], Field: a.Field, Type: a.Type, IsWrite: true},
 				}
-				out := tester.DepTest(q)
-				out.Reason = fmt.Sprintf("every iteration writes %s->%s", a.Var, a.Field)
-				yes = append(yes, judged{q, out, a})
+				add(slot{q: q, a: a, invariantWrite: true})
 			} else {
-				maybe = append(maybe, judged{
-					a: a,
-					out: core.Outcome{Result: core.Maybe,
-						Reason: fmt.Sprintf("write %s->%s moves in a way the induction analysis cannot express", a.Var, a.Field)},
-				})
+				slots = append(slots, slot{a: a, batchIdx: -1, pre: core.Outcome{
+					Result: core.Maybe,
+					Reason: fmt.Sprintf("write %s->%s moves in a way the induction analysis cannot express", a.Var, a.Field),
+				}})
 			}
+		}
+	}
+
+	outs := eng.Batch(context.Background(), batch)
+	var yes, maybe []judged
+	proved := 0
+	for _, s := range slots {
+		out := s.pre
+		if s.batchIdx >= 0 {
+			out = outs[s.batchIdx]
+		}
+		switch {
+		case s.invariantWrite:
+			out.Reason = fmt.Sprintf("every iteration writes %s->%s", s.a.Var, s.a.Field)
+			yes = append(yes, judged{s.q, out, s.a})
+		case out.Result == core.No:
+			proved++
+		case out.Result == core.Yes:
+			yes = append(yes, judged{s.q, out, s.a})
+		default:
+			maybe = append(maybe, judged{s.q, out, s.a})
 		}
 	}
 

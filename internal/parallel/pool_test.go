@@ -153,6 +153,110 @@ func TestReducePanicRecovered(t *testing.T) {
 	t.Fatal("Reduce returned normally despite worker panic")
 }
 
+// The concurrency tests below synchronize with explicit channels instead
+// of sleeps or timing heuristics: if the pool failed to run the expected
+// workers concurrently the rendezvous could never complete and the test
+// would deadlock (an unambiguous failure under the package timeout), and
+// if it does complete the property held with certainty.  They are run
+// repeatedly under the race detector in CI (make race-pool).
+
+// TestForEachRunsWorkersConcurrently: with n == workers, every index runs
+// on its own goroutine at the same time.  Each worker reports arrival and
+// then blocks until the coordinator has seen all of them.
+func TestForEachRunsWorkersConcurrently(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	arrived := make(chan int, workers)
+	release := make(chan struct{})
+	go func() {
+		seen := make(map[int]bool)
+		for i := 0; i < workers; i++ {
+			seen[<-arrived] = true
+		}
+		if len(seen) != workers {
+			t.Errorf("coordinator saw %d distinct indices, want %d", len(seen), workers)
+		}
+		close(release)
+	}()
+	p.ForEach(workers, func(i int) {
+		arrived <- i
+		<-release
+	})
+}
+
+// TestForEachChunkRunsChunksConcurrently: same rendezvous at the chunk
+// level, with more items than workers so each chunk holds several indices.
+func TestForEachChunkRunsChunksConcurrently(t *testing.T) {
+	const workers, n = 3, 12
+	p := NewPool(workers)
+	arrived := make(chan [2]int, workers)
+	release := make(chan struct{})
+	go func() {
+		covered := 0
+		for i := 0; i < workers; i++ {
+			c := <-arrived
+			covered += c[1] - c[0]
+		}
+		if covered != n {
+			t.Errorf("concurrent chunks covered %d of %d indices", covered, n)
+		}
+		close(release)
+	}()
+	p.ForEachChunk(n, func(lo, hi int) {
+		arrived <- [2]int{lo, hi}
+		<-release
+	})
+}
+
+// TestReduceRunsWorkersConcurrently: Reduce must fan its accumulators out
+// on live goroutines too, and still merge every partial exactly once.
+func TestReduceRunsWorkersConcurrently(t *testing.T) {
+	const workers, n = 4, 8
+	p := NewPool(workers)
+	arrived := make(chan struct{}, workers)
+	release := make(chan struct{})
+	go func() {
+		for i := 0; i < workers; i++ {
+			<-arrived
+		}
+		close(release)
+	}()
+	first := make([]atomic.Bool, workers)
+	got := Reduce(p, n,
+		func() int { return 0 },
+		func(acc, i int) int {
+			slot := i / (n / workers)
+			if first[slot].CompareAndSwap(false, true) {
+				arrived <- struct{}{}
+				<-release
+			}
+			return acc + i
+		},
+		func(a, b int) int { return a + b })
+	if want := n * (n - 1) / 2; got != want {
+		t.Fatalf("concurrent reduce = %d, want %d", got, want)
+	}
+}
+
+// TestForEachSingleWorkerStaysInline: a width-1 pool must not rendezvous —
+// indices run sequentially on the caller's goroutine, so a cross-index
+// channel wait would deadlock.  The test asserts strict sequential order,
+// which concurrent execution would (racily) break and inline execution
+// guarantees.
+func TestForEachSingleWorkerStaysInline(t *testing.T) {
+	p := NewPool(1)
+	next := 0
+	p.ForEach(50, func(i int) {
+		if i != next {
+			t.Fatalf("index %d ran out of order (want %d): width-1 pool is not sequential", i, next)
+		}
+		next++
+	})
+	if next != 50 {
+		t.Fatalf("ran %d of 50 indices", next)
+	}
+}
+
 // TestPoolTelemetry: fork/chunk counters and busy/barrier histograms are
 // recorded when a telemetry set is attached.
 func TestPoolTelemetry(t *testing.T) {

@@ -30,6 +30,17 @@ type Options struct {
 	// DisableMinimize skips DFA minimization in the language cache
 	// (ablation).
 	DisableMinimize bool
+	// DFACache, when non-nil, replaces the prover's private language cache —
+	// the batched query engine passes an automata.SharedCache here so every
+	// worker prover draws from (and feeds) one compilation cache.  The
+	// provider owns the cache's telemetry wiring; DisableMinimize and
+	// DFAStateLimit are then ignored.
+	DFACache automata.DFACache
+	// Interrupt, when non-nil, is polled periodically during proof search;
+	// returning true aborts the query with Exhausted — which callers map to
+	// Maybe, never to an unsound No.  The engine uses this for context
+	// cancellation and per-query timeouts.
+	Interrupt func() bool
 	// Telemetry receives per-query spans, rule-application trace events, and
 	// aggregate search counters.  Nil (the default) disables instrumentation
 	// at ~zero cost on the hot path.
@@ -64,7 +75,7 @@ type cacheEntry struct {
 type Prover struct {
 	axioms *axiom.Set
 	opts   Options
-	dfas   *automata.Cache
+	dfas   automata.DFACache
 	// cache memoizes definitive goal outcomes keyed by goal+lemma
 	// fingerprint, retaining the proof tree of proved goals so that cached
 	// steps remain machine-checkable.  Valid for the lifetime of the prover
@@ -115,13 +126,17 @@ func newProverMetrics(tel *telemetry.Set) proverMetrics {
 // New returns a prover over the given axiom set.
 func New(axioms *axiom.Set, opts Options) *Prover {
 	opts = opts.withDefaults()
-	var dfas *automata.Cache
-	if opts.DisableMinimize {
-		dfas = automata.NewCacheNoMinimize(opts.DFAStateLimit)
-	} else {
-		dfas = automata.NewCache(opts.DFAStateLimit)
+	dfas := opts.DFACache
+	if dfas == nil {
+		var private *automata.Cache
+		if opts.DisableMinimize {
+			private = automata.NewCacheNoMinimize(opts.DFAStateLimit)
+		} else {
+			private = automata.NewCache(opts.DFAStateLimit)
+		}
+		private.SetTelemetry(opts.Telemetry)
+		dfas = private
 	}
-	dfas.SetTelemetry(opts.Telemetry)
 	p := &Prover{
 		axioms: axioms,
 		opts:   opts,
@@ -250,6 +265,11 @@ func (r *run) event(name string, g goal, depth int, extra ...telemetry.Attr) {
 func (r *run) prove(g goal, lems []lemma, depth int) (bool, *Step, error) {
 	r.stats.ProveCalls++
 	if r.stats.ProveCalls > r.p.opts.MaxSteps {
+		return false, nil, errBudget
+	}
+	// Poll the interrupt hook on a stride so the check costs nothing when
+	// unset and almost nothing when set.
+	if r.p.opts.Interrupt != nil && r.stats.ProveCalls&63 == 0 && r.p.opts.Interrupt() {
 		return false, nil, errBudget
 	}
 	if depth > r.peakDepth {
