@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-engine race-pool bench bench-json lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool race-serve serve-smoke bench bench-json bench-served lintsmoke allocs figure7 clean
 
-check: vet build race bench lintsmoke
+check: vet build race bench lintsmoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,18 @@ race-engine:
 race-pool:
 	$(GO) test -race -count=50 ./internal/parallel
 
+# Soak the long-lived query server under the race detector: 8 concurrent
+# clients, mixed deadlines, more axiom sets than the engine pool keeps,
+# then a drain overlapping a fresh request wave.
+race-serve:
+	$(GO) test -race -count=3 -run 'TestSoak|TestDrain|TestAdmission' ./internal/serve
+
+# End-to-end daemon smoke: boot aptserved on a loopback port, round-trip
+# /healthz + /v1/batch + /metrics, then SIGTERM-drain it — plus the
+# loadgen -self path that writes the bench report.
+serve-smoke:
+	$(GO) test -run 'TestServerSmokeAndDrain|TestLoadgenSelf' -v ./cmd/aptserved
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
@@ -40,6 +52,17 @@ bench:
 # (≥2× at 8 workers, >50% shared-cache hit rate) are asserted by the test.
 bench-json:
 	BENCH_ENGINE_JSON=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteBenchEngineJSON -v ./internal/engine
+
+# Serving latency/hit-rate report: 8 concurrent loadgen clients drive an
+# in-process aptserved over the §3.3 tree program; p50/p99 plus the
+# cold-vs-warm split land in BENCH_served.json.
+bench-served:
+	@printf 'between S T\nbetween S I\n' > $(CURDIR)/.served.queries
+	$(GO) run ./cmd/aptserved -loadgen -self \
+		-program testdata/section33.c -fn subr \
+		-queries-file $(CURDIR)/.served.queries \
+		-clients 8 -requests 64 -out $(CURDIR)/BENCH_served.json
+	@rm -f $(CURDIR)/.served.queries
 
 # Lint every program in testdata/ with aptlint and diff the diagnostics
 # against the committed golden.  Regenerate after intentional changes with:

@@ -1,0 +1,394 @@
+// Command aptserved is the long-lived dependence-query daemon: it serves
+// POST /v1/batch (aptdep's -batch line format as JSON) over warm
+// per-axiom-set engines, so the DFA cache and proof memo survive across
+// requests instead of being rebuilt cold by every CLI invocation.
+//
+// Server mode:
+//
+//	aptserved -addr :8080 -workers 4
+//
+// Endpoints: POST /v1/batch, GET /healthz, GET /metrics (telemetry
+// snapshot), GET /statz (admission + per-engine cache state).  A full
+// admission queue sheds load with 429 + Retry-After; SIGTERM/SIGINT drains
+// in-flight batches before exiting.
+//
+// Load-generator mode (also the BENCH_served.json producer):
+//
+//	aptserved -loadgen -self -program testdata/section33.c \
+//	    -queries-file queries.txt -clients 8 -requests 64 -out BENCH_served.json
+//
+// -self starts an in-process server on a loopback port; point -addr at a
+// running daemon instead to drive it remotely.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global bindings, so tests can drive the
+// daemon (including its signal-driven drain) in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aptserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen `address` (server mode) or target base URL/host:port (loadgen mode)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "engine pool `width` per axiom set")
+	queryTimeout := fs.Duration("query-timeout", serve.DefaultQueryTimeout, "default per-query proof-search bound")
+	maxDeadline := fs.Duration("max-deadline", serve.DefaultMaxDeadline, "cap on any request's total deadline")
+	concurrency := fs.Int("concurrency", 0, "requests answered at once (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", serve.DefaultQueueDepth, "admitted requests that may wait before shedding with 429")
+	engines := fs.Int("engines", serve.DefaultMaxEngines, "warm per-axiom-set engines kept (LRU beyond)")
+	shardCap := fs.Int("shard-cap", serve.DefaultShardCap, "per-shard entry cap for the DFA cache, decision memo, and proof memo")
+	maxQueries := fs.Int("max-queries", serve.DefaultMaxQueries, "expanded-query limit per request")
+	verify := fs.Bool("verify", false, "independently re-check every prover-backed No")
+	portFile := fs.String("port-file", "", "write the bound address to `file` once listening (for scripts driving :0)")
+
+	loadgen := fs.Bool("loadgen", false, "run as a load-generating client instead of a server")
+	self := fs.Bool("self", false, "loadgen: start an in-process server on a loopback port and drive it")
+	program := fs.String("program", "", "loadgen: mini-C source `file` to query")
+	fn := fs.String("fn", "", "loadgen: function to analyze (default: the only function)")
+	queriesFile := fs.String("queries-file", "", "loadgen: `file` of batch query lines (default: 'loop'/'between' over every label is not inferred — required)")
+	clients := fs.Int("clients", 8, "loadgen: concurrent clients")
+	requests := fs.Int("requests", 64, "loadgen: total requests across all clients")
+	timeoutMS := fs.Int64("timeout-ms", 0, "loadgen: per-query timeout_ms field (0 = server default)")
+	deadlineMS := fs.Int64("deadline-ms", 0, "loadgen: per-request deadline_ms field (0 = server cap)")
+	out := fs.String("out", "", "loadgen: write the latency/hit-rate report to `file` (default stdout only)")
+
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptserved: "+format+"\n", fargs...)
+		return 2
+	}
+	if fs.NArg() != 0 {
+		return fatalf("unexpected arguments %q", fs.Args())
+	}
+
+	cfg := serve.Config{
+		Workers:       *workers,
+		QueryTimeout:  *queryTimeout,
+		MaxDeadline:   *maxDeadline,
+		MaxConcurrent: *concurrency,
+		QueueDepth:    *queue,
+		MaxEngines:    *engines,
+		DFAShardCap:   *shardCap,
+		MemoShardCap:  *shardCap,
+		MaxQueries:    *maxQueries,
+		VerifyProofs:  *verify,
+		Telemetry:     telemetry.New(telemetry.NewRegistry(), nil),
+	}
+
+	if *loadgen {
+		return runLoadgen(loadgenConfig{
+			addr:       *addr,
+			self:       *self,
+			serverCfg:  cfg,
+			program:    *program,
+			fn:         *fn,
+			queries:    *queriesFile,
+			clients:    *clients,
+			requests:   *requests,
+			timeoutMS:  *timeoutMS,
+			deadlineMS: *deadlineMS,
+			out:        *out,
+		}, stdout, stderr)
+	}
+	return runServer(cfg, *addr, *portFile, stdout, stderr)
+}
+
+// runServer listens, serves until SIGTERM/SIGINT, then drains in-flight
+// requests and exits 0 on a clean drain.
+func runServer(cfg serve.Config, addr, portFile string, stdout, stderr io.Writer) int {
+	srv := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "aptserved: listen: %v\n", err)
+		return 2
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(stderr, "aptserved: port-file: %v\n", err)
+			return 2
+		}
+	}
+	fmt.Fprintf(stdout, "aptserved: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "aptserved: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(stdout, "aptserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := hs.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	st := srv.StatzSnapshot()
+	fmt.Fprintf(stdout, "aptserved: drained: %d accepted, %d completed, %d shed, %d refused during drain\n",
+		st.Accepted, st.Completed, st.Shed, st.RefusedDraining)
+	if drainErr != nil {
+		fmt.Fprintf(stderr, "aptserved: drain: %v\n", drainErr)
+		return 1
+	}
+	return 0
+}
+
+type loadgenConfig struct {
+	addr       string
+	self       bool
+	serverCfg  serve.Config
+	program    string
+	fn         string
+	queries    string
+	clients    int
+	requests   int
+	timeoutMS  int64
+	deadlineMS int64
+	out        string
+}
+
+// BenchReport is the BENCH_served.json schema the loadgen writes.
+type BenchReport struct {
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// Outcomes.
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+	// Request latency over the OK responses.
+	P50US  int64 `json:"p50_us"`
+	P99US  int64 `json:"p99_us"`
+	MeanUS int64 `json:"mean_us"`
+	MaxUS  int64 `json:"max_us"`
+	// Warm-up: ColdRequests is how many responses built their engine; the
+	// cold/warm latency split is the paper's amortization argument in two
+	// numbers.
+	ColdRequests int   `json:"cold_requests"`
+	ColdP50US    int64 `json:"cold_p50_us"`
+	WarmP50US    int64 `json:"warm_p50_us"`
+	// Final server-side cache state (from /statz).
+	QueriesPerRequest int     `json:"queries_per_request"`
+	MemoHitRate       float64 `json:"memo_hit_rate"`
+	DFAHitRate        float64 `json:"dfa_hit_rate"`
+	DFALen            int     `json:"dfa_len"`
+	OpsLen            int     `json:"ops_len"`
+	Timeouts          int64   `json:"timeouts"`
+}
+
+func runLoadgen(cfg loadgenConfig, stdout, stderr io.Writer) int {
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptserved: "+format+"\n", fargs...)
+		return 2
+	}
+	if cfg.program == "" || cfg.queries == "" {
+		return fatalf("-loadgen needs -program and -queries-file")
+	}
+	src, err := os.ReadFile(cfg.program)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	qdata, err := os.ReadFile(cfg.queries)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(qdata), "\n") {
+		if s := strings.TrimSpace(l); s != "" && !strings.HasPrefix(s, "#") {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) == 0 {
+		return fatalf("%s holds no query lines", cfg.queries)
+	}
+	body, err := json.Marshal(serve.BatchRequest{
+		Program:    string(src),
+		Fn:         cfg.fn,
+		Queries:    lines,
+		TimeoutMS:  cfg.timeoutMS,
+		DeadlineMS: cfg.deadlineMS,
+	})
+	if err != nil {
+		return fatalf("%v", err)
+	}
+
+	base := cfg.addr
+	if cfg.self {
+		srv := serve.New(cfg.serverCfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fatalf("listen: %v", err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln) //nolint:errcheck // closed on return
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stdout, "aptserved: loadgen driving in-process server at %s\n", base)
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+
+	type sample struct {
+		dur  time.Duration
+		cold bool
+	}
+	var (
+		mu      sync.Mutex
+		oks     []sample
+		shed    int
+		errors  int
+		perReq  int
+		wg      sync.WaitGroup
+		next    = make(chan int)
+		httpCli = &http.Client{Timeout: 2 * cfg.serverCfg.MaxDeadline}
+	)
+	go func() {
+		for i := 0; i < cfg.requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				t0 := time.Now()
+				resp, err := httpCli.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+				dur := time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+					continue
+				}
+				var br serve.BatchResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				mu.Lock()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed++
+				case resp.StatusCode != http.StatusOK || decErr != nil:
+					errors++
+				default:
+					oks = append(oks, sample{dur: dur, cold: br.Stats.ColdEngine})
+					perReq = br.Stats.Queries
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(oks) == 0 {
+		return fatalf("no successful responses (%d shed, %d errors)", shed, errors)
+	}
+	rep := BenchReport{
+		Clients:           cfg.clients,
+		Requests:          cfg.requests,
+		OK:                len(oks),
+		Shed:              shed,
+		Errors:            errors,
+		QueriesPerRequest: perReq,
+	}
+	var all, cold, warm []time.Duration
+	var sum time.Duration
+	for _, s := range oks {
+		all = append(all, s.dur)
+		sum += s.dur
+		if s.cold {
+			cold = append(cold, s.dur)
+			rep.ColdRequests++
+		} else {
+			warm = append(warm, s.dur)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50US = quantileUS(all, 0.50)
+	rep.P99US = quantileUS(all, 0.99)
+	rep.MeanUS = (sum / time.Duration(len(all))).Microseconds()
+	rep.MaxUS = all[len(all)-1].Microseconds()
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+	rep.ColdP50US = quantileUS(cold, 0.50)
+	rep.WarmP50US = quantileUS(warm, 0.50)
+
+	// Final server-side cache state: the statz entry with the most queries
+	// is the engine this loadgen exercised.
+	var statz serve.Statz
+	if resp, err := httpCli.Get(base + "/statz"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&statz) //nolint:errcheck // best effort
+		resp.Body.Close()
+	}
+	var busiest *serve.EngineStatz
+	for i := range statz.Engines {
+		if busiest == nil || statz.Engines[i].Queries > busiest.Queries {
+			busiest = &statz.Engines[i]
+		}
+	}
+	if busiest != nil {
+		rep.MemoHitRate = busiest.MemoHitRate
+		rep.DFAHitRate = busiest.DFAHitRate
+		rep.DFALen = busiest.DFALen
+		rep.OpsLen = busiest.OpsLen
+		rep.Timeouts = busiest.Timeouts
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Fprintf(stdout, "%s\n", enc)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(enc, '\n'), 0o644); err != nil {
+			return fatalf("%v", err)
+		}
+		fmt.Fprintf(stdout, "aptserved: wrote %s\n", cfg.out)
+	}
+	if errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+// quantileUS returns the q-quantile of sorted durations in microseconds
+// (0 for an empty slice).
+func quantileUS(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Microseconds()
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestServerSmokeAndDrain boots the daemon in-process on a loopback port,
+// round-trips a batch, and then delivers a real SIGTERM: the run must
+// drain cleanly and exit 0.  (The signal is safe to send to our own test
+// process because runServer's NotifyContext owns it at that point.)
+func TestServerSmokeAndDrain(t *testing.T) {
+	portFile := filepath.Join(t.TempDir(), "port")
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-port-file", portFile, "-workers", "2"}, &stdout, &stderr)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never wrote %s (stderr: %s)", portFile, stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	src, err := os.ReadFile("../../testdata/section33.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.BatchRequest{
+		Program: string(src), Fn: "subr", Queries: []string{"between S T"},
+	})
+	resp, err = http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(br.Results) == 0 {
+		t.Fatalf("batch = %d with %d results", resp.StatusCode, len(br.Results))
+	}
+	for i, r := range br.Results {
+		if r.Result != "No" {
+			t.Errorf("results[%d] = %q (%s), want No", i, r.Result, r.Reason)
+		}
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Counters["serve.requests"] != 1 {
+		t.Errorf("serve.requests = %d, want 1", snap.Counters["serve.requests"])
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	out := stdout.String()
+	for _, want := range []string{"listening on", "draining", "drained: 1 accepted, 1 completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadgenSelfWritesBenchReport runs the -loadgen -self mode end to end
+// and validates the BENCH_served.json it writes.
+func TestLoadgenSelfWritesBenchReport(t *testing.T) {
+	dir := t.TempDir()
+	queries := filepath.Join(dir, "queries.txt")
+	if err := os.WriteFile(queries, []byte("# warmup\nbetween S T\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outFile := filepath.Join(dir, "bench.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-loadgen", "-self",
+		"-program", "../../testdata/section33.c", "-fn", "subr",
+		"-queries-file", queries,
+		"-clients", "8", "-requests", "24",
+		"-out", outFile,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("loadgen exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report: %v", err)
+	}
+	if rep.Clients != 8 || rep.Requests != 24 {
+		t.Errorf("clients/requests = %d/%d, want 8/24", rep.Clients, rep.Requests)
+	}
+	if rep.OK+rep.Shed != 24 || rep.Errors != 0 {
+		t.Errorf("ok=%d shed=%d errors=%d, want ok+shed=24 and no errors", rep.OK, rep.Shed, rep.Errors)
+	}
+	if rep.ColdRequests < 1 {
+		t.Error("no request reported a cold engine")
+	}
+	if rep.P50US <= 0 || rep.P99US < rep.P50US || rep.MaxUS < rep.P99US {
+		t.Errorf("latency summary disordered: p50=%d p99=%d max=%d", rep.P50US, rep.P99US, rep.MaxUS)
+	}
+	if rep.QueriesPerRequest < 1 {
+		t.Errorf("queries_per_request = %d", rep.QueriesPerRequest)
+	}
+	// 24 identical requests over one axiom set: the proof memo must be
+	// doing essentially all the work by the end.
+	if rep.MemoHitRate <= 0 {
+		t.Errorf("memo_hit_rate = %v, want > 0 after a warm run", rep.MemoHitRate)
+	}
+	if rep.DFALen <= 0 {
+		t.Errorf("dfa_len = %d, want a populated cache", rep.DFALen)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-loadgen"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-loadgen without -program exited %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &stdout, &stderr); code != 2 {
+		t.Errorf("stray argument exited %d, want 2", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/pathexpr"
+	"repro/internal/strhash"
 	"repro/internal/telemetry"
 )
 
@@ -56,7 +57,8 @@ type SharedCache struct {
 	statesBuilt  atomic.Int64
 	statesMin    atomic.Int64
 	limitFails   atomic.Int64
-	evictions    atomic.Int64
+	dfaEvictions atomic.Int64
+	opsEvictions atomic.Int64
 	decisions    atomic.Int64
 	decisionHits atomic.Int64
 
@@ -114,22 +116,8 @@ func (c *SharedCache) SetTelemetry(tel *telemetry.Set) *SharedCache {
 	return c
 }
 
-// fnv32a hashes a key to a shard index.
-func fnv32a(s string) uint32 {
-	const (
-		offset = 2166136261
-		prime  = 16777619
-	)
-	h := uint32(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= prime
-	}
-	return h
-}
-
 func (c *SharedCache) shard(key string) *sharedShard {
-	return &c.shards[fnv32a(key)%uint32(len(c.shards))]
+	return &c.shards[strhash.FNV32a(key)%uint32(len(c.shards))]
 }
 
 // DFA returns the compiled, minimized DFA for e over alphabet a, compiling
@@ -187,7 +175,7 @@ func (c *SharedCache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 	if c.perShard > 0 && len(sh.dfas) >= c.perShard {
 		dropped := len(sh.dfas)
 		sh.dfas = make(map[string]*DFA, c.perShard)
-		c.evictions.Add(int64(dropped))
+		c.dfaEvictions.Add(int64(dropped))
 		c.cEvictions.Add(int64(dropped))
 	}
 	sh.dfas[key] = d
@@ -208,8 +196,17 @@ func (c *SharedCache) Stats() CacheStats {
 	}
 }
 
-// Evictions returns the number of entries dropped by epoch eviction.
-func (c *SharedCache) Evictions() int64 { return c.evictions.Load() }
+// Evictions returns the total number of entries dropped by epoch eviction,
+// summed over the DFA map and the decision memo.
+func (c *SharedCache) Evictions() int64 {
+	return c.dfaEvictions.Load() + c.opsEvictions.Load()
+}
+
+// DFAEvictions returns the evictions charged to the DFA map alone.
+func (c *SharedCache) DFAEvictions() int64 { return c.dfaEvictions.Load() }
+
+// OpsEvictions returns the evictions charged to the decision memo alone.
+func (c *SharedCache) OpsEvictions() int64 { return c.opsEvictions.Load() }
 
 // Len reports the number of cached DFAs across all shards.
 func (c *SharedCache) Len() int {
@@ -217,6 +214,19 @@ func (c *SharedCache) Len() int {
 	for i := range c.shards {
 		c.shards[i].mu.RLock()
 		n += len(c.shards[i].dfas)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// OpsLen reports the number of memoized boolean decisions across all
+// shards.  Together with Len it is what a long-lived process watches to
+// know the cache honors its cap.
+func (c *SharedCache) OpsLen() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].ops)
 		c.shards[i].mu.RUnlock()
 	}
 	return n
@@ -261,9 +271,13 @@ func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func
 	v = eval(dx, dy)
 	sh.mu.Lock()
 	if c.perShard > 0 && len(sh.ops) >= c.perShard {
+		// The decision memo obeys the same per-shard epoch eviction as the
+		// DFA map: in a long-lived process both would otherwise grow without
+		// bound, and the `ops` side is the easier one to forget because each
+		// entry is one bool — millions of forgotten bools are still a leak.
 		dropped := len(sh.ops)
 		sh.ops = make(map[string]bool, c.perShard)
-		c.evictions.Add(int64(dropped))
+		c.opsEvictions.Add(int64(dropped))
 		c.cEvictions.Add(int64(dropped))
 	}
 	sh.ops[key] = v

@@ -132,3 +132,60 @@ func TestSharedCacheStateLimit(t *testing.T) {
 		t.Errorf("failed compilation was cached: Len() = %d", c.Len())
 	}
 }
+
+// TestSharedCacheOpsMemoBounded is the regression test for the long-lived-
+// process leak: epoch eviction must bound the decision memo (`ops`) exactly
+// like the DFA map.  A server answering millions of distinct decisions would
+// otherwise grow the memo without bound even though every DFA is evicted on
+// schedule.
+func TestSharedCacheOpsMemoBounded(t *testing.T) {
+	alpha := NewAlphabet("L", "R", "N")
+	const cap = 4
+	c := NewSharedCache(0, 1, cap) // one shard so the cap binds immediately
+	exprs := sharedTestExprs()
+	for _, x := range exprs {
+		for _, y := range exprs {
+			if _, err := c.Includes(x, y, alpha); err != nil {
+				t.Fatalf("Includes(%v, %v): %v", x, y, err)
+			}
+			if _, err := c.Disjoint(x, y, alpha); err != nil {
+				t.Fatalf("Disjoint(%v, %v): %v", x, y, err)
+			}
+			if _, err := c.Equivalent(x, y, alpha); err != nil {
+				t.Fatalf("Equivalent(%v, %v): %v", x, y, err)
+			}
+		}
+	}
+	if got := c.Len(); got > cap {
+		t.Errorf("Len() = %d after the sweep, want <= the per-shard cap of %d", got, cap)
+	}
+	if got := c.OpsLen(); got > cap {
+		t.Errorf("OpsLen() = %d after the sweep, want <= the per-shard cap of %d", got, cap)
+	}
+	if c.OpsEvictions() == 0 {
+		t.Error("OpsEvictions() = 0 after driving hundreds of decisions past a 4-entry cap")
+	}
+	if c.DFAEvictions() == 0 {
+		t.Error("DFAEvictions() = 0 after compiling every expression into a 4-entry shard")
+	}
+	if total := c.Evictions(); total != c.DFAEvictions()+c.OpsEvictions() {
+		t.Errorf("Evictions() = %d, want DFAEvictions+OpsEvictions = %d",
+			total, c.DFAEvictions()+c.OpsEvictions())
+	}
+	// Evicted decisions recompute to the same answers.
+	if ok, err := c.Disjoint(pathexpr.MustParse("L"), pathexpr.MustParse("R"), alpha); err != nil || !ok {
+		t.Errorf("Disjoint(L,R) after ops eviction = %v, %v", ok, err)
+	}
+	// An unbounded cache (cap 0) never evicts, whatever its size.
+	u := NewSharedCache(0, 1, 0)
+	for _, x := range exprs {
+		for _, y := range exprs {
+			if _, err := u.Includes(x, y, alpha); err != nil {
+				t.Fatalf("Includes(%v, %v): %v", x, y, err)
+			}
+		}
+	}
+	if u.Evictions() != 0 {
+		t.Errorf("unbounded cache evicted %d entries", u.Evictions())
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -36,9 +37,12 @@ type Options struct {
 	// automata.DefaultSharedShards, unbounded shards).
 	DFAShards   int
 	DFAShardCap int
-	// MemoShards sizes the cross-query proof memo (default
-	// DefaultMemoShards).
-	MemoShards int
+	// MemoShards and MemoShardCap size the cross-query proof memo
+	// (defaults: DefaultMemoShards, unbounded shards).  Long-lived
+	// processes should set both caps — an unbounded memo is fine for a
+	// one-shot batch and a leak for a server.
+	MemoShards   int
+	MemoShardCap int
 }
 
 // Stats is a point-in-time snapshot of the engine's shared state.
@@ -97,7 +101,7 @@ func New(axioms *axiom.Set, opts Options) *Engine {
 		opts:      opts,
 		pool:      parallel.NewPool(opts.Workers).SetTelemetry(tel),
 		dfas:      dfas,
-		memo:      NewMemo(opts.MemoShards, tel),
+		memo:      NewMemo(opts.MemoShards, opts.MemoShardCap, tel),
 		cBatches:  tel.Counter("engine.batches"),
 		cQueries:  tel.Counter("engine.queries"),
 		cTimeouts: tel.Counter("engine.timeouts"),
@@ -132,22 +136,29 @@ func (e *Engine) Memo() *Memo { return e.memo }
 func (e *Engine) DFACache() *automata.SharedCache { return e.dfas }
 
 // interruptGuard is one worker's prover interrupt hook: it trips on batch
-// cancellation or on the running query's deadline, and records which.
+// cancellation, on the batch context's own deadline (a server's per-request
+// deadline), or on the running query's timeout — and records which, so the
+// degraded outcome can say why.
 type interruptGuard struct {
 	ctx      context.Context
 	deadline time.Time // zero when no per-query timeout
-	timedOut bool
-	canceled bool
+	timedOut bool      // the per-query timeout expired
+	expired  bool      // the batch context's deadline passed
+	canceled bool      // the batch context was canceled outright
 }
 
 // tripped is polled by the prover mid-search (prover.Options.Interrupt).
 func (g *interruptGuard) tripped() bool {
-	if g.canceled || g.timedOut {
+	if g.canceled || g.timedOut || g.expired {
 		return true
 	}
 	select {
 	case <-g.ctx.Done():
-		g.canceled = true
+		if errors.Is(g.ctx.Err(), context.DeadlineExceeded) {
+			g.expired = true
+		} else {
+			g.canceled = true
+		}
 		return true
 	default:
 	}
@@ -161,6 +172,7 @@ func (g *interruptGuard) tripped() bool {
 // arm resets the guard for the next query.
 func (g *interruptGuard) arm(timeout time.Duration) {
 	g.timedOut = false
+	g.expired = false
 	g.canceled = false
 	if timeout > 0 {
 		g.deadline = time.Now().Add(timeout)
@@ -177,6 +189,16 @@ func (g *interruptGuard) arm(timeout time.Duration) {
 // Maybe, the sound direction).  Queries not yet started when ctx is
 // canceled are answered Maybe without searching.
 func (e *Engine) Batch(ctx context.Context, queries []core.Query) []core.Outcome {
+	return e.BatchTimeout(ctx, queries, e.opts.QueryTimeout)
+}
+
+// BatchTimeout is Batch with a per-call override of the per-query timeout
+// (perQuery <= 0 disables it for this call).  A server uses this to honor a
+// client-chosen budget without rebuilding the engine; the warm caches are
+// shared either way.  A deadline on ctx bounds the whole batch: queries
+// still searching when it passes degrade to Maybe with a deadline reason,
+// exactly like a per-query timeout (and unlike an outright cancellation).
+func (e *Engine) BatchTimeout(ctx context.Context, queries []core.Query, perQuery time.Duration) []core.Outcome {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -193,7 +215,7 @@ func (e *Engine) Batch(ctx context.Context, queries []core.Query) []core.Outcome
 		tester := core.NewTester(e.axioms, opts).SetProofMemo(e.memo)
 		tester.VerifyProofs = e.opts.VerifyProofs
 		for i := lo; i < hi; i++ {
-			results[i] = e.runOne(tester, guard, queries[i])
+			results[i] = e.runOne(tester, guard, queries[i], perQuery)
 		}
 	})
 	return results
@@ -201,15 +223,26 @@ func (e *Engine) Batch(ctx context.Context, queries []core.Query) []core.Outcome
 
 // runOne answers one query on the worker's tester, degrading to Maybe with
 // an explanatory reason when the guard trips.
-func (e *Engine) runOne(tester *core.Tester, guard *interruptGuard, q core.Query) core.Outcome {
-	guard.arm(e.opts.QueryTimeout)
-	if guard.tripped() && guard.canceled {
-		e.canceled.Add(1)
-		e.cCanceled.Add(1)
-		return core.Outcome{
-			Result: core.Maybe,
-			Kind:   core.Classify(q.S, q.T),
-			Reason: fmt.Sprintf("batch canceled before query ran (%v); dependence assumed", guard.ctx.Err()),
+func (e *Engine) runOne(tester *core.Tester, guard *interruptGuard, q core.Query, perQuery time.Duration) core.Outcome {
+	guard.arm(perQuery)
+	if guard.tripped() {
+		switch {
+		case guard.canceled:
+			e.canceled.Add(1)
+			e.cCanceled.Add(1)
+			return core.Outcome{
+				Result: core.Maybe,
+				Kind:   core.Classify(q.S, q.T),
+				Reason: fmt.Sprintf("batch canceled before query ran (%v); dependence assumed", guard.ctx.Err()),
+			}
+		case guard.expired:
+			e.timeouts.Add(1)
+			e.cTimeouts.Add(1)
+			return core.Outcome{
+				Result: core.Maybe,
+				Kind:   core.Classify(q.S, q.T),
+				Reason: "request deadline expired before query ran; dependence assumed",
+			}
 		}
 	}
 	out := tester.DepTest(q)
@@ -222,10 +255,14 @@ func (e *Engine) runOne(tester *core.Tester, guard *interruptGuard, q core.Query
 			e.canceled.Add(1)
 			e.cCanceled.Add(1)
 			out.Reason = fmt.Sprintf("batch canceled mid-search (%v); dependence assumed", guard.ctx.Err())
+		case guard.expired:
+			e.timeouts.Add(1)
+			e.cTimeouts.Add(1)
+			out.Reason = "request deadline expired mid-search; dependence assumed"
 		case guard.timedOut:
 			e.timeouts.Add(1)
 			e.cTimeouts.Add(1)
-			out.Reason = fmt.Sprintf("query timeout (%v) exhausted the search; dependence assumed", e.opts.QueryTimeout)
+			out.Reason = fmt.Sprintf("query timeout (%v) exhausted the search; dependence assumed", perQuery)
 		}
 	}
 	return out

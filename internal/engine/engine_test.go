@@ -173,3 +173,26 @@ func TestEngineTelemetryCounters(t *testing.T) {
 		t.Error("memo telemetry counters never moved")
 	}
 }
+
+// A batch context whose deadline has already passed degrades every query
+// to Maybe with a deadline reason, counted as a timeout — not as a
+// cancellation.  This is the per-request deadline path a serving process
+// leans on.
+func TestRequestDeadlineDegradesToMaybe(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	queries := []core.Query{disjointQuery(), heavyQuery()}
+	eng := New(WorkloadWindows()[0], Options{Workers: 2})
+	for i, out := range eng.BatchTimeout(ctx, queries, 0) {
+		if out.Result != core.Maybe {
+			t.Errorf("results[%d] = %v, want Maybe", i, out.Result)
+		}
+		if !strings.Contains(out.Reason, "request deadline expired") {
+			t.Errorf("results[%d] reason = %q, want a deadline reason", i, out.Reason)
+		}
+	}
+	st := eng.Stats()
+	if st.Timeouts != int64(len(queries)) || st.Canceled != 0 {
+		t.Errorf("stats = %d timeouts / %d canceled, want %d / 0", st.Timeouts, st.Canceled, len(queries))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/pathexpr"
 	"repro/internal/prover"
+	"repro/internal/strhash"
 	"repro/internal/telemetry"
 )
 
@@ -22,6 +23,9 @@ type MemoStats struct {
 	Hits int64
 	// Misses is the number that ran a proof search.
 	Misses int64
+	// Evictions is the number of completed entries dropped by the per-shard
+	// cap (0 forever when the memo is unbounded).
+	Evictions int64
 	// Entries is the number of memoized goals currently held.
 	Entries int
 }
@@ -53,29 +57,41 @@ type memoShard struct {
 //
 // Exhausted proofs (budget, timeout, or cancellation artifacts — not
 // verdicts about the axioms) are returned to their caller but never
-// retained, so one timed-out query cannot poison the goal for the rest of
-// the batch.
+// retained, and never inherited: a waiter that finds the computing worker
+// produced an Exhausted artifact runs its own private search, so one
+// timed-out query cannot poison the goal for callers with more budget.
+//
+// An optional per-shard entry cap bounds memory for long-lived processes:
+// a shard at its cap drops its completed entries before the next insert
+// (in-flight entries are kept — waiters hold them), and every drop counts
+// as an eviction.
 type Memo struct {
-	shards []memoShard
+	shards   []memoShard
+	perShard int // completed-entry cap per shard; 0 = unbounded
 
-	lookups atomic.Int64
-	hits    atomic.Int64
-	misses  atomic.Int64
+	lookups   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 
-	cHits   *telemetry.Counter
-	cMisses *telemetry.Counter
+	cHits      *telemetry.Counter
+	cMisses    *telemetry.Counter
+	cEvictions *telemetry.Counter
 }
 
 // NewMemo returns a memo with the given shard count (DefaultMemoShards if
-// not positive), reporting hit/miss telemetry through tel (nil disables).
-func NewMemo(shards int, tel *telemetry.Set) *Memo {
+// not positive) and per-shard completed-entry cap (0 = unbounded),
+// reporting hit/miss/eviction telemetry through tel (nil disables).
+func NewMemo(shards, perShardCap int, tel *telemetry.Set) *Memo {
 	if shards <= 0 {
 		shards = DefaultMemoShards
 	}
 	m := &Memo{
-		shards:  make([]memoShard, shards),
-		cHits:   tel.Counter("engine.memo_hits"),
-		cMisses: tel.Counter("engine.memo_misses"),
+		shards:     make([]memoShard, shards),
+		perShard:   perShardCap,
+		cHits:      tel.Counter("engine.memo_hits"),
+		cMisses:    tel.Counter("engine.memo_misses"),
+		cEvictions: tel.Counter("engine.memo_evictions"),
 	}
 	for i := range m.shards {
 		m.shards[i].m = make(map[string]*memoEntry)
@@ -89,24 +105,43 @@ func NewMemo(shards int, tel *telemetry.Set) *Memo {
 func (m *Memo) Prove(axiomKey string, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof {
 	m.lookups.Add(1)
 	key := axiomKey + "\x00" + CanonicalGoal(form, x, y)
-	sh := &m.shards[fnv32a(key)%uint32(len(m.shards))]
+	sh := &m.shards[strhash.FNV32a(key)%uint32(len(m.shards))]
 
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
 		<-e.done
-		if e.proof != nil {
+		if p := e.proof; p != nil && p.Result != prover.Exhausted {
 			m.hits.Add(1)
 			m.cHits.Add(1)
-			return e.proof
+			return p
 		}
-		// The computing worker died before publishing (panic unwound through
-		// it); fall through to a private computation.
+		// The computing worker either died before publishing (panic unwound
+		// through it) or ran out of *its* budget — an Exhausted artifact says
+		// nothing about the axioms, and this waiter may have a longer
+		// deadline.  Fall through to a private computation rather than
+		// inheriting the artifact.
 		m.misses.Add(1)
 		m.cMisses.Add(1)
 		return compute()
 	}
 	e := &memoEntry{done: make(chan struct{})}
+	if m.perShard > 0 && len(sh.m) >= m.perShard {
+		// Epoch eviction: drop every completed entry.  In-flight entries stay
+		// — their waiters hold them, and dropping one would let a duplicate
+		// search start behind the single-flight's back.
+		dropped := int64(0)
+		for k, old := range sh.m {
+			select {
+			case <-old.done:
+				delete(sh.m, k)
+				dropped++
+			default:
+			}
+		}
+		m.evictions.Add(dropped)
+		m.cEvictions.Add(dropped)
+	}
 	sh.m[key] = e
 	sh.mu.Unlock()
 	m.misses.Add(1)
@@ -117,7 +152,9 @@ func (m *Memo) Prove(axiomKey string, form prover.Form, x, y pathexpr.Expr, comp
 			// Never retain budget artifacts (or a missing result after a
 			// panic): drop the entry so later callers re-attempt the goal.
 			sh.mu.Lock()
-			delete(sh.m, key)
+			if sh.m[key] == e {
+				delete(sh.m, key)
+			}
 			sh.mu.Unlock()
 		}
 		close(e.done)
@@ -135,24 +172,10 @@ func (m *Memo) Stats() MemoStats {
 		m.shards[i].mu.Unlock()
 	}
 	return MemoStats{
-		Lookups: m.lookups.Load(),
-		Hits:    m.hits.Load(),
-		Misses:  m.misses.Load(),
-		Entries: n,
+		Lookups:   m.lookups.Load(),
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+		Entries:   n,
 	}
-}
-
-// fnv32a hashes a key to a shard index (FNV-1a, inlined to keep the memo
-// dependency-free).
-func fnv32a(s string) uint32 {
-	const (
-		offset = 2166136261
-		prime  = 16777619
-	)
-	h := uint32(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= prime
-	}
-	return h
 }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pathexpr"
+	"repro/internal/prover"
+)
+
+// TestMemoWaiterDoesNotInheritExhausted is the regression test for the
+// poisoning bug: a waiter blocked on an in-flight computation used to take
+// whatever proof the computing worker published — including an Exhausted
+// budget artifact from a worker with a shorter deadline.  The no-poisoning
+// contract says budget artifacts are private; the waiter must run its own
+// search.
+func TestMemoWaiterDoesNotInheritExhausted(t *testing.T) {
+	m := NewMemo(1, 0, nil)
+	x, y := pathexpr.MustParse("L"), pathexpr.MustParse("R")
+
+	workerIn := make(chan struct{})  // closed once the worker owns the entry
+	release := make(chan struct{})   // closed to let the worker finish
+	waiterRan := make(chan struct{}) // closed when the waiter's own compute runs
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := m.Prove("ax", prover.SameSrc, x, y, func() *prover.Proof {
+			close(workerIn)
+			<-release
+			return &prover.Proof{Result: prover.Exhausted}
+		})
+		if p.Result != prover.Exhausted {
+			t.Errorf("worker got %v, want its own Exhausted artifact back", p.Result)
+		}
+	}()
+
+	<-workerIn
+	var waiterProof *prover.Proof
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		waiterProof = m.Prove("ax", prover.SameSrc, x, y, func() *prover.Proof {
+			close(waiterRan)
+			return &prover.Proof{Result: prover.Proved}
+		})
+	}()
+
+	// Whether the waiter has reached the entry yet or not, releasing the
+	// worker must leave it a path to a real verdict.
+	close(release)
+	wg.Wait()
+	select {
+	case <-waiterRan:
+	default:
+		t.Fatal("waiter never ran a private search after the worker exhausted")
+	}
+	if waiterProof == nil || waiterProof.Result != prover.Proved {
+		t.Fatalf("waiter proof = %+v, want its own Proved result", waiterProof)
+	}
+	if st := m.Stats(); st.Hits != 0 {
+		t.Errorf("Stats().Hits = %d, want 0 (an inherited artifact must not count as a hit)", st.Hits)
+	}
+}
+
+// TestMemoExhaustedNotRetainedAcrossTesters drives the same scenario
+// through real provers: a tester whose proof budget exhausts immediately
+// (the short-deadline worker) fails a goal, and a second tester sharing
+// the memo (the long-deadline caller) must still reach the real verdict.
+func TestMemoExhaustedNotRetainedAcrossTesters(t *testing.T) {
+	axioms := WorkloadWindows()[0]
+	memo := NewMemo(0, 0, nil)
+
+	// Provably independent, but only after a search deeper than the
+	// impatient tester's two-step budget.
+	q := core.Query{S: access("L.R", "val", true), T: access("L.L+", "val", true)}
+
+	impatient := core.NewTester(axioms, prover.Options{MaxSteps: 2}).SetProofMemo(memo)
+	if out := impatient.DepTest(q); out.Result != core.Maybe {
+		t.Fatalf("budget-bound tester answered %v, want Maybe", out.Result)
+	}
+	if st := memo.Stats(); st.Entries != 0 {
+		t.Fatalf("memo retained %d entries after an exhausted-only search", st.Entries)
+	}
+
+	patient := core.NewTester(axioms, prover.Options{}).SetProofMemo(memo)
+	if out := patient.DepTest(q); out.Result != core.No {
+		t.Fatalf("tester after exhaustion answered %v, want No (goal must not be poisoned)", out.Result)
+	}
+}
+
+// TestMemoShardCapBoundsEntries: the per-shard cap drops completed entries
+// (counting them as evictions) but never in-flight ones, so a long-lived
+// process stays bounded without breaking single-flight.
+func TestMemoShardCapBoundsEntries(t *testing.T) {
+	const cap = 4
+	m := NewMemo(1, cap, nil)
+	proved := func() *prover.Proof { return &prover.Proof{Result: prover.Proved} }
+
+	// Pin one goal in flight across the whole flood.
+	pinnedIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Prove("ax", prover.SameSrc, pathexpr.MustParse("N"), pathexpr.MustParse("N*"), func() *prover.Proof {
+			close(pinnedIn)
+			<-release
+			return &prover.Proof{Result: prover.Proved}
+		})
+	}()
+	<-pinnedIn
+
+	for i := 0; i < 10*cap; i++ {
+		x := pathexpr.MustParse(fmt.Sprintf("L.R%s", strings.Repeat(".N", i)))
+		m.Prove("ax", prover.SameSrc, x, pathexpr.MustParse("R"), proved)
+	}
+	st := m.Stats()
+	if st.Entries > cap+1 { // the flood's survivors plus the pinned in-flight entry
+		t.Errorf("Entries = %d after flooding a %d-cap shard, want bounded", st.Entries, cap)
+	}
+	if st.Evictions == 0 {
+		t.Error("Evictions = 0 after flooding past the cap")
+	}
+
+	// The pinned entry survived every epoch: a second caller must join it as
+	// a waiter, not start a duplicate search.
+	hitsBefore := st.Hits
+	done := make(chan *prover.Proof, 1)
+	go func() {
+		done <- m.Prove("ax", prover.SameSrc, pathexpr.MustParse("N"), pathexpr.MustParse("N*"), func() *prover.Proof {
+			t.Error("duplicate search started for an in-flight goal: the cap evicted a live entry")
+			return &prover.Proof{Result: prover.Proved}
+		})
+	}()
+	close(release)
+	wg.Wait()
+	if p := <-done; p.Result != prover.Proved {
+		t.Errorf("waiter on pinned goal got %v, want Proved", p.Result)
+	}
+	if st := m.Stats(); st.Hits != hitsBefore+1 {
+		t.Errorf("Hits = %d, want %d (the waiter shares the pinned search)", st.Hits, hitsBefore+1)
+	}
+
+	// An uncapped memo never evicts.
+	u := NewMemo(1, 0, nil)
+	for i := 0; i < 10*cap; i++ {
+		x := pathexpr.MustParse(fmt.Sprintf("L%s", strings.Repeat(".N", i)))
+		u.Prove("ax", prover.SameSrc, x, pathexpr.MustParse("R"), proved)
+	}
+	if st := u.Stats(); st.Evictions != 0 || st.Entries != 10*cap {
+		t.Errorf("uncapped memo stats = %+v, want every entry retained", st)
+	}
+}

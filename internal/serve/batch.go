@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// BatchRequest is the JSON body of POST /v1/batch: a mini-C program, the
+// function to analyze, and query lines in the aptdep -batch format
+// ("between S T", "cross S T", or "loop U").
+type BatchRequest struct {
+	// Program is the mini-C source text (with its struct axiom blocks).
+	Program string `json:"program"`
+	// Fn names the function to analyze; may be empty when the program has
+	// exactly one function.
+	Fn string `json:"fn,omitempty"`
+	// Queries are aptdep -batch lines; '#' comments and blank lines are
+	// accepted and skipped.
+	Queries []string `json:"queries"`
+	// TimeoutMS, when positive, bounds each query's proof search in
+	// milliseconds (capped by the server's MaxDeadline).  Zero selects the
+	// server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DeadlineMS, when positive, bounds the whole request in milliseconds
+	// (capped by the server's MaxDeadline).  Zero selects the server cap.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Verify re-checks every prover-backed No with the independent proof
+	// checker.
+	Verify bool `json:"verify,omitempty"`
+	// AssumeInvariants enables §5's "full" analysis (loops are assumed to
+	// re-establish axioms despite structural modifications).
+	AssumeInvariants bool `json:"assume_invariants,omitempty"`
+}
+
+// QueryResult is one expanded dependence query's verdict.
+type QueryResult struct {
+	// Line indexes the request's Queries slice this result expands.
+	Line int `json:"line"`
+	// Query echoes the originating query line.
+	Query string `json:"query"`
+	// S and T render the two accesses.
+	S string `json:"s"`
+	T string `json:"t"`
+	// Result is "no" / "maybe" / "yes"; Kind the dependence kind.
+	Result string `json:"result"`
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+}
+
+// BatchStats reports the request's cost and the warm-cache state it ran
+// against.
+type BatchStats struct {
+	Queries   int   `json:"queries"`
+	ElapsedUS int64 `json:"elapsed_us"`
+	// ColdEngine reports whether this request built the engine (first
+	// sighting of its axiom set since startup or since LRU reclamation).
+	ColdEngine bool   `json:"cold_engine"`
+	AxiomSet   string `json:"axiom_set"`
+	// Engine-cumulative counters (across all requests sharing the axiom
+	// set), for observing warm-up without scraping /statz.
+	MemoHits    int64 `json:"memo_hits"`
+	MemoLookups int64 `json:"memo_lookups"`
+	DFAHits     int64 `json:"dfa_hits"`
+	DFALookups  int64 `json:"dfa_lookups"`
+	Timeouts    int64 `json:"timeouts"`
+}
+
+// BatchResponse is the JSON body answering POST /v1/batch.
+type BatchResponse struct {
+	Results []QueryResult `json:"results"`
+	// Dependent reports whether any query answered other than No (the
+	// aptdep exit-status convention).
+	Dependent bool       `json:"dependent"`
+	Stats     BatchStats `json:"stats"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// expandQueryLines expands aptdep -batch lines against an analysis result,
+// remembering which line each core.Query came from.  Blank lines and '#'
+// comments are skipped (their indices simply never appear).
+func expandQueryLines(lines []string, res *analysis.Result) ([]core.Query, []int, error) {
+	var (
+		queries []core.Query
+		origins []int
+	)
+	for n, line := range lines {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		var (
+			qs  []core.Query
+			err error
+		)
+		switch {
+		case fields[0] == "between" && len(fields) == 3:
+			qs, err = res.QueriesBetween(fields[1], fields[2])
+		case fields[0] == "cross" && len(fields) == 3:
+			qs, err = res.LoopCarriedBetween(fields[1], fields[2])
+		case fields[0] == "loop" && len(fields) == 2:
+			qs, err = res.LoopCarriedQueries(fields[1])
+		default:
+			return nil, nil, fmt.Errorf("queries[%d]: want 'between S T', 'cross S T', or 'loop U', got %q",
+				n, strings.TrimSpace(line))
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("queries[%d]: %w", n, err)
+		}
+		queries = append(queries, qs...)
+		for range qs {
+			origins = append(origins, n)
+		}
+	}
+	return queries, origins, nil
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/axiom"
+	"repro/internal/engine"
+	"repro/internal/prover"
+	"repro/internal/telemetry"
+)
+
+// enginePool keeps one warm engine.Engine — and therefore one shared DFA
+// cache and one proof memo — per axiom-set fingerprint, reclaiming the
+// least-recently-used engine when the population exceeds its cap.  Eviction
+// only unlinks the engine from the pool: an in-flight batch still running
+// on it finishes normally and the garbage collector reclaims the caches
+// afterwards, so no request ever observes a half-dead engine.
+type enginePool struct {
+	cfg Config
+	tel *telemetry.Set
+
+	mu      sync.Mutex
+	seq     int64
+	entries map[string]*poolEntry
+
+	evicted atomic.Int64
+	cCold   *telemetry.Counter
+	cWarm   *telemetry.Counter
+}
+
+// poolEntry is one resident engine plus its bookkeeping.
+type poolEntry struct {
+	key     string // axiom.Set.Key() fingerprint
+	name    string // human-readable axiom-set name
+	eng     *engine.Engine
+	lastUse int64 // pool sequence number of the most recent get
+	uses    int64
+}
+
+func newEnginePool(cfg Config, tel *telemetry.Set) *enginePool {
+	return &enginePool{
+		cfg:     cfg,
+		tel:     tel,
+		entries: make(map[string]*poolEntry),
+		cCold:   tel.Counter("serve.engine_cold"),
+		cWarm:   tel.Counter("serve.engine_warm"),
+	}
+}
+
+// get returns the warm engine for the axiom set, building one on a cold
+// miss.  cold reports whether this call built it.
+func (p *enginePool) get(ax *axiom.Set) (eng *engine.Engine, cold bool) {
+	key := ax.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	if e, ok := p.entries[key]; ok {
+		e.lastUse = p.seq
+		e.uses++
+		p.cWarm.Add(1)
+		return e.eng, false
+	}
+	e := &poolEntry{
+		key:  key,
+		name: ax.StructName,
+		eng: engine.New(ax, engine.Options{
+			Workers:      p.cfg.Workers,
+			QueryTimeout: p.cfg.QueryTimeout,
+			Prover:       prover.Options{Telemetry: p.tel},
+			VerifyProofs: p.cfg.VerifyProofs,
+			Telemetry:    p.tel,
+			DFAShardCap:  p.cfg.DFAShardCap,
+			MemoShardCap: p.cfg.MemoShardCap,
+		}),
+		lastUse: p.seq,
+		uses:    1,
+	}
+	p.entries[key] = e
+	p.cCold.Add(1)
+	for p.cfg.MaxEngines > 0 && len(p.entries) > p.cfg.MaxEngines {
+		var lru *poolEntry
+		for _, cand := range p.entries {
+			if cand != e && (lru == nil || cand.lastUse < lru.lastUse) {
+				lru = cand
+			}
+		}
+		if lru == nil {
+			break
+		}
+		delete(p.entries, lru.key)
+		p.evicted.Add(1)
+	}
+	return e.eng, true
+}
+
+// engineView is a read-only copy of one resident engine's bookkeeping,
+// taken under the pool lock (the mutable lastUse/uses fields must not be
+// read while another get mutates them).
+type engineView struct {
+	key  string
+	name string
+	eng  *engine.Engine
+	uses int64
+}
+
+// snapshot returns the resident entries sorted by name then key, for the
+// /statz report.
+func (p *enginePool) snapshot() []engineView {
+	p.mu.Lock()
+	out := make([]engineView, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, engineView{key: e.key, name: e.name, eng: e.eng, uses: e.uses})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
+// len reports the resident engine count.
+func (p *enginePool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}

@@ -1,0 +1,516 @@
+// Package serve is the long-lived dependence-query service behind cmd/
+// aptserved.  One process keeps the expensive analysis state — compiled
+// DFAs in an automata.SharedCache, prover verdicts in an engine.Memo —
+// warm across every request, which is the amortization the paper's §5
+// evaluation argues makes APT practical at compile-server scale: the first
+// request over an axiom set pays the subset constructions, every later one
+// rides the caches.
+//
+// Robustness is the other half of the design:
+//
+//   - admission control: a bounded queue in front of a bounded set of run
+//     slots; a full queue sheds load with 429 + Retry-After instead of
+//     queueing unboundedly;
+//   - deadlines: every request runs under a server-capped deadline that
+//     propagates into the engine's interrupt guard, so a slow proof search
+//     degrades that query to Maybe instead of wedging a worker;
+//   - per-axiom-set engines with LRU reclamation: unfamiliar axiom sets
+//     get their own warm engine, and the population is bounded;
+//   - bounded caches: the per-shard caps on the DFA cache, the decision
+//     memo, and the proof memo keep a long-lived process's memory flat;
+//   - graceful drain: SIGTERM stops admissions while every in-flight batch
+//     finishes and is answered;
+//   - panic isolation: a worker panic (re-raised by parallel.Pool as
+//     *parallel.WorkerPanic) becomes one 500, not a dead process.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Default limits; every one of them exists to keep a long-lived process
+// bounded, so "0 = unlimited" is deliberately not offered where a limit
+// guards memory.
+const (
+	DefaultQueryTimeout = 2 * time.Second
+	DefaultMaxDeadline  = 30 * time.Second
+	DefaultQueueDepth   = 64
+	DefaultMaxEngines   = 8
+	DefaultShardCap     = 512
+	DefaultMaxQueries   = 4096
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Config sizes a Server.  The zero value selects the defaults above, one
+// run slot per GOMAXPROCS, and a single-worker engine pool per axiom set.
+type Config struct {
+	// Workers is each engine's pool width (minimum 1).
+	Workers int
+	// QueryTimeout is the default per-query proof-search bound; a request
+	// may lower or raise it up to MaxDeadline via timeout_ms.
+	QueryTimeout time.Duration
+	// MaxDeadline caps (and defaults) the whole-request deadline.
+	MaxDeadline time.Duration
+	// MaxConcurrent is the number of requests answered at once (default
+	// GOMAXPROCS); QueueDepth is how many admitted requests may wait for a
+	// run slot before the server sheds with 429.
+	MaxConcurrent int
+	QueueDepth    int
+	// MaxEngines bounds the per-axiom-set engine population (LRU beyond).
+	MaxEngines int
+	// DFAShardCap and MemoShardCap bound the shared caches' shards (see
+	// automata.SharedCache and engine.Memo).
+	DFAShardCap  int
+	MemoShardCap int
+	// MaxQueries bounds the expanded query count of one request;
+	// MaxBodyBytes bounds the request body.
+	MaxQueries   int
+	MaxBodyBytes int64
+	// VerifyProofs re-checks every prover-backed No independently.
+	VerifyProofs bool
+	// Telemetry receives every layer's counters and feeds /metrics (nil
+	// disables; /metrics then serves an empty snapshot).
+	Telemetry *telemetry.Set
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = DefaultQueryTimeout
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = DefaultMaxDeadline
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = defaultConcurrency()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxEngines <= 0 {
+		c.MaxEngines = DefaultMaxEngines
+	}
+	if c.DFAShardCap <= 0 {
+		c.DFAShardCap = DefaultShardCap
+	}
+	if c.MemoShardCap <= 0 {
+		c.MemoShardCap = DefaultShardCap
+	}
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = DefaultMaxQueries
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// Server answers dependence-query batches over warm per-axiom-set engines.
+// It implements http.Handler; cmd/aptserved wires it into an http.Server
+// and the signal lifecycle.
+type Server struct {
+	cfg  Config
+	tel  *telemetry.Set
+	pool *enginePool
+	mux  *http.ServeMux
+
+	slots chan struct{} // admission tokens: run slots + bounded queue
+	run   chan struct{} // run slots
+
+	mu       sync.Mutex // guards draining vs. inflight.Add
+	draining bool
+	inflight sync.WaitGroup
+
+	start     time.Time
+	accepted  atomic.Int64
+	completed atomic.Int64
+	shed      atomic.Int64
+	refused   atomic.Int64 // rejected because draining
+	panics    atomic.Int64
+	gauge     atomic.Int64 // requests admitted and not yet completed
+
+	cRequests  *telemetry.Counter
+	cShed      *telemetry.Counter
+	cPanics    *telemetry.Counter
+	hRequestNS *telemetry.Histogram
+	hQueueNS   *telemetry.Histogram
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	tel := cfg.Telemetry
+	s := &Server{
+		cfg:        cfg,
+		tel:        tel,
+		pool:       newEnginePool(cfg, tel),
+		mux:        http.NewServeMux(),
+		slots:      make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		run:        make(chan struct{}, cfg.MaxConcurrent),
+		start:      time.Now(),
+		cRequests:  tel.Counter("serve.requests"),
+		cShed:      tel.Counter("serve.shed"),
+		cPanics:    tel.Counter("serve.panics"),
+		hRequestNS: tel.Histogram("serve.request_ns"),
+		hQueueNS:   tel.Histogram("serve.queue_wait_ns"),
+	}
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s
+}
+
+// ServeHTTP dispatches with panic isolation: a panic below (including a
+// *parallel.WorkerPanic re-raised out of an engine pool) answers 500 and
+// the server keeps serving.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			s.cPanics.Add(1)
+			msg := "internal error"
+			if wp, ok := rec.(*parallel.WorkerPanic); ok {
+				msg = fmt.Sprintf("worker panic: %v", wp.Value)
+			}
+			// Best effort: if the handler already wrote a partial body this
+			// write fails silently, which is all HTTP offers.
+			writeJSONError(w, http.StatusInternalServerError, msg)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting requests and waits for every in-flight one to be
+// answered, or for ctx to expire.  Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain interrupted with %d requests in flight: %w", s.gauge.Load(), ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// admit registers one in-flight request unless the server is draining.
+func (s *Server) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	// Admission: a token covers both the run slot and the bounded queue in
+	// front of it.  No token free means MaxConcurrent+QueueDepth requests
+	// are already in the building — shed immediately rather than letting
+	// the queue (and every client's latency) grow without bound.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		s.cShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, "admission queue full; retry")
+		return
+	}
+	defer func() { <-s.slots }()
+	if !s.admit() {
+		s.refused.Add(1)
+		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.gauge.Add(1)
+	s.accepted.Add(1)
+	s.cRequests.Add(1)
+	startWait := time.Now()
+	defer func() {
+		s.gauge.Add(-1)
+		s.completed.Add(1)
+		s.inflight.Done()
+		s.hRequestNS.Observe(time.Since(startWait).Nanoseconds())
+	}()
+
+	// Wait for a run slot.  Admitted requests finish even during a drain;
+	// only the client hanging up aborts the wait.
+	select {
+	case s.run <- struct{}{}:
+	case <-r.Context().Done():
+		writeJSONError(w, http.StatusServiceUnavailable, "client canceled while queued")
+		return
+	}
+	defer func() { <-s.run }()
+	s.hQueueNS.Observe(time.Since(startWait).Nanoseconds())
+
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	resp, code, err := s.answer(r.Context(), &req)
+	if err != nil {
+		writeJSONError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// answer runs one decoded batch request; it returns an HTTP status code
+// alongside any error.
+func (s *Server) answer(ctx context.Context, req *BatchRequest) (*BatchResponse, int, error) {
+	if len(req.Queries) == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("no queries")
+	}
+	prog, err := lang.Parse(req.Program)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("program: %v", err)
+	}
+	fn := req.Fn
+	if fn == "" {
+		if len(prog.Funcs) != 1 {
+			return nil, http.StatusBadRequest, fmt.Errorf("program has %d functions; set fn", len(prog.Funcs))
+		}
+		fn = prog.Funcs[0].Name
+	}
+	res, err := analysis.Analyze(prog, fn, analysis.Options{
+		InferTypeAxioms:      true,
+		AssumeLoopInvariants: req.AssumeInvariants,
+		Telemetry:            s.tel,
+	})
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("analyze: %v", err)
+	}
+	queries, origins, err := expandQueryLines(req.Queries, res)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if len(queries) > s.cfg.MaxQueries {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%d expanded queries exceed the per-request limit of %d", len(queries), s.cfg.MaxQueries)
+	}
+
+	eng, cold := s.pool.get(res.Axioms)
+	deadline := clampMS(req.DeadlineMS, s.cfg.MaxDeadline)
+	perQuery := s.cfg.QueryTimeout
+	if req.TimeoutMS > 0 {
+		perQuery = clampMS(req.TimeoutMS, s.cfg.MaxDeadline)
+	}
+	bctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	start := time.Now()
+	outs := eng.BatchTimeout(bctx, queries, perQuery)
+	elapsed := time.Since(start)
+
+	resp := &BatchResponse{Results: make([]QueryResult, len(outs))}
+	for i, out := range outs {
+		q := queries[i]
+		resp.Results[i] = QueryResult{
+			Line:   origins[i],
+			Query:  req.Queries[origins[i]],
+			S:      q.S.String(),
+			T:      q.T.String(),
+			Result: out.Result.String(),
+			Kind:   out.Kind.String(),
+			Reason: out.Reason,
+		}
+		if out.Result != core.No {
+			resp.Dependent = true
+		}
+	}
+	st := eng.Stats()
+	resp.Stats = BatchStats{
+		Queries:     len(outs),
+		ElapsedUS:   elapsed.Microseconds(),
+		ColdEngine:  cold,
+		AxiomSet:    res.Axioms.StructName,
+		MemoHits:    st.Memo.Hits,
+		MemoLookups: st.Memo.Lookups,
+		DFAHits:     int64(st.DFA.Hits),
+		DFALookups:  int64(st.DFA.Lookups),
+		Timeouts:    st.Timeouts,
+	}
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.tel.Metrics().Snapshot())
+}
+
+// EngineStatz is one warm engine's /statz entry.
+type EngineStatz struct {
+	AxiomSet string `json:"axiom_set"`
+	Uses     int64  `json:"uses"`
+	Batches  int64  `json:"batches"`
+	Queries  int64  `json:"queries"`
+	Timeouts int64  `json:"timeouts"`
+	Canceled int64  `json:"canceled"`
+
+	MemoLookups   int64   `json:"memo_lookups"`
+	MemoHits      int64   `json:"memo_hits"`
+	MemoHitRate   float64 `json:"memo_hit_rate"`
+	MemoEntries   int     `json:"memo_entries"`
+	MemoEvictions int64   `json:"memo_evictions"`
+
+	DFALookups   int     `json:"dfa_lookups"`
+	DFAHits      int     `json:"dfa_hits"`
+	DFAHitRate   float64 `json:"dfa_hit_rate"`
+	DFACompiles  int     `json:"dfa_compiles"`
+	DFALen       int     `json:"dfa_len"`
+	OpsLen       int     `json:"ops_len"`
+	DFAEvictions int64   `json:"dfa_evictions"`
+	OpsEvictions int64   `json:"ops_evictions"`
+}
+
+// Statz is the /statz body: server-level admission and lifecycle counters
+// plus every warm engine's cache state.
+type Statz struct {
+	UptimeMS        int64         `json:"uptime_ms"`
+	Draining        bool          `json:"draining"`
+	Accepted        int64         `json:"accepted"`
+	Completed       int64         `json:"completed"`
+	Inflight        int64         `json:"inflight"`
+	Shed            int64         `json:"shed"`
+	RefusedDraining int64         `json:"refused_draining"`
+	Panics          int64         `json:"panics"`
+	EnginesResident int           `json:"engines_resident"`
+	EnginesEvicted  int64         `json:"engines_evicted"`
+	Engines         []EngineStatz `json:"engines"`
+}
+
+// StatzSnapshot assembles the /statz body (exported for the soak tests and
+// the loadgen client).
+func (s *Server) StatzSnapshot() Statz {
+	z := Statz{
+		UptimeMS:        time.Since(s.start).Milliseconds(),
+		Draining:        s.Draining(),
+		Accepted:        s.accepted.Load(),
+		Completed:       s.completed.Load(),
+		Inflight:        s.gauge.Load(),
+		Shed:            s.shed.Load(),
+		RefusedDraining: s.refused.Load(),
+		Panics:          s.panics.Load(),
+		EnginesResident: s.pool.len(),
+		EnginesEvicted:  s.pool.evicted.Load(),
+	}
+	for _, e := range s.pool.snapshot() {
+		z.Engines = append(z.Engines, engineStatz(e))
+	}
+	return z
+}
+
+func engineStatz(v engineView) EngineStatz {
+	st := v.eng.Stats()
+	dfas := v.eng.DFACache()
+	out := EngineStatz{
+		AxiomSet: v.name,
+		Uses:     v.uses,
+		Batches:  st.Batches,
+		Queries:  st.Queries,
+		Timeouts: st.Timeouts,
+		Canceled: st.Canceled,
+
+		MemoLookups:   st.Memo.Lookups,
+		MemoHits:      st.Memo.Hits,
+		MemoHitRate:   st.Memo.HitRate(),
+		MemoEntries:   st.Memo.Entries,
+		MemoEvictions: st.Memo.Evictions,
+
+		DFALookups:   st.DFA.Lookups,
+		DFAHits:      st.DFA.Hits,
+		DFACompiles:  st.DFA.Compiles,
+		DFALen:       dfas.Len(),
+		OpsLen:       dfas.OpsLen(),
+		DFAEvictions: dfas.DFAEvictions(),
+		OpsEvictions: dfas.OpsEvictions(),
+	}
+	if st.DFA.Lookups > 0 {
+		out.DFAHitRate = float64(st.DFA.Hits) / float64(st.DFA.Lookups)
+	}
+	return out
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatzSnapshot())
+}
+
+// clampMS converts a client-supplied millisecond budget to a duration in
+// (0, max]; non-positive selects max.
+func clampMS(ms int64, max time.Duration) time.Duration {
+	if ms <= 0 {
+		return max
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > max {
+		return max
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client hanging up is its problem
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func defaultConcurrency() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// treeProgram is the paper's §3.3 example (testdata/section33.c): S and T
+// are provably independent under the leaf-linked binary tree axioms.
+func treeProgram(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/section33.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+// listProgram is Figure 1's list-update loop: a second axiom set, so tests
+// can populate more than one engine.
+func listProgram(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/figure1.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func postBatch(t *testing.T, url string, req BatchRequest) (*http.Response, *BatchResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		return resp, &BatchResponse{Stats: BatchStats{AxiomSet: e.Error}}
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, &br
+}
+
+func TestBatchRoundTripWarmsCaches(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req := BatchRequest{Program: treeProgram(t), Fn: "subr", Queries: []string{"between S T", "# comment", "between S T"}}
+	resp, br := postBatch(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, br.Stats.AxiomSet)
+	}
+	if len(br.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for i, r := range br.Results {
+		if r.Result != "No" {
+			t.Errorf("results[%d] = %q (%s), want No", i, r.Result, r.Reason)
+		}
+		if r.Query != "between S T" {
+			t.Errorf("results[%d].Query = %q", i, r.Query)
+		}
+	}
+	if br.Dependent {
+		t.Error("Dependent = true for a provably independent pair")
+	}
+	if !br.Stats.ColdEngine {
+		t.Error("first request should report a cold engine")
+	}
+
+	// The same request again must ride the warm engine: no cold flag, and
+	// the proof memo serves the repeat.
+	_, br2 := postBatch(t, ts.URL, req)
+	if br2.Stats.ColdEngine {
+		t.Error("second request rebuilt the engine")
+	}
+	if br2.Stats.MemoHits == 0 {
+		t.Error("second request hit the proof memo 0 times")
+	}
+	if br2.Stats.ElapsedUS > br.Stats.ElapsedUS*10 {
+		t.Errorf("warm request took %dus vs cold %dus", br2.Stats.ElapsedUS, br.Stats.ElapsedUS)
+	}
+}
+
+func TestBatchRejectsBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"not json":    {body: "between S T", want: http.StatusBadRequest},
+		"no queries":  {body: `{"program":"void f() {}"}`, want: http.StatusBadRequest},
+		"bad program": {body: `{"program":"int main(","queries":["between S T"]}`, want: http.StatusBadRequest},
+		"bad line":    {body: `{"program":"void f() { int x; x = 1; }","queries":["frobnicate S T"]}`, want: http.StatusBadRequest},
+		"bad label":   {body: `{"program":"void f() { int x; x = 1; }","queries":["between S T"]}`, want: http.StatusBadRequest},
+		"two fns no fn": {body: `{"program":"void f() { int x; x = 1; } void g() { int y; y = 2; }","queries":["between S T"]}`,
+			want: http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorResponse
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d (%s)", name, resp.StatusCode, tc.want, e.Error)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error body", name)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestAdmissionShedding: with every run slot and queue position occupied,
+// the next request is shed with 429 + Retry-After instead of queueing;
+// when the jam clears, the queued requests are all answered.
+func TestAdmissionShedding(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Occupy the only run slot so admitted requests park in the queue.
+	srv.run <- struct{}{}
+
+	req := BatchRequest{Program: treeProgram(t), Fn: "subr", Queries: []string{"between S T"}}
+	body, _ := json.Marshal(req)
+	type result struct {
+		code int
+		err  error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			resp.Body.Close()
+			results <- result{code: resp.StatusCode}
+		}()
+	}
+	// Wait until both requests hold admission tokens (slots cap = 2).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.slots) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never filled the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-admission request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if srv.StatzSnapshot().Shed != 1 {
+		t.Errorf("Shed = %d, want 1", srv.StatzSnapshot().Shed)
+	}
+
+	// Unjam: both queued requests must complete normally.
+	<-srv.run
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil || r.code != http.StatusOK {
+			t.Errorf("queued request: code=%d err=%v, want 200", r.code, r.err)
+		}
+	}
+}
+
+// TestDrainFinishesInflight: requests admitted before the drain are
+// answered; requests arriving during it get 503, and healthz flips.
+func TestDrainFinishesInflight(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	srv.run <- struct{}{} // park admitted requests in the queue
+
+	req := BatchRequest{Program: treeProgram(t), Fn: "subr", Queries: []string{"between S T"}}
+	body, _ := json.Marshal(req)
+	const parked = 3
+	codes := make(chan int, parked)
+	for i := 0; i < parked; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.gauge.Load() < parked {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests admitted", srv.gauge.Load(), parked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused while draining...
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("request during drain = %d, want 503", resp.StatusCode)
+	}
+	if hz, err := http.Get(ts.URL + "/healthz"); err == nil {
+		hz.Body.Close()
+		if hz.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz during drain = %d, want 503", hz.StatusCode)
+		}
+	} else {
+		t.Fatal(err)
+	}
+
+	// ...but every parked request completes, and the drain observes that.
+	<-srv.run
+	for i := 0; i < parked; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("parked request answered %d, want 200 (in-flight work must not be dropped)", code)
+		}
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("Drain: %v", err)
+	}
+	st := srv.StatzSnapshot()
+	if st.Accepted != st.Completed || st.Inflight != 0 {
+		t.Errorf("after drain: accepted=%d completed=%d inflight=%d", st.Accepted, st.Completed, st.Inflight)
+	}
+}
+
+// TestPanicBecomes500: a worker panic surfacing through the handler is one
+// failed request, not a dead server.
+func TestPanicBecomes500(t *testing.T) {
+	srv := New(Config{})
+	srv.mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic(&parallel.WorkerPanic{Value: "kaboom", Stack: []byte("stack")})
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorResponse
+	json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(e.Error, "kaboom") {
+		t.Errorf("error = %q, want the worker panic value", e.Error)
+	}
+	if srv.StatzSnapshot().Panics != 1 {
+		t.Errorf("Panics = %d, want 1", srv.StatzSnapshot().Panics)
+	}
+
+	// The server still serves.
+	if hz, err := http.Get(ts.URL + "/healthz"); err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: %v / %v", hz, err)
+	} else {
+		hz.Body.Close()
+	}
+}
+
+func TestMetricsAndStatzEndpoints(t *testing.T) {
+	tel := telemetry.New(telemetry.NewRegistry(), nil)
+	srv := New(Config{Telemetry: tel})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if _, br := postBatch(t, ts.URL, BatchRequest{
+		Program: treeProgram(t), Fn: "subr", Queries: []string{"between S T"},
+	}); len(br.Results) == 0 {
+		t.Fatal("no results")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{"serve.requests", "engine.queries", "automata.shared_lookups"} {
+		if snap.Counters[want] == 0 {
+			t.Errorf("metrics counter %q = 0, want > 0 (have %d counters)", want, len(snap.Counters))
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var z Statz
+	if err := json.NewDecoder(resp.Body).Decode(&z); err != nil {
+		t.Fatalf("statz decode: %v", err)
+	}
+	resp.Body.Close()
+	if z.Accepted != 1 || z.EnginesResident != 1 || len(z.Engines) != 1 {
+		t.Errorf("statz = %+v, want one accepted request on one engine", z)
+	}
+	if z.Engines[0].Queries == 0 || z.Engines[0].DFALen == 0 {
+		t.Errorf("engine statz = %+v, want populated caches", z.Engines[0])
+	}
+}
+
+// TestEngineLRUReclamation: the per-axiom-set engine population respects
+// MaxEngines, evicting the least recently used.
+func TestEngineLRUReclamation(t *testing.T) {
+	srv := New(Config{MaxEngines: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	tree := BatchRequest{Program: treeProgram(t), Fn: "subr", Queries: []string{"between S T"}}
+	list := BatchRequest{Program: listProgram(t), Fn: "update", Queries: []string{"loop U"}}
+
+	if _, br := postBatch(t, ts.URL, tree); !br.Stats.ColdEngine {
+		t.Error("first tree request should be cold")
+	}
+	if _, br := postBatch(t, ts.URL, list); !br.Stats.ColdEngine {
+		t.Error("first list request should be cold")
+	}
+	st := srv.StatzSnapshot()
+	if st.EnginesResident != 1 || st.EnginesEvicted != 1 {
+		t.Errorf("resident=%d evicted=%d, want 1/1", st.EnginesResident, st.EnginesEvicted)
+	}
+	// The tree engine was reclaimed; using it again is a (correct) cold
+	// rebuild.
+	if _, br := postBatch(t, ts.URL, tree); !br.Stats.ColdEngine {
+		t.Error("tree request after LRU reclamation should be cold again")
+	}
+}
+
+// TestRequestScaleDeadline: a request-level deadline yields a well-formed
+// 200 whose every query is answered (possibly Maybe), never a hung or
+// dropped response.
+func TestRequestScaleDeadline(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var queries []string
+	for i := 0; i < 16; i++ {
+		queries = append(queries, "between S T")
+	}
+	resp, br := postBatch(t, ts.URL, BatchRequest{
+		Program: treeProgram(t), Fn: "subr", Queries: queries,
+		DeadlineMS: 1, TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(br.Results) == 0 || len(br.Results)%16 != 0 {
+		t.Fatalf("got %d results for 16 identical query lines", len(br.Results))
+	}
+	for i, r := range br.Results {
+		if r.Result != "No" && r.Result != "Maybe" {
+			t.Errorf("results[%d] = %q, want No or the sound degradation Maybe", i, r.Result)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package strhash holds the FNV-1a string hash every sharded structure in
+// the repository routes keys through.  The engine's proof memo and the
+// automata shared cache each used to carry a private copy; one shared
+// implementation guarantees the shard routing of the two layers can never
+// silently diverge (a divergence would not be wrong, but it would quietly
+// destroy the cross-layer key-locality that makes warm servers cheap to
+// reason about).
+package strhash
+
+// FNV32a returns the 32-bit FNV-1a hash of s.
+func FNV32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}

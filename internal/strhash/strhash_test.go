@@ -1,0 +1,19 @@
+package strhash
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestMatchesStdlib pins the implementation to the reference FNV-1a from
+// the standard library, so the sharded caches keyed through it can trust
+// the constants forever.
+func TestMatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "ab", "shard-key\x00with NULs", "∀p, p.next+ <> p.ε"} {
+		ref := fnv.New32a()
+		ref.Write([]byte(s))
+		if got, want := FNV32a(s), ref.Sum32(); got != want {
+			t.Errorf("FNV32a(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
