@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-engine race-pool race-serve serve-smoke bench bench-json bench-served lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool race-serve serve-smoke bench bench-json bench-served bench-intern lintsmoke allocs figure7 clean
 
 check: vet build race bench lintsmoke serve-smoke
 
@@ -63,6 +63,14 @@ bench-served:
 		-queries-file $(CURDIR)/.served.queries \
 		-clients 8 -requests 64 -out $(CURDIR)/BENCH_served.json
 	@rm -f $(CURDIR)/.served.queries
+
+# Warm-hit cost of the interned-key caches (shared DFA cache, its decision
+# memo, the proof memo, canonical goal keys) written to BENCH_intern.json
+# with the frozen string-keyed baseline alongside.  The regression guards
+# are asserted by the test: ops-memo/proof-memo/goal-key warm hits must be
+# allocation-free and every path must beat its baseline.
+bench-intern:
+	BENCH_INTERN_JSON=$(CURDIR)/BENCH_intern.json $(GO) test -run TestWriteBenchInternJSON -v ./internal/engine
 
 # Lint every program in testdata/ with aptlint and diff the diagnostics
 # against the committed golden.  Regenerate after intentional changes with:

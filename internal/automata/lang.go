@@ -33,10 +33,19 @@ type CacheStats struct {
 // automata layer too.  A Cache is not safe for concurrent use; each prover
 // instance owns one by default.  Concurrent clients (the batched query
 // engine) share a SharedCache across worker provers instead.
+// dfaKey identifies one compiled DFA: an interned alphabet identity plus an
+// interned expression identity.  A fixed-size comparable struct — building
+// one is free, unlike the alphabet-key + expression-string concatenation it
+// replaced, which allocated and re-rendered the expression on every lookup.
+type dfaKey struct {
+	alpha uint64
+	expr  uint64
+}
+
 type Cache struct {
 	limit      int
 	noMinimize bool
-	dfas       map[string]*DFA
+	dfas       map[dfaKey]*DFA
 	stats      CacheStats
 
 	// Telemetry (nil instruments when disabled; see internal/telemetry).
@@ -56,7 +65,7 @@ func NewCache(limit int) *Cache {
 	if limit <= 0 {
 		limit = DefaultStateLimit
 	}
-	return &Cache{limit: limit, dfas: make(map[string]*DFA)}
+	return &Cache{limit: limit, dfas: make(map[dfaKey]*DFA)}
 }
 
 // NewCacheNoMinimize returns a cache that skips Hopcroft minimization after
@@ -87,7 +96,7 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 func (c *Cache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 	c.stats.Lookups++
 	c.cLookups.Add(1)
-	key := a.Key() + "\x00" + e.String()
+	key := dfaKey{alpha: a.ID(), expr: pathexpr.InternID(e)}
 	if d, ok := c.dfas[key]; ok {
 		c.stats.Hits++
 		c.cHits.Add(1)

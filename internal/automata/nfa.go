@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/pathexpr"
 )
@@ -24,7 +25,18 @@ type Alphabet struct {
 	symbols []string
 	index   map[string]int
 	key     string
+	id      uint64
 }
+
+// alphaIDs interns alphabet keys to stable 64-bit IDs, so two Alphabet
+// values built from the same symbol set (distinct pointers, equal keys)
+// share an identity and the DFA caches can key on integers instead of
+// concatenating key strings per lookup.
+var alphaIDs = struct {
+	mu   sync.Mutex
+	ids  map[string]uint64
+	next uint64
+}{ids: make(map[string]uint64)}
 
 // NewAlphabet builds an alphabet from the given field names, deduplicating
 // and sorting them.
@@ -43,7 +55,16 @@ func NewAlphabet(fields ...string) *Alphabet {
 	for i, s := range syms {
 		idx[s] = i
 	}
-	return &Alphabet{symbols: syms, index: idx, key: strings.Join(syms, " ")}
+	key := strings.Join(syms, " ")
+	alphaIDs.mu.Lock()
+	id, ok := alphaIDs.ids[key]
+	if !ok {
+		alphaIDs.next++
+		id = alphaIDs.next
+		alphaIDs.ids[key] = id
+	}
+	alphaIDs.mu.Unlock()
+	return &Alphabet{symbols: syms, index: idx, key: key, id: id}
 }
 
 // AlphabetOf builds the alphabet of all fields mentioned in the expressions.
@@ -80,6 +101,13 @@ func (a *Alphabet) Contains(s string) bool { _, ok := a.index[s]; return ok }
 // request, far too hot a path for per-call rendering.
 func (a *Alphabet) Key() string {
 	return a.key
+}
+
+// ID returns the alphabet's stable 64-bit identity: equal symbol sets share
+// an ID for the lifetime of the process.  The DFA caches combine it with
+// interned expression IDs into fixed-size struct keys.
+func (a *Alphabet) ID() uint64 {
+	return a.id
 }
 
 // nfa is a Thompson-construction NFA with ε-transitions.  States are dense

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/pathexpr"
-	"repro/internal/strhash"
 	"repro/internal/telemetry"
 )
 
@@ -73,13 +72,23 @@ type SharedCache struct {
 	compileTimeNS *telemetry.Histogram
 }
 
+// opsKey identifies one memoized boolean language decision: the operation,
+// the interned alphabet identity, and the interned identities of both
+// expressions.  A fixed-size comparable struct, so a warm decision lookup
+// builds its key with no string concatenation and no allocation.
+type opsKey struct {
+	op    byte
+	alpha uint64
+	x, y  uint64
+}
+
 type sharedShard struct {
 	mu   sync.RWMutex
-	dfas map[string]*DFA
+	dfas map[dfaKey]*DFA
 	// ops memoizes the boolean answers of Includes/Disjoint/Equivalent
 	// (keyed by op, alphabet, and both expressions) — the product
 	// constructions they run are pure functions of immutable DFAs.
-	ops map[string]bool
+	ops map[opsKey]bool
 }
 
 // NewSharedCache returns a concurrency-safe cache with the given subset
@@ -95,8 +104,8 @@ func NewSharedCache(limit, shards, perShardCap int) *SharedCache {
 	}
 	c := &SharedCache{limit: limit, perShard: perShardCap, shards: make([]sharedShard, shards)}
 	for i := range c.shards {
-		c.shards[i].dfas = make(map[string]*DFA)
-		c.shards[i].ops = make(map[string]bool)
+		c.shards[i].dfas = make(map[dfaKey]*DFA)
+		c.shards[i].ops = make(map[opsKey]bool)
 	}
 	return c
 }
@@ -116,8 +125,9 @@ func (c *SharedCache) SetTelemetry(tel *telemetry.Set) *SharedCache {
 	return c
 }
 
-func (c *SharedCache) shard(key string) *sharedShard {
-	return &c.shards[strhash.FNV32a(key)%uint32(len(c.shards))]
+// shardAt routes a mixed 64-bit key hash to its shard.
+func (c *SharedCache) shardAt(h uint64) *sharedShard {
+	return &c.shards[h%uint64(len(c.shards))]
 }
 
 // DFA returns the compiled, minimized DFA for e over alphabet a, compiling
@@ -125,8 +135,9 @@ func (c *SharedCache) shard(key string) *sharedShard {
 func (c *SharedCache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 	c.lookups.Add(1)
 	c.cLookups.Add(1)
-	key := a.Key() + "\x00" + e.String()
-	sh := c.shard(key)
+	n := pathexpr.Intern(e)
+	key := dfaKey{alpha: a.ID(), expr: n.ID()}
+	sh := c.shardAt(pathexpr.Mix64(pathexpr.Mix64(pathexpr.MixInit, key.alpha), key.expr))
 	sh.mu.RLock()
 	d, ok := sh.dfas[key]
 	sh.mu.RUnlock()
@@ -159,7 +170,7 @@ func (c *SharedCache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 		dur := time.Since(t0)
 		c.compileTimeNS.Observe(dur.Nanoseconds())
 		c.tel.Emit("automata.shared_compile",
-			telemetry.String("expr", e.String()),
+			telemetry.String("expr", n.String()),
 			telemetry.Int("states", built),
 			telemetry.Int("min_states", d.NumStates()),
 			telemetry.DurUS("dur_us", dur))
@@ -174,7 +185,7 @@ func (c *SharedCache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 	}
 	if c.perShard > 0 && len(sh.dfas) >= c.perShard {
 		dropped := len(sh.dfas)
-		sh.dfas = make(map[string]*DFA, c.perShard)
+		sh.dfas = make(map[dfaKey]*DFA, c.perShard)
 		c.dfaEvictions.Add(int64(dropped))
 		c.cEvictions.Add(int64(dropped))
 	}
@@ -250,8 +261,9 @@ func (c *SharedCache) HitRate() float64 {
 func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func(dx, dy *DFA) bool) (bool, error) {
 	c.decisions.Add(1)
 	c.cDecisions.Add(1)
-	key := string(op) + "\x00" + a.Key() + "\x00" + x.String() + "\x00" + y.String()
-	sh := c.shard(key)
+	key := opsKey{op: op, alpha: a.ID(), x: pathexpr.InternID(x), y: pathexpr.InternID(y)}
+	h := pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.MixInit, uint64(key.op)), key.alpha), key.x), key.y)
+	sh := c.shardAt(h)
 	sh.mu.RLock()
 	v, ok := sh.ops[key]
 	sh.mu.RUnlock()
@@ -276,7 +288,7 @@ func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func
 		// bound, and the `ops` side is the easier one to forget because each
 		// entry is one bool — millions of forgotten bools are still a leak.
 		dropped := len(sh.ops)
-		sh.ops = make(map[string]bool, c.perShard)
+		sh.ops = make(map[opsKey]bool, c.perShard)
 		c.opsEvictions.Add(int64(dropped))
 		c.cEvictions.Add(int64(dropped))
 	}

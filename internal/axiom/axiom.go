@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/pathexpr"
 )
@@ -78,11 +79,38 @@ func (a Axiom) Fields() []string {
 }
 
 // Set is an ordered collection of axioms describing one data structure.
+//
+// Key and ID memoize their results against len(Axioms): append axioms
+// through Add (or by extending the slice) freely, but do not mutate an
+// existing element of Axioms in place after the first Key/ID call — the
+// memo would not notice.  Nothing in this codebase edits axioms in place;
+// sets evolve by construction (NewSet, Add, WithoutFields, Intersect).
 type Set struct {
 	// StructName optionally names the described structure type.
 	StructName string
 	Axioms     []Axiom
+
+	// memo guards the fingerprint cache below.  Key() sits on the hot path
+	// of every engine and serve lookup; recomputing the sorted rendering per
+	// call was measurable, and the set length is a sufficient validity check
+	// under the no-in-place-mutation rule above.
+	memo struct {
+		mu  sync.Mutex
+		ok  bool
+		n   int
+		key string
+		id  uint64
+	}
 }
+
+// setIDs interns set fingerprints to stable 64-bit IDs, so two Sets built
+// independently from the same axioms (distinct pointers, equal keys) share
+// an identity and the proof memo and engine pools can key on integers.
+var setIDs = struct {
+	mu   sync.Mutex
+	ids  map[string]uint64
+	next uint64
+}{ids: make(map[string]uint64)}
 
 // NewSet builds a set from axioms.
 func NewSet(name string, axioms ...Axiom) *Set {
@@ -126,14 +154,47 @@ func (s *Set) ByForm(f Form) []Axiom {
 	return out
 }
 
-// Key returns a canonical fingerprint of the set, used in proof-cache keys.
+// Key returns a canonical fingerprint of the set, used in proof-cache keys
+// and snapshot ordering.  Computed once per set size and memoized.
 func (s *Set) Key() string {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	s.refreshMemoLocked()
+	return s.memo.key
+}
+
+// ID returns the set's stable 64-bit identity: sets with equal Key share an
+// ID for the lifetime of the process.  The proof memo, the tester's
+// per-window prover cache, and the serving layer's engine pool key on it
+// instead of carrying the full fingerprint string per lookup.
+func (s *Set) ID() uint64 {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	s.refreshMemoLocked()
+	return s.memo.id
+}
+
+// refreshMemoLocked recomputes the key/ID memo when the axiom count changed
+// since the last computation.  Caller holds s.memo.mu.
+func (s *Set) refreshMemoLocked() {
+	if s.memo.ok && s.memo.n == len(s.Axioms) {
+		return
+	}
 	parts := make([]string, len(s.Axioms))
 	for i, a := range s.Axioms {
 		parts[i] = fmt.Sprintf("%d\x01%s\x01%s", a.Form, a.RE1, a.RE2)
 	}
 	sort.Strings(parts)
-	return strings.Join(parts, "\x02")
+	key := strings.Join(parts, "\x02")
+	setIDs.mu.Lock()
+	id, ok := setIDs.ids[key]
+	if !ok {
+		setIDs.next++
+		id = setIDs.next
+		setIDs.ids[key] = id
+	}
+	setIDs.mu.Unlock()
+	s.memo.ok, s.memo.n, s.memo.key, s.memo.id = true, len(s.Axioms), key, id
 }
 
 // WithoutFields returns a new set containing only axioms that mention none
@@ -166,7 +227,7 @@ func (s *Set) WithoutFields(fields ...string) *Set {
 // Intersect returns the axioms present in both sets (by form and language
 // text).  Used to combine validity windows across modification sites.
 func (s *Set) Intersect(o *Set) *Set {
-	have := make(map[string]bool, len(o.Axioms))
+	have := make(map[axiomFP]bool, len(o.Axioms))
 	for _, a := range o.Axioms {
 		have[fingerprint(a)] = true
 	}
@@ -179,8 +240,16 @@ func (s *Set) Intersect(o *Set) *Set {
 	return out
 }
 
-func fingerprint(a Axiom) string {
-	return fmt.Sprintf("%d\x01%s\x01%s", a.Form, a.RE1, a.RE2)
+// axiomFP is one axiom's identity for set intersection: form plus the
+// interned IDs of both expressions (IDs biject with canonical renderings,
+// so this matches the textual fingerprint it replaced).
+type axiomFP struct {
+	form     Form
+	re1, re2 uint64
+}
+
+func fingerprint(a Axiom) axiomFP {
+	return axiomFP{form: a.Form, re1: pathexpr.InternID(a.RE1), re2: pathexpr.InternID(a.RE2)}
 }
 
 // Len returns the number of axioms.

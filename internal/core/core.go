@@ -151,11 +151,11 @@ type Outcome struct {
 // implementation is concurrency-safe, across testers.  Prove either returns
 // a memoized proof for the goal (keyed however the implementation likes;
 // the engine canonicalizes symmetric goals so ⟨h.P, h.Q⟩ and ⟨h.Q, h.P⟩
-// share an entry) or calls compute and remembers its result.  axiomKey is
-// the axiom.Set fingerprint of the window the goal is judged under: proofs
-// are never valid across different axiom sets.
+// share an entry) or calls compute and remembers its result.  axiomID is
+// the axiom.Set identity (see axiom.Set.ID) of the window the goal is
+// judged under: proofs are never valid across different axiom sets.
 type ProofMemo interface {
-	Prove(axiomKey string, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof
+	Prove(axiomID uint64, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof
 }
 
 // Tester runs dependence queries against a fixed default axiom set, reusing
@@ -165,11 +165,11 @@ type ProofMemo interface {
 type Tester struct {
 	prover *prover.Prover
 	axioms *axiom.Set
-	axKey  string
+	axID   uint64
 	opts   prover.Options
 	memo   ProofMemo
-	// provers caches per-window provers by axiom-set fingerprint.
-	provers map[string]*prover.Prover
+	// provers caches per-window provers by axiom-set identity.
+	provers map[uint64]*prover.Prover
 	// VerifyProofs re-validates every prover-backed No with the independent
 	// proof checker before trusting it; a derivation that fails to check
 	// degrades the answer to Maybe.  Defense in depth for the one failure
@@ -180,13 +180,13 @@ type Tester struct {
 // NewTester builds a Tester for the axiom set.
 func NewTester(axioms *axiom.Set, opts prover.Options) *Tester {
 	p := prover.New(axioms, opts)
-	key := axioms.Key()
+	id := axioms.ID()
 	return &Tester{
 		prover:  p,
 		axioms:  axioms,
-		axKey:   key,
+		axID:    id,
 		opts:    opts,
-		provers: map[string]*prover.Prover{key: p},
+		provers: map[uint64]*prover.Prover{id: p},
 	}
 }
 
@@ -199,18 +199,18 @@ func (t *Tester) SetProofMemo(m ProofMemo) *Tester {
 }
 
 // proverFor returns the prover for the query's axiom window together with
-// the window's fingerprint (the proof-memo namespace).
-func (t *Tester) proverFor(q Query) (*prover.Prover, string) {
+// the window's identity (the proof-memo namespace).
+func (t *Tester) proverFor(q Query) (*prover.Prover, uint64) {
 	if q.Axioms == nil {
-		return t.prover, t.axKey
+		return t.prover, t.axID
 	}
-	key := q.Axioms.Key()
-	if p, ok := t.provers[key]; ok {
-		return p, key
+	id := q.Axioms.ID()
+	if p, ok := t.provers[id]; ok {
+		return p, id
 	}
 	p := prover.New(q.Axioms, t.opts)
-	t.provers[key] = p
-	return p, key
+	t.provers[id] = p
+	return p, id
 }
 
 // Prover exposes the underlying theorem prover (for proof rendering and for
@@ -249,12 +249,12 @@ func (t *Tester) DepTest(q Query) Outcome {
 func (t *Tester) depTest(q Query) Outcome {
 	kind := Classify(q.S, q.T)
 	out := Outcome{Kind: kind}
-	prv, axKey := t.proverFor(q)
+	prv, axID := t.proverFor(q)
 	prove := func(form prover.Form, x, y pathexpr.Expr) *prover.Proof {
 		if t.memo == nil {
 			return prv.Prove(form, x, y)
 		}
-		return t.memo.Prove(axKey, form, x, y, func() *prover.Proof {
+		return t.memo.Prove(axID, form, x, y, func() *prover.Proof {
 			return prv.Prove(form, x, y)
 		})
 	}

@@ -1,0 +1,52 @@
+//go:build !race
+
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/prover"
+)
+
+// TestWarmHitAllocationBudget is the allocation-regression guard for the
+// interned-key caches: once every layer is warm, a cache hit must not
+// allocate.  Gated out under the race detector, whose instrumentation adds
+// allocations of its own (`make race` runs the whole tree with -race).
+func TestWarmHitAllocationBudget(t *testing.T) {
+	x, y, a := benchInternExprs()
+
+	c := automata.NewSharedCache(0, 0, 0)
+	if _, err := c.Disjoint(x, y, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := c.DFA(x, a); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("warm SharedCache.DFA hit allocates %.1f per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := c.Disjoint(x, y, a); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("warm SharedCache ops-memo hit allocates %.1f per call, want 0", got)
+	}
+
+	m := NewMemo(0, 0, nil)
+	proved := func() *prover.Proof { return &prover.Proof{Result: prover.Proved} }
+	m.Prove(1, prover.SameSrc, x, y, proved)
+	if got := testing.AllocsPerRun(200, func() {
+		m.Prove(1, prover.SameSrc, x, y, proved)
+	}); got > 0 {
+		t.Errorf("warm proof-memo hit allocates %.1f per call, want 0", got)
+	}
+
+	if got := testing.AllocsPerRun(200, func() {
+		CanonicalGoalKey(prover.SameSrc, x, y)
+	}); got > 0 {
+		t.Errorf("warm CanonicalGoalKey allocates %.1f per call, want 0", got)
+	}
+}

@@ -9,7 +9,7 @@
 // -batch sweeps, sparsebench's legality certification) issue hundreds of
 // closely related queries: the same goal re-asked under several §3.4 axiom
 // windows, and symmetric pairs — a loop pass asks both ⟨a,b⟩ and ⟨b,a⟩.
-// Canonicalizing goals (CanonicalGoal) and sharing compiled DFAs across
+// Canonicalizing goals (CanonicalGoalKey) and sharing compiled DFAs across
 // windows converts that redundancy into cache hits while keeping verdicts
 // identical to the sequential tester's (enforced by the differential
 // harness in differential_test.go).
@@ -27,22 +27,46 @@ import (
 // the renderer's metacharacters are printable.
 const canonSep = "\x1f"
 
-// CanonicalGoal returns the canonical memo key of the disjointness goal
-// ⟨form, x, y⟩.  Two goals share a key exactly when the prover treats them
-// as the same theorem:
+// GoalKey is the canonical identity of a disjointness goal ⟨form, x, y⟩:
+// the proof form plus the interned IDs of the two normalized operands,
+// commuted into a fixed order.  Two goals share a key exactly when the
+// prover treats them as the same theorem:
 //
-//   - simplification: x and y are normalized with pathexpr.Simplify, the
-//     same normalization prover.Prove applies before searching;
+//   - simplification: x and y are normalized with pathexpr.Simplify (via the
+//     interner's cached Simplified form), the same normalization
+//     prover.Prove applies before searching;
 //   - symmetric swap: disjointness is symmetric, so ∀h, h.X <> h.Y and
 //     ∀h, h.Y <> h.X are one theorem — and for distinct anchors, renaming
 //     the bound handles h↔k turns ∀h<>k, h.X <> k.Y into ∀h<>k, h.Y <> k.X.
 //
-// The key embeds the two normalized renderings verbatim around a separator
-// that cannot occur inside them, so distinct normalized goals can never
-// collide (see FuzzCanonicalGoal).
+// Because interned IDs are in bijection with canonical renderings, ordering
+// the pair by ID yields the same equality classes as the string-ordered
+// CanonicalGoal rendering — but building a GoalKey on a warm interner is
+// allocation-free: two atomic loads and an integer compare, no Simplify
+// walk, no string rendering.
+type GoalKey struct {
+	Form prover.Form
+	A, B uint64
+}
+
+// CanonicalGoalKey returns the canonical identity of the goal ⟨form, x, y⟩.
+func CanonicalGoalKey(form prover.Form, x, y pathexpr.Expr) GoalKey {
+	a := pathexpr.Intern(x).Simplified().ID()
+	b := pathexpr.Intern(y).Simplified().ID()
+	if b < a {
+		a, b = b, a
+	}
+	return GoalKey{Form: form, A: a, B: b}
+}
+
+// CanonicalGoal returns the canonical memo key of the goal ⟨form, x, y⟩ as
+// a string: the two normalized renderings in lexicographic order around a
+// separator that cannot occur inside them, so distinct normalized goals can
+// never collide (see FuzzCanonicalGoal).  The hot paths key on GoalKey;
+// this rendering survives for diagnostics and snapshot ordering.
 func CanonicalGoal(form prover.Form, x, y pathexpr.Expr) string {
-	a := pathexpr.Simplify(x).String()
-	b := pathexpr.Simplify(y).String()
+	a := pathexpr.Intern(x).Simplified().String()
+	b := pathexpr.Intern(y).Simplified().String()
 	if b < a {
 		a, b = b, a
 	}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/pathexpr"
 	"repro/internal/prover"
-	"repro/internal/strhash"
 	"repro/internal/telemetry"
 )
 
@@ -45,9 +44,18 @@ type memoEntry struct {
 	proof *prover.Proof
 }
 
+// memoKey identifies one memoized proof: the axiom set's interned identity
+// plus the canonical goal key.  A fixed-size comparable struct — a warm
+// lookup builds it without concatenating the axiom key and goal renderings
+// the string-keyed memo paid for on every call.
+type memoKey struct {
+	ax   uint64
+	goal GoalKey
+}
+
 type memoShard struct {
 	mu sync.Mutex
-	m  map[string]*memoEntry
+	m  map[memoKey]*memoEntry
 }
 
 // Memo is the sharded cross-query proof memo.  It implements
@@ -94,18 +102,19 @@ func NewMemo(shards, perShardCap int, tel *telemetry.Set) *Memo {
 		cEvictions: tel.Counter("engine.memo_evictions"),
 	}
 	for i := range m.shards {
-		m.shards[i].m = make(map[string]*memoEntry)
+		m.shards[i].m = make(map[memoKey]*memoEntry)
 	}
 	return m
 }
 
 // Prove implements core.ProofMemo: it returns the memoized proof of the
-// canonicalized goal under axiomKey, or runs compute once and shares its
-// result.
-func (m *Memo) Prove(axiomKey string, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof {
+// canonicalized goal under the axiom set identified by axiomID (see
+// axiom.Set.ID), or runs compute once and shares its result.
+func (m *Memo) Prove(axiomID uint64, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof {
 	m.lookups.Add(1)
-	key := axiomKey + "\x00" + CanonicalGoal(form, x, y)
-	sh := &m.shards[strhash.FNV32a(key)%uint32(len(m.shards))]
+	key := memoKey{ax: axiomID, goal: CanonicalGoalKey(form, x, y)}
+	h := pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.MixInit, key.ax), uint64(key.goal.Form)), key.goal.A), key.goal.B)
+	sh := &m.shards[h%uint64(len(m.shards))]
 
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {

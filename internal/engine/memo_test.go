@@ -29,7 +29,7 @@ func TestMemoWaiterDoesNotInheritExhausted(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		p := m.Prove("ax", prover.SameSrc, x, y, func() *prover.Proof {
+		p := m.Prove(1, prover.SameSrc, x, y, func() *prover.Proof {
 			close(workerIn)
 			<-release
 			return &prover.Proof{Result: prover.Exhausted}
@@ -44,7 +44,7 @@ func TestMemoWaiterDoesNotInheritExhausted(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		waiterProof = m.Prove("ax", prover.SameSrc, x, y, func() *prover.Proof {
+		waiterProof = m.Prove(1, prover.SameSrc, x, y, func() *prover.Proof {
 			close(waiterRan)
 			return &prover.Proof{Result: prover.Proved}
 		})
@@ -108,7 +108,7 @@ func TestMemoShardCapBoundsEntries(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		m.Prove("ax", prover.SameSrc, pathexpr.MustParse("N"), pathexpr.MustParse("N*"), func() *prover.Proof {
+		m.Prove(1, prover.SameSrc, pathexpr.MustParse("N"), pathexpr.MustParse("N*"), func() *prover.Proof {
 			close(pinnedIn)
 			<-release
 			return &prover.Proof{Result: prover.Proved}
@@ -118,7 +118,7 @@ func TestMemoShardCapBoundsEntries(t *testing.T) {
 
 	for i := 0; i < 10*cap; i++ {
 		x := pathexpr.MustParse(fmt.Sprintf("L.R%s", strings.Repeat(".N", i)))
-		m.Prove("ax", prover.SameSrc, x, pathexpr.MustParse("R"), proved)
+		m.Prove(1, prover.SameSrc, x, pathexpr.MustParse("R"), proved)
 	}
 	st := m.Stats()
 	if st.Entries > cap+1 { // the flood's survivors plus the pinned in-flight entry
@@ -133,7 +133,7 @@ func TestMemoShardCapBoundsEntries(t *testing.T) {
 	hitsBefore := st.Hits
 	done := make(chan *prover.Proof, 1)
 	go func() {
-		done <- m.Prove("ax", prover.SameSrc, pathexpr.MustParse("N"), pathexpr.MustParse("N*"), func() *prover.Proof {
+		done <- m.Prove(1, prover.SameSrc, pathexpr.MustParse("N"), pathexpr.MustParse("N*"), func() *prover.Proof {
 			t.Error("duplicate search started for an in-flight goal: the cap evicted a live entry")
 			return &prover.Proof{Result: prover.Proved}
 		})
@@ -151,7 +151,7 @@ func TestMemoShardCapBoundsEntries(t *testing.T) {
 	u := NewMemo(1, 0, nil)
 	for i := 0; i < 10*cap; i++ {
 		x := pathexpr.MustParse(fmt.Sprintf("L%s", strings.Repeat(".N", i)))
-		u.Prove("ax", prover.SameSrc, x, pathexpr.MustParse("R"), proved)
+		u.Prove(1, prover.SameSrc, x, pathexpr.MustParse("R"), proved)
 	}
 	if st := u.Stats(); st.Evictions != 0 || st.Entries != 10*cap {
 		t.Errorf("uncapped memo stats = %+v, want every entry retained", st)

@@ -103,8 +103,8 @@ type Context struct {
 	diags    []Diagnostic
 	analyses map[string]*analysis.Result
 	anErrs   map[string]error
-	testers  map[string]*core.Tester
-	engines  map[string]*engine.Engine
+	testers  map[uint64]*core.Tester
+	engines  map[uint64]*engine.Engine
 }
 
 // Report files a diagnostic.  An empty Category is filled with the running
@@ -143,9 +143,9 @@ func (c *Context) Analysis(fn string) (*analysis.Result, error) {
 // Tester returns a memoized dependence tester for the analysis result's
 // axiom set (provers and their caches are shared across queries and passes).
 func (c *Context) Tester(res *analysis.Result) *core.Tester {
-	key := res.Axioms.Key()
+	key := res.Axioms.ID()
 	if c.testers == nil {
-		c.testers = make(map[string]*core.Tester)
+		c.testers = make(map[uint64]*core.Tester)
 	}
 	if t, ok := c.testers[key]; ok {
 		return t
@@ -161,9 +161,9 @@ func (c *Context) Tester(res *analysis.Result) *core.Tester {
 // call, sharing compiled DFAs and canonicalized prover verdicts across the
 // queries — and across loops and functions with the same axioms.
 func (c *Context) Engine(res *analysis.Result) *engine.Engine {
-	key := res.Axioms.Key()
+	key := res.Axioms.ID()
 	if c.engines == nil {
-		c.engines = make(map[string]*engine.Engine)
+		c.engines = make(map[uint64]*engine.Engine)
 	}
 	if e, ok := c.engines[key]; ok {
 		return e

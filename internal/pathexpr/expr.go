@@ -123,26 +123,34 @@ func Cat(parts ...Expr) Expr {
 }
 
 // Or builds an alternation, flattening nested alternations and removing
-// exact duplicates (by String).
+// exact duplicates.  Duplicate elimination is by interned identity — the
+// same equality the old per-alternative String() keys decided, without
+// re-rendering every alternative on every construction.  First occurrence
+// wins, so the alternative ordering is deterministic in the input order.
 func Or(alts ...Expr) Expr {
 	flat := make([]Expr, 0, len(alts))
-	seen := make(map[string]bool)
+	var seenBuf [8]*Node
+	seen := seenBuf[:0]
+	add := func(x Expr) {
+		n := Intern(x)
+		for _, s := range seen {
+			if s == n {
+				return
+			}
+		}
+		seen = append(seen, n)
+		flat = append(flat, x)
+	}
 	for _, a := range alts {
 		switch v := a.(type) {
 		case nil, Empty:
 			continue
 		case Alt:
 			for _, x := range v.Alts {
-				if s := x.String(); !seen[s] {
-					seen[s] = true
-					flat = append(flat, x)
-				}
+				add(x)
 			}
 		default:
-			if s := a.String(); !seen[s] {
-				seen[s] = true
-				flat = append(flat, a)
-			}
+			add(a)
 		}
 	}
 	switch len(flat) {
@@ -299,12 +307,14 @@ func Fields(exprs ...Expr) []string {
 	return out
 }
 
-// Equal reports structural equality of two expressions.
+// Equal reports structural equality of two expressions (the equality the
+// canonical rendering decides).  Decided by interned identity: one pointer
+// comparison once both sides are warm in the interner.
 func Equal(a, b Expr) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
 	}
-	return a.String() == b.String()
+	return Intern(a) == Intern(b)
 }
 
 // Components returns the top-level concatenation components of e.  A

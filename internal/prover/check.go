@@ -30,7 +30,7 @@ func (p *Prover) CheckProof(pf *Proof) error {
 			p:     p,
 			alpha: automata.NewAlphabet(fields...),
 		},
-		verified: make(map[string]bool),
+		verified: make(map[proofKey]bool),
 	}
 	return c.check(pf.Root, nil)
 }
@@ -52,7 +52,7 @@ func stepGoal(st *Step) goal {
 
 type checker struct {
 	run      *run
-	verified map[string]bool
+	verified map[proofKey]bool
 }
 
 func (c *checker) fail(st *Step, format string, args ...any) error {
@@ -64,7 +64,7 @@ func (c *checker) check(st *Step, lems []lemma) error {
 		return fmt.Errorf("checkproof: missing derivation")
 	}
 	g := stepGoal(st)
-	key := g.key() + "\x02" + lemmaKey(lems)
+	key := proofKey{goal: g.key(), lems: lemmaKey(lems)}
 	if c.verified[key] {
 		return nil
 	}
@@ -227,7 +227,7 @@ func (c *checker) check(st *Step, lems []lemma) error {
 // checkInduction re-derives the paper's Kleene induction schema from the
 // goal shape and validates the subproofs, admitting the induction
 // hypothesis only in the step case and only under its size guard.
-func (c *checker) checkInduction(st *Step, g goal, lems []lemma, key string) error {
+func (c *checker) checkInduction(st *Step, g goal, lems []lemma, key proofKey) error {
 	cx, cy := g.x, g.y
 	xp, xok := trailingPlus(cx)
 	yp, yok := trailingPlus(cy)
@@ -306,7 +306,7 @@ func (c *checker) expectGoal(child *Step, want goal) error {
 }
 
 // finish validates a delegated child and marks the parent verified.
-func (c *checker) finish(parentKey string, child *Step, lems []lemma) error {
+func (c *checker) finish(parentKey proofKey, child *Step, lems []lemma) error {
 	if err := c.check(child, lems); err != nil {
 		return err
 	}

@@ -17,6 +17,8 @@
 package prover
 
 import (
+	"encoding/binary"
+	"sort"
 	"strings"
 
 	"repro/internal/pathexpr"
@@ -94,18 +96,24 @@ func (g goal) String() string {
 	return "∀h<>k, h." + lhs + " <> k." + rhs
 }
 
-// key returns a canonical cache key for the goal.
-func (g goal) key() string {
-	var b strings.Builder
-	if g.form == SameSrc {
-		b.WriteByte('S')
-	} else {
-		b.WriteByte('D')
+// goalKey is the canonical cache identity of a goal: its form plus the
+// interned IDs of the reassembled sides.  Interned IDs biject with the
+// canonical renderings the old string key concatenated, so the cache's
+// equality classes — and therefore its hit pattern, and therefore the proof
+// trees it reproduces — are unchanged; only the per-lookup rendering and
+// concatenation are gone.
+type goalKey struct {
+	form Form
+	x, y uint64
+}
+
+// key returns the canonical cache key of the goal.
+func (g goal) key() goalKey {
+	return goalKey{
+		form: g.form,
+		x:    pathexpr.InternID(expr(g.x)),
+		y:    pathexpr.InternID(expr(g.y)),
 	}
-	b.WriteString(expr(g.x).String())
-	b.WriteByte('\x00')
-	b.WriteString(expr(g.y).String())
-	return b.String()
 }
 
 // lemma is an induction hypothesis: a disjointness fact assumed during the
@@ -135,22 +143,42 @@ func (l lemma) String() string {
 	return b.String()
 }
 
-// lemmaKey fingerprints a lemma list for cache keys.
+// lemmaFP is one lemma's cache identity: its form and the interned IDs of
+// its sides.  maxSize is deliberately excluded, matching the rendering-based
+// fingerprint this replaced (a hypothesis re-admitted at a different guard
+// still states the same disjointness fact).
+type lemmaFP struct {
+	form     Form
+	re1, re2 uint64
+}
+
+// lemmaKey fingerprints a lemma list for cache keys: the multiset of lemma
+// identities in a canonical order (lemma order does not affect
+// applicability), packed into a string so the result can sit inside a
+// comparable struct key.
 func lemmaKey(lems []lemma) string {
 	if len(lems) == 0 {
 		return ""
 	}
-	parts := make([]string, len(lems))
+	fps := make([]lemmaFP, len(lems))
 	for i, l := range lems {
-		parts[i] = l.String()
+		fps[i] = lemmaFP{form: l.form, re1: pathexpr.InternID(l.re1), re2: pathexpr.InternID(l.re2)}
 	}
-	// Lemma order does not affect applicability; sort for canonical form.
-	for i := range parts {
-		for j := i + 1; j < len(parts); j++ {
-			if parts[j] < parts[i] {
-				parts[i], parts[j] = parts[j], parts[i]
-			}
+	sort.Slice(fps, func(i, j int) bool {
+		a, b := fps[i], fps[j]
+		if a.form != b.form {
+			return a.form < b.form
 		}
+		if a.re1 != b.re1 {
+			return a.re1 < b.re1
+		}
+		return a.re2 < b.re2
+	})
+	buf := make([]byte, 0, len(fps)*17)
+	for _, fp := range fps {
+		buf = append(buf, byte(fp.form))
+		buf = binary.BigEndian.AppendUint64(buf, fp.re1)
+		buf = binary.BigEndian.AppendUint64(buf, fp.re2)
 	}
-	return strings.Join(parts, "\x01")
+	return string(buf)
 }

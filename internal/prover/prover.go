@@ -70,6 +70,14 @@ type cacheEntry struct {
 	st     *Step
 }
 
+// proofKey identifies one cached goal outcome: the goal's canonical identity
+// plus the lemma-list fingerprint it was judged under.  A no-lemma key (the
+// common case) is built without any allocation.
+type proofKey struct {
+	goal goalKey
+	lems string
+}
+
 // Prover proves disjointness theorems from a fixed axiom set.  A Prover is
 // not safe for concurrent use.
 type Prover struct {
@@ -80,7 +88,7 @@ type Prover struct {
 	// fingerprint, retaining the proof tree of proved goals so that cached
 	// steps remain machine-checkable.  Valid for the lifetime of the prover
 	// because the axiom set is immutable.
-	cache map[string]cacheEntry
+	cache map[proofKey]cacheEntry
 	// eqWordAxioms are the equality axioms whose both sides are single
 	// words, usable for congruence rewriting of prefixes.
 	eqWordRewrites [][2][]string
@@ -141,7 +149,7 @@ func New(axioms *axiom.Set, opts Options) *Prover {
 		axioms: axioms,
 		opts:   opts,
 		dfas:   dfas,
-		cache:  make(map[string]cacheEntry),
+		cache:  make(map[proofKey]cacheEntry),
 		tel:    opts.Telemetry,
 		m:      newProverMetrics(opts.Telemetry),
 	}
@@ -302,9 +310,12 @@ func (r *run) prove(g goal, lems []lemma, depth int) (bool, *Step, error) {
 		return true, vac, nil
 	}
 
-	// Proof cache.
-	key := g.key() + "\x02" + lemmaKey(lems)
+	// Proof cache.  The key is built only when the cache is on: rendering it
+	// was once the dominant per-goal cost, and even the ID-based form does
+	// real work (reassembling the sides for interning).
+	var key proofKey
 	if !r.p.opts.DisableProofCache {
+		key = proofKey{goal: g.key(), lems: lemmaKey(lems)}
 		if entry, ok := r.p.cache[key]; ok {
 			r.stats.CacheHits++
 			if r.traceOn {

@@ -23,7 +23,7 @@ type enginePool struct {
 
 	mu      sync.Mutex
 	seq     int64
-	entries map[string]*poolEntry
+	entries map[uint64]*poolEntry
 
 	evicted atomic.Int64
 	cCold   *telemetry.Counter
@@ -32,7 +32,8 @@ type enginePool struct {
 
 // poolEntry is one resident engine plus its bookkeeping.
 type poolEntry struct {
-	key     string // axiom.Set.Key() fingerprint
+	id      uint64 // axiom.Set.ID() identity (the pool's map key)
+	key     string // axiom.Set.Key() fingerprint, kept for /statz ordering
 	name    string // human-readable axiom-set name
 	eng     *engine.Engine
 	lastUse int64 // pool sequence number of the most recent get
@@ -43,7 +44,7 @@ func newEnginePool(cfg Config, tel *telemetry.Set) *enginePool {
 	return &enginePool{
 		cfg:     cfg,
 		tel:     tel,
-		entries: make(map[string]*poolEntry),
+		entries: make(map[uint64]*poolEntry),
 		cCold:   tel.Counter("serve.engine_cold"),
 		cWarm:   tel.Counter("serve.engine_warm"),
 	}
@@ -52,18 +53,19 @@ func newEnginePool(cfg Config, tel *telemetry.Set) *enginePool {
 // get returns the warm engine for the axiom set, building one on a cold
 // miss.  cold reports whether this call built it.
 func (p *enginePool) get(ax *axiom.Set) (eng *engine.Engine, cold bool) {
-	key := ax.Key()
+	id := ax.ID()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.seq++
-	if e, ok := p.entries[key]; ok {
+	if e, ok := p.entries[id]; ok {
 		e.lastUse = p.seq
 		e.uses++
 		p.cWarm.Add(1)
 		return e.eng, false
 	}
 	e := &poolEntry{
-		key:  key,
+		id:   id,
+		key:  ax.Key(),
 		name: ax.StructName,
 		eng: engine.New(ax, engine.Options{
 			Workers:      p.cfg.Workers,
@@ -77,7 +79,7 @@ func (p *enginePool) get(ax *axiom.Set) (eng *engine.Engine, cold bool) {
 		lastUse: p.seq,
 		uses:    1,
 	}
-	p.entries[key] = e
+	p.entries[id] = e
 	p.cCold.Add(1)
 	for p.cfg.MaxEngines > 0 && len(p.entries) > p.cfg.MaxEngines {
 		var lru *poolEntry
@@ -89,7 +91,7 @@ func (p *enginePool) get(ax *axiom.Set) (eng *engine.Engine, cold bool) {
 		if lru == nil {
 			break
 		}
-		delete(p.entries, lru.key)
+		delete(p.entries, lru.id)
 		p.evicted.Add(1)
 	}
 	return e.eng, true

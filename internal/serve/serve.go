@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/parallel"
+	"repro/internal/pathexpr"
 	"repro/internal/telemetry"
 )
 
@@ -413,17 +414,22 @@ type EngineStatz struct {
 // Statz is the /statz body: server-level admission and lifecycle counters
 // plus every warm engine's cache state.
 type Statz struct {
-	UptimeMS        int64         `json:"uptime_ms"`
-	Draining        bool          `json:"draining"`
-	Accepted        int64         `json:"accepted"`
-	Completed       int64         `json:"completed"`
-	Inflight        int64         `json:"inflight"`
-	Shed            int64         `json:"shed"`
-	RefusedDraining int64         `json:"refused_draining"`
-	Panics          int64         `json:"panics"`
-	EnginesResident int           `json:"engines_resident"`
-	EnginesEvicted  int64         `json:"engines_evicted"`
-	Engines         []EngineStatz `json:"engines"`
+	UptimeMS        int64 `json:"uptime_ms"`
+	Draining        bool  `json:"draining"`
+	Accepted        int64 `json:"accepted"`
+	Completed       int64 `json:"completed"`
+	Inflight        int64 `json:"inflight"`
+	Shed            int64 `json:"shed"`
+	RefusedDraining int64 `json:"refused_draining"`
+	Panics          int64 `json:"panics"`
+	EnginesResident int   `json:"engines_resident"`
+	EnginesEvicted  int64 `json:"engines_evicted"`
+	// InternedExprs is the process-wide count of distinct interned path
+	// expressions.  The interner underlies every cache key in the stack and
+	// is never evicted (node IDs must stay stable), so this is the one
+	// monotone number to watch for expression-churn growth.
+	InternedExprs int           `json:"interned_exprs"`
+	Engines       []EngineStatz `json:"engines"`
 }
 
 // StatzSnapshot assembles the /statz body (exported for the soak tests and
@@ -440,6 +446,7 @@ func (s *Server) StatzSnapshot() Statz {
 		Panics:          s.panics.Load(),
 		EnginesResident: s.pool.len(),
 		EnginesEvicted:  s.pool.evicted.Load(),
+		InternedExprs:   pathexpr.InternedExprs(),
 	}
 	for _, e := range s.pool.snapshot() {
 		z.Engines = append(z.Engines, engineStatz(e))
