@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-engine race-pool race-serve serve-smoke bench bench-json bench-served bench-intern lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool race-serve serve-smoke obs-check bench bench-json bench-served bench-intern lintsmoke allocs figure7 clean
 
-check: vet build race bench lintsmoke serve-smoke
+check: vet build race bench lintsmoke serve-smoke obs-check
 
 vet:
 	$(GO) vet ./...
@@ -39,10 +39,24 @@ race-serve:
 	$(GO) test -race -count=3 -run 'TestSoak|TestDrain|TestAdmission' ./internal/serve
 
 # End-to-end daemon smoke: boot aptserved on a loopback port, round-trip
-# /healthz + /v1/batch + /metrics, then SIGTERM-drain it — plus the
-# loadgen -self path that writes the bench report.
+# /healthz + /v1/batch + both metrics endpoints, SIGQUIT-dump the flight
+# recorder, then SIGTERM-drain it — plus the loadgen -self path that writes
+# the bench report.
 serve-smoke:
 	$(GO) test -run 'TestServerSmokeAndDrain|TestLoadgenSelf' -v ./cmd/aptserved
+
+# Observability gate: the Prometheus exposition golden + validator, the
+# traceparent/span-tree tests, a 50-iteration race soak of the lock-free
+# flight recorder and sliding-window histogram, and the zero-allocation
+# guards for disabled tracing (which -race would skew, hence the separate
+# non-race invocation).
+obs-check:
+	$(GO) test -run 'TestWritePrometheus|TestValidatePrometheus|TestTraceparent|TestRequestTrace|TestMetricsPrometheus|TestAccessLog' \
+		./internal/telemetry ./internal/serve
+	$(GO) test -race -count=50 -run 'TestFlightRecorder|TestWindowHistogram' ./internal/telemetry
+	$(GO) test -run 'TestDisabledObservabilityAllocations|TestWarmHitAllocationBudget' \
+		./internal/telemetry ./internal/engine
+	$(GO) test -race -run 'TestDegradedCountersSplitByReason' ./internal/engine
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestIndent(t *testing.T) {
@@ -207,6 +209,31 @@ func TestBatchModeBadLine(t *testing.T) {
 }
 
 // TestRunUsageError: bad flags exit 2 without panicking.
+// TestStatsPromFile: -stats-prom writes the run's final counters as valid
+// Prometheus text exposition, the one-shot CLI's counterpart of
+// aptserved's /metrics.
+func TestStatsPromFile(t *testing.T) {
+	promFile := filepath.Join(t.TempDir(), "metrics.prom")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-stats-prom", promFile, "-fn", "subr", "-from", "S", "-to", "T",
+		"../../testdata/section33.c",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(promFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidatePrometheus(data); err != nil {
+		t.Errorf("-stats-prom output invalid: %v\n%s", err, data)
+	}
+	if !strings.Contains(string(data), "apt_prover_goals_total") {
+		t.Errorf("exposition lacks prover counters:\n%s", data)
+	}
+}
+
 func TestRunUsageError(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {

@@ -7,10 +7,13 @@
 //
 //	aptserved -addr :8080 -workers 4
 //
-// Endpoints: POST /v1/batch, GET /healthz, GET /metrics (telemetry
-// snapshot), GET /statz (admission + per-engine cache state).  A full
-// admission queue sheds load with 429 + Retry-After; SIGTERM/SIGINT drains
-// in-flight batches before exiting.
+// Endpoints: POST /v1/batch, GET /healthz, GET /metrics (Prometheus text
+// exposition), GET /metrics.json (telemetry snapshot), GET /statz
+// (admission + per-engine cache state), GET /debug/flightrecorder (the K
+// slowest + recent degraded request traces).  A full admission queue sheds
+// load with 429 + Retry-After; SIGTERM/SIGINT drains in-flight batches
+// before exiting; SIGQUIT dumps the flight recorder to stderr without
+// stopping.  -access-log writes one JSONL line per request.
 //
 // Load-generator mode (also the BENCH_served.json producer):
 //
@@ -28,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -63,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxQueries := fs.Int("max-queries", serve.DefaultMaxQueries, "expanded-query limit per request")
 	verify := fs.Bool("verify", false, "independently re-check every prover-backed No")
 	portFile := fs.String("port-file", "", "write the bound address to `file` once listening (for scripts driving :0)")
+	accessLog := fs.String("access-log", "", "append one JSONL access-log line per request to `file` (\"-\" for stderr)")
+	flightK := fs.Int("flight-k", 0, "slowest requests the flight recorder retains (0 = default)")
+	flightRing := fs.Int("flight-ring", 0, "degraded requests the flight recorder's ring retains (0 = default)")
 
 	loadgen := fs.Bool("loadgen", false, "run as a load-generating client instead of a server")
 	self := fs.Bool("self", false, "loadgen: start an in-process server on a loopback port and drive it")
@@ -97,7 +104,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MemoShardCap:  *shardCap,
 		MaxQueries:    *maxQueries,
 		VerifyProofs:  *verify,
+		FlightK:       *flightK,
+		FlightRing:    *flightRing,
 		Telemetry:     telemetry.New(telemetry.NewRegistry(), nil),
+	}
+	if *accessLog != "" {
+		if *accessLog == "-" {
+			cfg.AccessLog = telemetry.NewTraceWriter(stderr)
+		} else {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fatalf("access-log: %v", err)
+			}
+			defer f.Close()
+			cfg.AccessLog = telemetry.NewTraceWriter(f)
+		}
 	}
 
 	if *loadgen {
@@ -138,6 +159,25 @@ func runServer(cfg serve.Config, addr, portFile string, stdout, stderr io.Writer
 	hs := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// SIGQUIT dumps the flight recorder (slowest + degraded request traces)
+	// to stderr and keeps serving — the "what just got slow?" escape hatch
+	// for a live daemon.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	quitDone := make(chan struct{})
+	go func() {
+		defer close(quitDone)
+		for range quit {
+			enc, err := json.MarshalIndent(srv.FlightSnapshot(), "", "  ")
+			if err != nil {
+				fmt.Fprintf(stderr, "aptserved: flight dump: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stderr, "aptserved: flight recorder dump (SIGQUIT)\n%s\n", enc)
+		}
+	}()
+	defer func() { signal.Stop(quit); close(quit); <-quitDone }()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -189,8 +229,10 @@ type BenchReport struct {
 	OK     int `json:"ok"`
 	Shed   int `json:"shed"`
 	Errors int `json:"errors"`
-	// Request latency over the OK responses.
+	// Request latency over the OK responses (nearest-rank quantiles of the
+	// per-request samples).
 	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
 	P99US  int64 `json:"p99_us"`
 	MeanUS int64 `json:"mean_us"`
 	MaxUS  int64 `json:"max_us"`
@@ -340,6 +382,7 @@ func runLoadgen(cfg loadgenConfig, stdout, stderr io.Writer) int {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep.P50US = quantileUS(all, 0.50)
+	rep.P95US = quantileUS(all, 0.95)
 	rep.P99US = quantileUS(all, 0.99)
 	rep.MeanUS = (sum / time.Duration(len(all))).Microseconds()
 	rep.MaxUS = all[len(all)-1].Microseconds()
@@ -383,12 +426,20 @@ func runLoadgen(cfg loadgenConfig, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// quantileUS returns the q-quantile of sorted durations in microseconds
-// (0 for an empty slice).
+// quantileUS returns the nearest-rank q-quantile of sorted durations in
+// microseconds (0 for an empty slice): the smallest sample at or above rank
+// ceil(q*n), matching telemetry's window-quantile convention — so p99 of
+// 100 samples is the 99th value, not an interpolated 98th.
 func quantileUS(sorted []time.Duration, q float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i].Microseconds()
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1].Microseconds()
 }

@@ -3,27 +3,56 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
+// syncBuffer lets the test read stderr while runServer's goroutines (the
+// SIGQUIT dumper, the access log) are still writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // TestServerSmokeAndDrain boots the daemon in-process on a loopback port,
-// round-trips a batch, and then delivers a real SIGTERM: the run must
-// drain cleanly and exit 0.  (The signal is safe to send to our own test
-// process because runServer's NotifyContext owns it at that point.)
+// round-trips a batch, checks both metrics endpoints, takes a SIGQUIT
+// flight-recorder dump, and then delivers a real SIGTERM: the run must
+// drain cleanly and exit 0.  (The signals are safe to send to our own test
+// process because runServer owns them at that point.)
 func TestServerSmokeAndDrain(t *testing.T) {
-	portFile := filepath.Join(t.TempDir(), "port")
-	var stdout, stderr bytes.Buffer
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "port")
+	accessLog := filepath.Join(dir, "access.jsonl")
+	var stdout bytes.Buffer
+	var stderr syncBuffer
 	done := make(chan int, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-port-file", portFile, "-workers", "2"}, &stdout, &stderr)
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-port-file", portFile, "-workers", "2",
+			"-access-log", accessLog, "-flight-k", "4", "-flight-ring", "16",
+		}, &stdout, &stderr)
 	}()
 
 	var base string
@@ -73,7 +102,28 @@ func TestServerSmokeAndDrain(t *testing.T) {
 		}
 	}
 
+	// /metrics serves Prometheus text exposition; the JSON snapshot moved
+	// to /metrics.json.
 	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	if err := telemetry.ValidatePrometheus(prom); err != nil {
+		t.Errorf("/metrics is not valid exposition: %v", err)
+	}
+	if !strings.Contains(string(prom), "apt_serve_requests_total 1") {
+		t.Errorf("/metrics lacks apt_serve_requests_total 1:\n%s", prom)
+	}
+
+	resp, err = http.Get(base + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +131,32 @@ func TestServerSmokeAndDrain(t *testing.T) {
 		Counters map[string]int64 `json:"counters"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatalf("metrics decode: %v", err)
+		t.Fatalf("metrics.json decode: %v", err)
 	}
 	resp.Body.Close()
 	if snap.Counters["serve.requests"] != 1 {
 		t.Errorf("serve.requests = %d, want 1", snap.Counters["serve.requests"])
+	}
+
+	// SIGQUIT dumps the flight recorder to stderr without stopping the
+	// server; the one batch above is its slowest request.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	dumpDeadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(stderr.String(), "flight recorder dump") {
+		if time.Now().After(dumpDeadline) {
+			t.Fatalf("no flight dump after SIGQUIT (stderr: %s)", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dump := stderr.String(); !strings.Contains(dump, `"slowest"`) || !strings.Contains(dump, `"trace_id"`) {
+		t.Errorf("flight dump lacks slowest traces:\n%s", dump)
+	}
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("server not healthy after SIGQUIT: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -104,6 +175,56 @@ func TestServerSmokeAndDrain(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("stdout missing %q:\n%s", want, out)
 		}
+	}
+
+	// The access log holds one JSONL line per request served above.
+	logData, err := os.ReadFile(accessLog)
+	if err != nil {
+		t.Fatalf("access log: %v", err)
+	}
+	var sawBatch bool
+	for _, line := range strings.Split(strings.TrimSpace(string(logData)), "\n") {
+		var entry struct {
+			Ev     string `json:"ev"`
+			Path   string `json:"path"`
+			Status int    `json:"status"`
+			DurUS  int64  `json:"dur_us"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("access log line %q: %v", line, err)
+		}
+		if entry.Ev != "http_access" {
+			t.Errorf("access log ev = %q", entry.Ev)
+		}
+		if entry.Path == "/v1/batch" && entry.Status == http.StatusOK && entry.DurUS > 0 {
+			sawBatch = true
+		}
+	}
+	if !sawBatch {
+		t.Errorf("access log never recorded the batch request:\n%s", logData)
+	}
+}
+
+func TestQuantileUSNearestRank(t *testing.T) {
+	var ds []time.Duration
+	for v := 1; v <= 100; v++ {
+		ds = append(ds, time.Duration(v)*time.Microsecond)
+	}
+	// Nearest rank over 1..100us: p50 is the 50th sample, p95 the 95th,
+	// p99 the 99th — not an interpolated or floor()ed neighbor.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}} {
+		if got := quantileUS(ds, tc.q); got != tc.want {
+			t.Errorf("quantileUS(1..100, %v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := quantileUS(ds[:1], 0.99); got != 1 {
+		t.Errorf("single-sample p99 = %d, want 1", got)
+	}
+	if got := quantileUS(nil, 0.5); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
 	}
 }
 
@@ -146,8 +267,9 @@ func TestLoadgenSelfWritesBenchReport(t *testing.T) {
 	if rep.ColdRequests < 1 {
 		t.Error("no request reported a cold engine")
 	}
-	if rep.P50US <= 0 || rep.P99US < rep.P50US || rep.MaxUS < rep.P99US {
-		t.Errorf("latency summary disordered: p50=%d p99=%d max=%d", rep.P50US, rep.P99US, rep.MaxUS)
+	if rep.P50US <= 0 || rep.P95US < rep.P50US || rep.P99US < rep.P95US || rep.MaxUS < rep.P99US {
+		t.Errorf("latency summary disordered: p50=%d p95=%d p99=%d max=%d",
+			rep.P50US, rep.P95US, rep.P99US, rep.MaxUS)
 	}
 	if rep.QueriesPerRequest < 1 {
 		t.Errorf("queries_per_request = %d", rep.QueriesPerRequest)

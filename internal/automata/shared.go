@@ -70,6 +70,7 @@ type SharedCache struct {
 	cDecisions    *telemetry.Counter
 	cDecisionHits *telemetry.Counter
 	compileTimeNS *telemetry.Histogram
+	compileWin    *telemetry.WindowHistogram
 }
 
 // opsKey identifies one memoized boolean language decision: the operation,
@@ -122,6 +123,7 @@ func (c *SharedCache) SetTelemetry(tel *telemetry.Set) *SharedCache {
 	c.cDecisions = tel.Counter("automata.shared_decision_lookups")
 	c.cDecisionHits = tel.Counter("automata.shared_decision_hits")
 	c.compileTimeNS = tel.Histogram("automata.shared_compile_ns")
+	c.compileWin = tel.Window("automata.shared_compile_ns")
 	return c
 }
 
@@ -169,6 +171,7 @@ func (c *SharedCache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 	if timed {
 		dur := time.Since(t0)
 		c.compileTimeNS.Observe(dur.Nanoseconds())
+		c.compileWin.Observe(dur.Nanoseconds())
 		c.tel.Emit("automata.shared_compile",
 			telemetry.String("expr", n.String()),
 			telemetry.Int("states", built),

@@ -10,8 +10,9 @@ import (
 	"repro/internal/telemetry"
 )
 
-// TelemetryFlags wires the shared observability flags (-stats, -trace-json)
-// into a command's flag set and owns the instruments they request.
+// TelemetryFlags wires the shared observability flags (-stats, -trace-json,
+// -stats-prom) into a command's flag set and owns the instruments they
+// request.
 //
 // Lifecycle: Register the flags, Open after parsing to get the *telemetry.Set
 // to thread through the pipeline, and Close at exit to flush the trace file
@@ -19,16 +20,18 @@ import (
 type TelemetryFlags struct {
 	Stats     bool
 	TracePath string
+	PromPath  string
 
 	reg *telemetry.Registry
 	tw  *telemetry.TraceWriter
 	f   *os.File
 }
 
-// Register adds -stats and -trace-json to fs.
+// Register adds -stats, -trace-json, and -stats-prom to fs.
 func (t *TelemetryFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&t.Stats, "stats", false, "print a metrics summary to stderr on exit")
 	fs.StringVar(&t.TracePath, "trace-json", "", "write a JSONL event trace to `file`")
+	fs.StringVar(&t.PromPath, "stats-prom", "", "write the final metrics as Prometheus text exposition to `file` on exit")
 }
 
 // EnsureRegistry forces the metrics half on before Open — used by live
@@ -45,7 +48,7 @@ func (t *TelemetryFlags) EnsureRegistry() *telemetry.Registry {
 // the Set to thread through the pipeline.  When neither flag was given the
 // Set is disabled (nil-safe everywhere).
 func (t *TelemetryFlags) Open() (*telemetry.Set, error) {
-	if t.reg == nil && (t.Stats || t.TracePath != "") {
+	if t.reg == nil && (t.Stats || t.TracePath != "" || t.PromPath != "") {
 		t.reg = telemetry.NewRegistry()
 	}
 	if t.TracePath != "" {
@@ -62,9 +65,10 @@ func (t *TelemetryFlags) Open() (*telemetry.Set, error) {
 // Registry returns the metrics registry (nil when disabled).
 func (t *TelemetryFlags) Registry() *telemetry.Registry { return t.reg }
 
-// Close flushes the trace file and, under -stats, writes the summary to
-// stderr: the phase table (when phases is non-nil), derived cache rates, and
-// the full instrument snapshot.  Returns the first trace write error.
+// Close flushes the trace file, writes the -stats-prom exposition, and,
+// under -stats, writes the summary to stderr: the phase table (when phases
+// is non-nil), derived cache rates, and the full instrument snapshot.
+// Returns the first write error.
 func (t *TelemetryFlags) Close(stderr io.Writer, phases *telemetry.Phases) error {
 	var firstErr error
 	if err := t.tw.Err(); err != nil {
@@ -73,6 +77,11 @@ func (t *TelemetryFlags) Close(stderr io.Writer, phases *telemetry.Phases) error
 	if t.f != nil {
 		if err := t.f.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("trace-json: %w", err)
+		}
+	}
+	if t.PromPath != "" && t.reg != nil {
+		if err := t.writeProm(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("stats-prom: %w", err)
 		}
 	}
 	if t.Stats && t.reg != nil {
@@ -94,4 +103,19 @@ func (t *TelemetryFlags) Close(stderr io.Writer, phases *telemetry.Phases) error
 		snap.WriteText(stderr)
 	}
 	return firstErr
+}
+
+// writeProm renders the registry as Prometheus text exposition into
+// PromPath — the one-shot CLI's counterpart of aptserved's /metrics, so the
+// same dashboards can ingest a batch run's final counters.
+func (t *TelemetryFlags) writeProm() error {
+	f, err := os.Create(t.PromPath)
+	if err != nil {
+		return err
+	}
+	if err := t.reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -50,10 +50,15 @@ type Stats struct {
 	// Batches and Queries count Batch calls and the queries they carried.
 	Batches int64
 	Queries int64
-	// Timeouts counts queries degraded to Maybe by QueryTimeout; Canceled
-	// counts queries degraded (or skipped) by context cancellation.
-	Timeouts int64
-	Canceled int64
+	// The degraded-toward-Maybe counters, split by the interrupt guard's
+	// three reasons so a timed-out query stays distinguishable from a
+	// deadline-expired or canceled one: Timeouts counts per-query
+	// QueryTimeout expiries, DeadlineExpired the batch context's own
+	// deadline passing, Canceled outright context cancellation.  Each
+	// degraded query increments exactly one of the three.
+	Timeouts        int64
+	DeadlineExpired int64
+	Canceled        int64
 	// Memo is the cross-query proof memo's counters.
 	Memo MemoStats
 	// DFA is the shared compilation cache's counters.
@@ -71,15 +76,17 @@ type Engine struct {
 	dfas   *automata.SharedCache
 	memo   *Memo
 
-	batches  atomic.Int64
-	queries  atomic.Int64
-	timeouts atomic.Int64
-	canceled atomic.Int64
+	batches   atomic.Int64
+	queries   atomic.Int64
+	timeouts  atomic.Int64
+	deadlines atomic.Int64
+	canceled  atomic.Int64
 
-	cBatches  *telemetry.Counter
-	cQueries  *telemetry.Counter
-	cTimeouts *telemetry.Counter
-	cCanceled *telemetry.Counter
+	cBatches   *telemetry.Counter
+	cQueries   *telemetry.Counter
+	cTimeouts  *telemetry.Counter
+	cDeadlines *telemetry.Counter
+	cCanceled  *telemetry.Counter
 }
 
 // New builds an engine over the default axiom set.  Queries carrying their
@@ -97,15 +104,16 @@ func New(axioms *axiom.Set, opts Options) *Engine {
 	dfas := automata.NewSharedCache(opts.Prover.DFAStateLimit, opts.DFAShards, opts.DFAShardCap)
 	dfas.SetTelemetry(tel)
 	return &Engine{
-		axioms:    axioms,
-		opts:      opts,
-		pool:      parallel.NewPool(opts.Workers).SetTelemetry(tel),
-		dfas:      dfas,
-		memo:      NewMemo(opts.MemoShards, opts.MemoShardCap, tel),
-		cBatches:  tel.Counter("engine.batches"),
-		cQueries:  tel.Counter("engine.queries"),
-		cTimeouts: tel.Counter("engine.timeouts"),
-		cCanceled: tel.Counter("engine.canceled"),
+		axioms:     axioms,
+		opts:       opts,
+		pool:       parallel.NewPool(opts.Workers).SetTelemetry(tel),
+		dfas:       dfas,
+		memo:       NewMemo(opts.MemoShards, opts.MemoShardCap, tel),
+		cBatches:   tel.Counter("engine.batches"),
+		cQueries:   tel.Counter("engine.queries"),
+		cTimeouts:  tel.Counter("engine.degraded.query_timeout"),
+		cDeadlines: tel.Counter("engine.degraded.request_deadline"),
+		cCanceled:  tel.Counter("engine.degraded.canceled"),
 	}
 }
 
@@ -120,12 +128,13 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 // unreadable, when telemetry is disabled.)
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Batches:  e.batches.Load(),
-		Queries:  e.queries.Load(),
-		Timeouts: e.timeouts.Load(),
-		Canceled: e.canceled.Load(),
-		Memo:     e.memo.Stats(),
-		DFA:      e.dfas.Stats(),
+		Batches:         e.batches.Load(),
+		Queries:         e.queries.Load(),
+		Timeouts:        e.timeouts.Load(),
+		DeadlineExpired: e.deadlines.Load(),
+		Canceled:        e.canceled.Load(),
+		Memo:            e.memo.Stats(),
+		DFA:             e.dfas.Stats(),
 	}
 }
 
@@ -207,18 +216,46 @@ func (e *Engine) BatchTimeout(ctx context.Context, queries []core.Query, perQuer
 	e.cBatches.Add(1)
 	e.cQueries.Add(int64(len(queries)))
 	results := make([]core.Outcome, len(queries))
+	rt, parent := telemetry.TraceScope(ctx)
 	e.pool.ForEachChunk(len(queries), func(lo, hi int) {
+		ws := rt.StartSpan("engine.worker", parent)
 		guard := &interruptGuard{ctx: ctx}
 		opts := e.opts.Prover
 		opts.DFACache = e.dfas
 		opts.Interrupt = guard.tripped
+		if rt != nil {
+			opts.Trace = rt
+			opts.TraceParent = ws.ID()
+		}
 		tester := core.NewTester(e.axioms, opts).SetProofMemo(e.memo)
 		tester.VerifyProofs = e.opts.VerifyProofs
 		for i := lo; i < hi; i++ {
 			results[i] = e.runOne(tester, guard, queries[i], perQuery)
 		}
+		ws.End(telemetry.Int("queries", hi-lo))
 	})
 	return results
+}
+
+// degrade books one query's degradation under reason — on the engine's
+// split counters and, when the batch context carries a trace scope, on the
+// request's degradation profile (which is what marks the request for the
+// flight recorder).
+func (e *Engine) degrade(ctx context.Context, reason telemetry.DegradeReason) {
+	switch reason {
+	case telemetry.DegradeQueryTimeout:
+		e.timeouts.Add(1)
+		e.cTimeouts.Add(1)
+	case telemetry.DegradeRequestDeadline:
+		e.deadlines.Add(1)
+		e.cDeadlines.Add(1)
+	case telemetry.DegradeCanceled:
+		e.canceled.Add(1)
+		e.cCanceled.Add(1)
+	}
+	if rt, _ := telemetry.TraceScope(ctx); rt != nil {
+		rt.NoteDegraded(reason)
+	}
 }
 
 // runOne answers one query on the worker's tester, degrading to Maybe with
@@ -228,16 +265,14 @@ func (e *Engine) runOne(tester *core.Tester, guard *interruptGuard, q core.Query
 	if guard.tripped() {
 		switch {
 		case guard.canceled:
-			e.canceled.Add(1)
-			e.cCanceled.Add(1)
+			e.degrade(guard.ctx, telemetry.DegradeCanceled)
 			return core.Outcome{
 				Result: core.Maybe,
 				Kind:   core.Classify(q.S, q.T),
 				Reason: fmt.Sprintf("batch canceled before query ran (%v); dependence assumed", guard.ctx.Err()),
 			}
 		case guard.expired:
-			e.timeouts.Add(1)
-			e.cTimeouts.Add(1)
+			e.degrade(guard.ctx, telemetry.DegradeRequestDeadline)
 			return core.Outcome{
 				Result: core.Maybe,
 				Kind:   core.Classify(q.S, q.T),
@@ -252,16 +287,13 @@ func (e *Engine) runOne(tester *core.Tester, guard *interruptGuard, q core.Query
 	if out.Result == core.Maybe {
 		switch {
 		case guard.canceled:
-			e.canceled.Add(1)
-			e.cCanceled.Add(1)
+			e.degrade(guard.ctx, telemetry.DegradeCanceled)
 			out.Reason = fmt.Sprintf("batch canceled mid-search (%v); dependence assumed", guard.ctx.Err())
 		case guard.expired:
-			e.timeouts.Add(1)
-			e.cTimeouts.Add(1)
+			e.degrade(guard.ctx, telemetry.DegradeRequestDeadline)
 			out.Reason = "request deadline expired mid-search; dependence assumed"
 		case guard.timedOut:
-			e.timeouts.Add(1)
-			e.cTimeouts.Add(1)
+			e.degrade(guard.ctx, telemetry.DegradeQueryTimeout)
 			out.Reason = fmt.Sprintf("query timeout (%v) exhausted the search; dependence assumed", perQuery)
 		}
 	}

@@ -175,9 +175,9 @@ func TestEngineTelemetryCounters(t *testing.T) {
 }
 
 // A batch context whose deadline has already passed degrades every query
-// to Maybe with a deadline reason, counted as a timeout — not as a
-// cancellation.  This is the per-request deadline path a serving process
-// leans on.
+// to Maybe with a deadline reason, counted as a deadline expiry — not as a
+// query timeout or a cancellation.  This is the per-request deadline path a
+// serving process leans on.
 func TestRequestDeadlineDegradesToMaybe(t *testing.T) {
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
@@ -192,7 +192,8 @@ func TestRequestDeadlineDegradesToMaybe(t *testing.T) {
 		}
 	}
 	st := eng.Stats()
-	if st.Timeouts != int64(len(queries)) || st.Canceled != 0 {
-		t.Errorf("stats = %d timeouts / %d canceled, want %d / 0", st.Timeouts, st.Canceled, len(queries))
+	if st.DeadlineExpired != int64(len(queries)) || st.Timeouts != 0 || st.Canceled != 0 {
+		t.Errorf("stats = %d deadline / %d timeouts / %d canceled, want %d / 0 / 0",
+			st.DeadlineExpired, st.Timeouts, st.Canceled, len(queries))
 	}
 }

@@ -41,6 +41,13 @@ type Options struct {
 	// Maybe, never to an unsound No.  The engine uses this for context
 	// cancellation and per-query timeouts.
 	Interrupt func() bool
+	// Trace, when non-nil, receives one request-scoped span per top-level
+	// Prove call, parented under TraceParent — the engine sets both so a
+	// served request's span tree reaches all the way down to the proof
+	// searches (including the ones its interrupt hook cut short).  Nil (the
+	// default) costs one pointer check per query.
+	Trace       *telemetry.RequestTrace
+	TraceParent telemetry.SpanID
 	// Telemetry receives per-query spans, rule-application trace events, and
 	// aggregate search counters.  Nil (the default) disables instrumentation
 	// at ~zero cost on the hot path.
@@ -111,6 +118,7 @@ type proverMetrics struct {
 	exhausted    *telemetry.Counter
 	peakDepth    *telemetry.Max
 	queryTimeNS  *telemetry.Histogram
+	queryWin     *telemetry.WindowHistogram
 	querySteps   *telemetry.Histogram
 }
 
@@ -127,6 +135,7 @@ func newProverMetrics(tel *telemetry.Set) proverMetrics {
 		exhausted:    tel.Counter("prover.exhausted"),
 		peakDepth:    tel.Max("prover.peak_depth"),
 		queryTimeNS:  tel.Histogram("prover.query_ns"),
+		queryWin:     tel.Window("prover.query_ns"),
 		querySteps:   tel.Histogram("prover.steps_per_query"),
 	}
 }
@@ -185,6 +194,10 @@ func (p *Prover) Prove(form Form, x, y pathexpr.Expr) *Proof {
 	if timed {
 		t0 = time.Now()
 	}
+	var qspan telemetry.ActiveSpan
+	if p.opts.Trace != nil {
+		qspan = p.opts.Trace.StartSpan("prover.prove", p.opts.TraceParent)
+	}
 	compiles0 := p.dfas.Stats().Compiles
 	proof := &Proof{Theorem: g.String()}
 	proved, st, err := r.prove(g, nil, 0)
@@ -211,9 +224,17 @@ func (p *Prover) Prove(form Form, x, y pathexpr.Expr) *Proof {
 	}
 	p.m.peakDepth.Observe(int64(r.peakDepth))
 	p.m.querySteps.Observe(int64(r.stats.ProveCalls))
+	if p.opts.Trace != nil {
+		qspan.End(
+			telemetry.String("theorem", proof.Theorem),
+			telemetry.String("result", proof.Result.String()),
+			telemetry.Int("steps", proof.Stats.StepsUsed),
+			telemetry.Int("dfa_compiles", proof.Stats.DFACompiles))
+	}
 	if timed {
 		dur := time.Since(t0)
 		p.m.queryTimeNS.Observe(dur.Nanoseconds())
+		p.m.queryWin.Observe(dur.Nanoseconds())
 		if r.traceOn {
 			p.tel.Emit("prover.query",
 				telemetry.DurUS("dur_us", dur),

@@ -66,6 +66,14 @@ type BatchStats struct {
 	DFAHits     int64 `json:"dfa_hits"`
 	DFALookups  int64 `json:"dfa_lookups"`
 	Timeouts    int64 `json:"timeouts"`
+	// TraceID identifies this request's trace (the same id the traceparent
+	// response header carries).
+	TraceID string `json:"trace_id,omitempty"`
+	// DegradedQueries counts this request's queries degraded toward Maybe
+	// (all three reasons); DeadlineExpired the subset degraded because the
+	// request deadline passed.
+	DegradedQueries int64 `json:"degraded_queries,omitempty"`
+	DeadlineExpired int64 `json:"deadline_expired,omitempty"`
 }
 
 // BatchResponse is the JSON body answering POST /v1/batch.

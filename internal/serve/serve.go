@@ -83,8 +83,17 @@ type Config struct {
 	// VerifyProofs re-checks every prover-backed No independently.
 	VerifyProofs bool
 	// Telemetry receives every layer's counters and feeds /metrics (nil
-	// disables; /metrics then serves an empty snapshot).
+	// disables; /metrics then serves only the server-level families).
 	Telemetry *telemetry.Set
+	// FlightK and FlightRing size the flight recorder: the K slowest
+	// requests plus a ring of the last FlightRing degraded requests, served
+	// at /debug/flightrecorder (zero selects telemetry.DefaultFlightK and
+	// DefaultFlightRing).
+	FlightK    int
+	FlightRing int
+	// AccessLog, when non-nil, receives one JSONL "http_access" line per
+	// HTTP request (method, path, status, bytes, latency, traceparent).
+	AccessLog *telemetry.TraceWriter
 }
 
 func (c Config) withDefaults() Config {
@@ -137,19 +146,24 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	start     time.Time
-	accepted  atomic.Int64
-	completed atomic.Int64
-	shed      atomic.Int64
-	refused   atomic.Int64 // rejected because draining
-	panics    atomic.Int64
-	gauge     atomic.Int64 // requests admitted and not yet completed
+	flight *telemetry.FlightRecorder
+	access *telemetry.TraceWriter
+
+	start        time.Time
+	accepted     atomic.Int64
+	completed    atomic.Int64
+	shed         atomic.Int64
+	refused      atomic.Int64 // rejected because draining
+	panics       atomic.Int64
+	gauge        atomic.Int64 // requests admitted and not yet completed
+	degradedReqs atomic.Int64 // requests with ≥1 degraded query
 
 	cRequests  *telemetry.Counter
 	cShed      *telemetry.Counter
 	cPanics    *telemetry.Counter
 	hRequestNS *telemetry.Histogram
 	hQueueNS   *telemetry.Histogram
+	wRequestNS *telemetry.WindowHistogram
 }
 
 // New builds a Server from the config.
@@ -163,24 +177,32 @@ func New(cfg Config) *Server {
 		mux:        http.NewServeMux(),
 		slots:      make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
 		run:        make(chan struct{}, cfg.MaxConcurrent),
+		flight:     telemetry.NewFlightRecorder(cfg.FlightK, cfg.FlightRing),
+		access:     cfg.AccessLog,
 		start:      time.Now(),
 		cRequests:  tel.Counter("serve.requests"),
 		cShed:      tel.Counter("serve.shed"),
 		cPanics:    tel.Counter("serve.panics"),
 		hRequestNS: tel.Histogram("serve.request_ns"),
 		hQueueNS:   tel.Histogram("serve.queue_wait_ns"),
+		wRequestNS: tel.Window("serve.request_ns"),
 	}
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	return s
 }
 
 // ServeHTTP dispatches with panic isolation: a panic below (including a
 // *parallel.WorkerPanic re-raised out of an engine pool) answers 500 and
-// the server keeps serving.
+// the server keeps serving.  Every request — panicking ones included —
+// gets one access-log line on the way out.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.panics.Add(1)
@@ -191,10 +213,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			// Best effort: if the handler already wrote a partial body this
 			// write fails silently, which is all HTTP offers.
-			writeJSONError(w, http.StatusInternalServerError, msg)
+			writeJSONError(sw, http.StatusInternalServerError, msg)
 		}
+		s.logAccess(sw, r, time.Since(start))
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 // Drain stops admitting requests and waits for every in-flight one to be
@@ -240,6 +263,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Join the caller's trace (W3C traceparent) or mint a fresh one, and
+	// answer with the trace id plus this request's root span so the caller
+	// can correlate — the header goes out even on shed/refused answers.
+	tc, joined := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	if !joined {
+		tc = telemetry.NewTraceContext()
+	}
+	rt := telemetry.NewRequestTrace(tc)
+	root := rt.StartSpan("serve.request", tc.SpanID)
+	w.Header().Set("traceparent",
+		telemetry.TraceContext{TraceID: tc.TraceID, SpanID: root.ID(), Flags: tc.Flags}.Traceparent())
 	// Admission: a token covers both the run slot and the bounded queue in
 	// front of it.  No token free means MaxConcurrent+QueueDepth requests
 	// are already in the building — shed immediately rather than letting
@@ -263,15 +297,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.accepted.Add(1)
 	s.cRequests.Add(1)
 	startWait := time.Now()
+	var meta *flightMeta
 	defer func() {
+		dur := time.Since(startWait)
 		s.gauge.Add(-1)
 		s.completed.Add(1)
 		s.inflight.Done()
-		s.hRequestNS.Observe(time.Since(startWait).Nanoseconds())
+		s.hRequestNS.Observe(dur.Nanoseconds())
+		s.wRequestNS.Observe(dur.Nanoseconds())
+		root.End()
+		s.recordFlight(w, rt, startWait, dur, meta)
 	}()
 
 	// Wait for a run slot.  Admitted requests finish even during a drain;
 	// only the client hanging up aborts the wait.
+	adm := rt.StartSpan("serve.admission", root.ID())
 	select {
 	case s.run <- struct{}{}:
 	case <-r.Context().Done():
@@ -280,6 +320,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.run }()
 	s.hQueueNS.Observe(time.Since(startWait).Nanoseconds())
+	adm.End()
 
 	var req BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -287,7 +328,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	resp, code, err := s.answer(r.Context(), &req)
+	resp, m, code, err := s.answer(r.Context(), &req, rt, root.ID())
+	meta = m
 	if err != nil {
 		writeJSONError(w, code, err.Error())
 		return
@@ -295,20 +337,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// answer runs one decoded batch request; it returns an HTTP status code
-// alongside any error.
-func (s *Server) answer(ctx context.Context, req *BatchRequest) (*BatchResponse, int, error) {
+// answer runs one decoded batch request; it returns the flight-recorder
+// metadata (nil on error) and an HTTP status code alongside any error.
+// Spans it opens parent under parent; the engine and prover pick up the
+// trace through the batch context's trace scope.
+func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.RequestTrace, parent telemetry.SpanID) (*BatchResponse, *flightMeta, int, error) {
 	if len(req.Queries) == 0 {
-		return nil, http.StatusBadRequest, fmt.Errorf("no queries")
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("no queries")
 	}
+	asp := rt.StartSpan("serve.analyze", parent)
 	prog, err := lang.Parse(req.Program)
 	if err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("program: %v", err)
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("program: %v", err)
 	}
 	fn := req.Fn
 	if fn == "" {
 		if len(prog.Funcs) != 1 {
-			return nil, http.StatusBadRequest, fmt.Errorf("program has %d functions; set fn", len(prog.Funcs))
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("program has %d functions; set fn", len(prog.Funcs))
 		}
 		fn = prog.Funcs[0].Name
 	}
@@ -318,16 +363,17 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest) (*BatchResponse,
 		Telemetry:            s.tel,
 	})
 	if err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("analyze: %v", err)
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("analyze: %v", err)
 	}
 	queries, origins, err := expandQueryLines(req.Queries, res)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, nil, http.StatusBadRequest, err
 	}
 	if len(queries) > s.cfg.MaxQueries {
-		return nil, http.StatusRequestEntityTooLarge,
+		return nil, nil, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("%d expanded queries exceed the per-request limit of %d", len(queries), s.cfg.MaxQueries)
 	}
+	asp.End(telemetry.String("fn", fn), telemetry.Int("queries", len(queries)))
 
 	eng, cold := s.pool.get(res.Axioms)
 	deadline := clampMS(req.DeadlineMS, s.cfg.MaxDeadline)
@@ -337,10 +383,19 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest) (*BatchResponse,
 	}
 	bctx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
+	bsp := rt.StartSpan("serve.batch", parent)
+	bctx = telemetry.WithTraceScope(bctx, rt, bsp.ID())
 
+	st0 := eng.Stats()
 	start := time.Now()
 	outs := eng.BatchTimeout(bctx, queries, perQuery)
 	elapsed := time.Since(start)
+	st := eng.Stats()
+	bsp.End(
+		telemetry.String("axiom_set", res.Axioms.StructName),
+		telemetry.Bool("cold_engine", cold),
+		telemetry.Int("queries", len(outs)),
+	)
 
 	resp := &BatchResponse{Results: make([]QueryResult, len(outs))}
 	for i, out := range outs {
@@ -358,19 +413,35 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest) (*BatchResponse,
 			resp.Dependent = true
 		}
 	}
-	st := eng.Stats()
+	deg := rt.DegradedCounts()
 	resp.Stats = BatchStats{
-		Queries:     len(outs),
-		ElapsedUS:   elapsed.Microseconds(),
-		ColdEngine:  cold,
-		AxiomSet:    res.Axioms.StructName,
-		MemoHits:    st.Memo.Hits,
-		MemoLookups: st.Memo.Lookups,
-		DFAHits:     int64(st.DFA.Hits),
-		DFALookups:  int64(st.DFA.Lookups),
-		Timeouts:    st.Timeouts,
+		Queries:         len(outs),
+		ElapsedUS:       elapsed.Microseconds(),
+		ColdEngine:      cold,
+		AxiomSet:        res.Axioms.StructName,
+		MemoHits:        st.Memo.Hits,
+		MemoLookups:     st.Memo.Lookups,
+		DFAHits:         int64(st.DFA.Hits),
+		DFALookups:      int64(st.DFA.Lookups),
+		Timeouts:        st.Timeouts,
+		TraceID:         rt.TraceIDString(),
+		DegradedQueries: rt.DegradedTotal(),
+		DeadlineExpired: deg[telemetry.DegradeRequestDeadline],
 	}
-	return resp, http.StatusOK, nil
+	// The flight-recorder metadata wants this request's cache economics,
+	// not the engine's lifetime totals, so report the deltas (best-effort:
+	// concurrent requests on the same engine blur them).
+	meta := &flightMeta{
+		AxiomSet:    res.Axioms.StructName,
+		Queries:     len(outs),
+		ColdEngine:  cold,
+		ElapsedUS:   elapsed.Microseconds(),
+		MemoHits:    st.Memo.Hits - st0.Memo.Hits,
+		MemoLookups: st.Memo.Lookups - st0.Memo.Lookups,
+		DFAHits:     int64(st.DFA.Hits - st0.DFA.Hits),
+		DFALookups:  int64(st.DFA.Lookups - st0.DFA.Lookups),
+	}
+	return resp, meta, http.StatusOK, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -382,18 +453,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.tel.Metrics().Snapshot())
-}
-
 // EngineStatz is one warm engine's /statz entry.
 type EngineStatz struct {
 	AxiomSet string `json:"axiom_set"`
 	Uses     int64  `json:"uses"`
 	Batches  int64  `json:"batches"`
 	Queries  int64  `json:"queries"`
-	Timeouts int64  `json:"timeouts"`
-	Canceled int64  `json:"canceled"`
+	// The degraded-query counters, split by reason like engine.Stats.
+	Timeouts        int64 `json:"timeouts"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+	Canceled        int64 `json:"canceled"`
 
 	MemoLookups   int64   `json:"memo_lookups"`
 	MemoHits      int64   `json:"memo_hits"`
@@ -422,8 +491,11 @@ type Statz struct {
 	Shed            int64 `json:"shed"`
 	RefusedDraining int64 `json:"refused_draining"`
 	Panics          int64 `json:"panics"`
-	EnginesResident int   `json:"engines_resident"`
-	EnginesEvicted  int64 `json:"engines_evicted"`
+	// DegradedRequests counts requests with at least one query degraded
+	// toward Maybe (each such request is also in the flight recorder).
+	DegradedRequests int64 `json:"degraded_requests"`
+	EnginesResident  int   `json:"engines_resident"`
+	EnginesEvicted   int64 `json:"engines_evicted"`
 	// InternedExprs is the process-wide count of distinct interned path
 	// expressions.  The interner underlies every cache key in the stack and
 	// is never evicted (node IDs must stay stable), so this is the one
@@ -436,17 +508,18 @@ type Statz struct {
 // the loadgen client).
 func (s *Server) StatzSnapshot() Statz {
 	z := Statz{
-		UptimeMS:        time.Since(s.start).Milliseconds(),
-		Draining:        s.Draining(),
-		Accepted:        s.accepted.Load(),
-		Completed:       s.completed.Load(),
-		Inflight:        s.gauge.Load(),
-		Shed:            s.shed.Load(),
-		RefusedDraining: s.refused.Load(),
-		Panics:          s.panics.Load(),
-		EnginesResident: s.pool.len(),
-		EnginesEvicted:  s.pool.evicted.Load(),
-		InternedExprs:   pathexpr.InternedExprs(),
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		Draining:         s.Draining(),
+		Accepted:         s.accepted.Load(),
+		Completed:        s.completed.Load(),
+		Inflight:         s.gauge.Load(),
+		Shed:             s.shed.Load(),
+		RefusedDraining:  s.refused.Load(),
+		Panics:           s.panics.Load(),
+		DegradedRequests: s.degradedReqs.Load(),
+		EnginesResident:  s.pool.len(),
+		EnginesEvicted:   s.pool.evicted.Load(),
+		InternedExprs:    pathexpr.InternedExprs(),
 	}
 	for _, e := range s.pool.snapshot() {
 		z.Engines = append(z.Engines, engineStatz(e))
@@ -458,12 +531,13 @@ func engineStatz(v engineView) EngineStatz {
 	st := v.eng.Stats()
 	dfas := v.eng.DFACache()
 	out := EngineStatz{
-		AxiomSet: v.name,
-		Uses:     v.uses,
-		Batches:  st.Batches,
-		Queries:  st.Queries,
-		Timeouts: st.Timeouts,
-		Canceled: st.Canceled,
+		AxiomSet:        v.name,
+		Uses:            v.uses,
+		Batches:         st.Batches,
+		Queries:         st.Queries,
+		Timeouts:        st.Timeouts,
+		DeadlineExpired: st.DeadlineExpired,
+		Canceled:        st.Canceled,
 
 		MemoLookups:   st.Memo.Lookups,
 		MemoHits:      st.Memo.Hits,

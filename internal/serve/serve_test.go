@@ -329,7 +329,7 @@ func TestMetricsAndStatzEndpoints(t *testing.T) {
 		t.Fatal("no results")
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestMetricsAndStatzEndpoints(t *testing.T) {
 		Counters map[string]int64 `json:"counters"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatalf("metrics decode: %v", err)
+		t.Fatalf("metrics.json decode: %v", err)
 	}
 	resp.Body.Close()
 	for _, want := range []string{"serve.requests", "engine.queries", "automata.shared_lookups"} {

@@ -68,6 +68,10 @@ func TestSoakConcurrentMixedDeadlines(t *testing.T) {
 		MaxEngines:    maxEngines,
 		DFAShardCap:   shardCap,
 		MemoShardCap:  shardCap,
+		// A ring larger than the whole soak's request count, so "every
+		// degraded request is retained" is checkable exactly below.
+		FlightK:    5,
+		FlightRing: 1024,
 	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -234,5 +238,39 @@ func TestSoakConcurrentMixedDeadlines(t *testing.T) {
 	// Monotonicity: the drain never rolls a counter back.
 	if fin.Accepted < mid.Accepted || fin.Completed < mid.Completed || fin.Shed < mid.Shed {
 		t.Errorf("counters regressed: mid %+v fin %+v", mid, fin)
+	}
+
+	// Flight-recorder invariants under concurrency: the ring outsizes the
+	// soak, so it must hold exactly the requests the server counted as
+	// degraded; the slow set is bounded by K and ordered slowest-first; and
+	// every retained record carries a span tree and a degradation profile
+	// consistent with its bucket.
+	snap := srv.FlightSnapshot()
+	if snap.DegradedRecorded != fin.DegradedRequests {
+		t.Errorf("flight recorder holds %d degraded requests, server counted %d",
+			snap.DegradedRecorded, fin.DegradedRequests)
+	}
+	if int64(len(snap.Degraded)) != snap.DegradedRecorded {
+		t.Errorf("degraded ring returned %d records, recorded %d (ring must not have wrapped)",
+			len(snap.Degraded), snap.DegradedRecorded)
+	}
+	if len(snap.Slowest) > snap.K {
+		t.Errorf("slow set holds %d records, cap %d", len(snap.Slowest), snap.K)
+	}
+	for i := 1; i < len(snap.Slowest); i++ {
+		if snap.Slowest[i].DurUS > snap.Slowest[i-1].DurUS {
+			t.Errorf("slowest[%d] (%dus) out of order after %dus", i, snap.Slowest[i].DurUS, snap.Slowest[i-1].DurUS)
+		}
+	}
+	for i, rec := range snap.Degraded {
+		if !rec.Degraded() {
+			t.Errorf("degraded[%d] has no degraded queries", i)
+		}
+		if len(rec.Spans) == 0 {
+			t.Errorf("degraded[%d] retained no spans", i)
+		}
+		if rec.TraceID == "" {
+			t.Errorf("degraded[%d] has no trace id", i)
+		}
 	}
 }

@@ -55,6 +55,10 @@ func (s *Set) Max(name string) *Max { return s.Metrics().Max(name) }
 // Histogram resolves a named histogram (nil when metrics are disabled).
 func (s *Set) Histogram(name string) *Histogram { return s.Metrics().Histogram(name) }
 
+// Window resolves a named sliding-window histogram (nil when metrics are
+// disabled).
+func (s *Set) Window(name string) *WindowHistogram { return s.Metrics().Window(name) }
+
 // Emit writes one trace event (no-op when tracing is disabled).
 func (s *Set) Emit(event string, attrs ...Attr) {
 	if s == nil || s.trace == nil {

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentParseFormatRoundTrip(t *testing.T) {
+	const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", h)
+	}
+	if tc.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id = %s", tc.TraceID)
+	}
+	if tc.SpanID.String() != "b7ad6b7169203331" {
+		t.Errorf("span id = %s", tc.SpanID)
+	}
+	if tc.Flags != 1 {
+		t.Errorf("flags = %#x, want 1", tc.Flags)
+	}
+	if got := tc.Traceparent(); got != h {
+		t.Errorf("round trip = %q, want %q", got, h)
+	}
+
+	minted := NewTraceContext()
+	if minted.TraceID.IsZero() || minted.SpanID.IsZero() {
+		t.Error("minted context has zero ids")
+	}
+	back, ok := ParseTraceparent(minted.Traceparent())
+	if !ok || back != minted {
+		t.Errorf("minted context does not round-trip: %v vs %v", back, minted)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"garbage",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",     // missing flags
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // unsupported version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",  // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",  // zero span id
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01",  // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x", // trailing junk
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // bad separator
+	} {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header", h)
+		}
+	}
+	// Version 00 followed by a proper extension separator is still a parse
+	// of the leading fields per the spec's forward-compat rule... except
+	// version 00 defines no extra fields, so we reject it (callers mint a
+	// fresh context, the safe behavior either way).
+	if _, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); ok {
+		t.Error("version 00 with trailing fields accepted")
+	}
+}
+
+func TestRequestTraceSpanTree(t *testing.T) {
+	tc := NewTraceContext()
+	rt := NewRequestTrace(tc)
+	root := rt.StartSpan("root", tc.SpanID)
+	child := rt.StartSpan("child", root.ID())
+	child.End(String("k", "v"), Int("n", 7), Bool("b", true), Float64("f", 1.5))
+	root.End()
+
+	spans := rt.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "child" || spans[1].Name != "root" {
+		t.Errorf("completion order = %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("child parent = %q, root id = %q", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Parent != tc.SpanID.String() {
+		t.Errorf("root parent = %q, want the remote span %q", spans[1].Parent, tc.SpanID)
+	}
+	attrs := spans[0].Attrs
+	if attrs["k"] != "v" || attrs["n"] != int64(7) || attrs["b"] != true || attrs["f"] != 1.5 {
+		t.Errorf("attrs = %#v", attrs)
+	}
+	if rt.DroppedSpans() != 0 {
+		t.Errorf("dropped = %d", rt.DroppedSpans())
+	}
+}
+
+func TestRequestTraceSpanCap(t *testing.T) {
+	rt := NewRequestTrace(NewTraceContext())
+	for i := 0; i < maxRequestSpans+10; i++ {
+		rt.StartSpan("s", SpanID{}).End()
+	}
+	if got := len(rt.Spans()); got != maxRequestSpans {
+		t.Errorf("spans = %d, want cap %d", got, maxRequestSpans)
+	}
+	if got := rt.DroppedSpans(); got != 10 {
+		t.Errorf("dropped = %d, want 10", got)
+	}
+}
+
+func TestRequestTraceDegradedCounts(t *testing.T) {
+	rt := NewRequestTrace(NewTraceContext())
+	rt.NoteDegraded(DegradeQueryTimeout)
+	rt.NoteDegraded(DegradeCanceled)
+	rt.NoteDegraded(DegradeCanceled)
+	got := rt.DegradedCounts()
+	want := [NumDegradeReasons]int64{DegradeQueryTimeout: 1, DegradeCanceled: 2}
+	if got != want {
+		t.Errorf("counts = %v, want %v", got, want)
+	}
+	if rt.DegradedTotal() != 3 {
+		t.Errorf("total = %d, want 3", rt.DegradedTotal())
+	}
+}
+
+func TestNilRequestTraceIsNoOp(t *testing.T) {
+	var rt *RequestTrace
+	sp := rt.StartSpan("x", SpanID{})
+	sp.End(Int("n", 1)) // must not panic
+	rt.NoteDegraded(DegradeCanceled)
+	if rt.Spans() != nil || rt.DegradedTotal() != 0 || rt.TraceIDString() != "" {
+		t.Error("nil RequestTrace is not a clean no-op")
+	}
+
+	// A context that never saw WithTraceScope yields nil without drama.
+	gotRT, parent := TraceScope(context.Background())
+	if gotRT != nil || !parent.IsZero() {
+		t.Errorf("TraceScope(bare ctx) = %v, %v", gotRT, parent)
+	}
+}
+
+func TestWithTraceScope(t *testing.T) {
+	rt := NewRequestTrace(NewTraceContext())
+	sp := rt.StartSpan("parent", SpanID{})
+	ctx := WithTraceScope(context.Background(), rt, sp.ID())
+	gotRT, gotParent := TraceScope(ctx)
+	if gotRT != rt || gotParent != sp.ID() {
+		t.Errorf("TraceScope = %v, %v; want the attached pair", gotRT, gotParent)
+	}
+}
+
+func TestDegradeReasonStrings(t *testing.T) {
+	want := []string{"query_timeout", "request_deadline", "canceled"}
+	for r := DegradeReason(0); r < NumDegradeReasons; r++ {
+		if r.String() != want[r] {
+			t.Errorf("reason %d = %q, want %q", r, r.String(), want[r])
+		}
+		if strings.ContainsAny(r.String(), ` "\`) {
+			t.Errorf("reason %q unusable as a Prometheus label", r.String())
+		}
+	}
+	if DegradeReason(99).String() != "unknown" {
+		t.Error("out-of-range reason should stringify as unknown")
+	}
+}
