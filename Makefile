@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-engine race-pool race-serve serve-smoke obs-check bench bench-json bench-served bench-intern lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool race-serve race-guards serve-smoke obs-check bench bench-json bench-served bench-intern bench-incr lintsmoke allocs figure7 clean
 
 check: vet build race bench lintsmoke serve-smoke obs-check
 
@@ -37,6 +37,14 @@ race-pool:
 # then a drain overlapping a fresh request wave.
 race-serve:
 	$(GO) test -race -count=3 -run 'TestSoak|TestDrain|TestAdmission' ./internal/serve
+
+# Soundness oracle for the path-sensitivity layer: every guard-upgraded
+# verdict claims two accesses lie on mutually exclusive paths; the oracle
+# enumerates every conforming concrete heap up to a bound and runs the
+# program under every boolean input, asserting no execution reaches both
+# accesses — plus adversarial variants that must NOT upgrade.
+race-guards:
+	$(GO) test -race -run 'TestGuardUpgradeOracle|TestOracleCorpus|TestEnumerateGraphs|TestClone' ./internal/lint ./internal/heap
 
 # End-to-end daemon smoke: boot aptserved on a loopback port, round-trip
 # /healthz + /v1/batch + both metrics endpoints, SIGQUIT-dump the flight
@@ -85,6 +93,14 @@ bench-served:
 # allocation-free and every path must beat its baseline.
 bench-intern:
 	BENCH_INTERN_JSON=$(CURDIR)/BENCH_intern.json $(GO) test -run TestWriteBenchInternJSON -v ./internal/engine
+
+# Incremental re-analysis report: cold run over a 65-declaration unit vs
+# re-analysis after a one-line edit, plus the Maybe-to-definite conversion
+# rate on the seeded lint corpus, written to BENCH_incr.json.  The
+# acceptance thresholds (>=10x speedup, conversion rate >= baseline) are
+# asserted by the test.
+bench-incr:
+	BENCH_INCR_JSON=$(CURDIR)/BENCH_incr.json $(GO) test -run TestWriteBenchIncrJSON -v ./internal/lint
 
 # Lint every program in testdata/ with aptlint and diff the diagnostics
 # against the committed golden.  Regenerate after intentional changes with:

@@ -8,6 +8,8 @@
 //	aptlint -json prog.c other.c          machine-readable output
 //	aptlint -passes                       list the available passes
 //	aptlint -stats -trace-json t.jsonl prog.c
+//	aptlint -watch prog.c                 re-lint on change, incrementally
+//	aptlint -incr-cache .apt.json prog.c  persist fingerprints across runs
 //
 // Exit status: 0 when no error-severity diagnostic was emitted, 1 when at
 // least one was (including parse failures, which are reported as diagnostics
@@ -20,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/lang"
@@ -40,6 +43,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	passNames := fs.String("pass", "", "comma-separated `list` of passes to run (default: all)")
 	listPasses := fs.Bool("passes", false, "list the available passes and exit")
 	workers := fs.Int("j", 1, "worker `width` for the batched dependence-query engine; verdicts are identical at any width, but widths above 1 may vary the proof-search statistics quoted in diagnostics")
+	watch := fs.Bool("watch", false, "watch the files and incrementally re-lint on change (only fingerprint-dirty functions and their interprocedural dependents re-run)")
+	watchInterval := fs.Duration("watch-interval", 500*time.Millisecond, "polling `period` for -watch")
+	watchCycles := fs.Int("watch-cycles", 0, "stop -watch after `n` poll cycles (0 = watch forever; used by tests and benchmarks)")
+	incrCache := fs.String("incr-cache", "", "`path` of the persisted incremental store: fingerprints and diagnostics survive process restarts, so unchanged declarations are never re-analyzed")
 	var tf cliutil.TelemetryFlags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -76,9 +83,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer tf.Close(stderr, phases)
 
 	driver := lint.NewDriver(tel, passes...).SetWorkers(*workers)
+
+	if *watch || *incrCache != "" {
+		store := lint.NewStore()
+		if *incrCache != "" {
+			store, err = lint.LoadStore(*incrCache)
+			if err != nil {
+				return fatalf("%v", err)
+			}
+		}
+		inc := &lint.IncrementalDriver{Driver: driver, Store: store, Caches: lint.NewCaches()}
+		if *watch {
+			hadErrors, err := lint.Watch(fs.Args(), inc, lint.WatchOptions{
+				Interval:  *watchInterval,
+				Cycles:    *watchCycles,
+				Out:       stdout,
+				Status:    stderr,
+				JSON:      *jsonOut,
+				StorePath: *incrCache,
+			})
+			if err != nil {
+				return fatalf("%v", err)
+			}
+			if hadErrors {
+				return 1
+			}
+			return 0
+		}
+		// One-shot incremental run against the persisted store.
+		code := lintFiles(fs.Args(), stdout, stderr, phases, *jsonOut,
+			func(file string, prog *lang.Program) ([]lint.Diagnostic, error) {
+				diags, _, err := inc.Run(file, prog)
+				return diags, err
+			})
+		if code != 2 {
+			if err := store.Save(*incrCache); err != nil {
+				return fatalf("%v", err)
+			}
+		}
+		return code
+	}
+
+	return lintFiles(fs.Args(), stdout, stderr, phases, *jsonOut, driver.Run)
+}
+
+// lintFiles parses and lints each file through lintOne, renders the
+// results, and returns the process exit code.
+func lintFiles(files []string, stdout, stderr io.Writer, phases *telemetry.Phases, jsonOut bool,
+	lintOne func(string, *lang.Program) ([]lint.Diagnostic, error)) int {
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptlint: "+format+"\n", fargs...)
+		return 2
+	}
 	var results []lint.FileResult
 	anyErrors := false
-	for _, file := range fs.Args() {
+	for _, file := range files {
 		var diags []lint.Diagnostic
 		var prog *lang.Program
 		err := phases.Run("parse", func() error {
@@ -100,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fatalf("%s: %v", file, err)
 		default:
 			if err := phases.Run("lint", func() error {
-				diags, err = driver.Run(file, prog)
+				diags, err = lintOne(file, prog)
 				return err
 			}); err != nil {
 				return fatalf("%v", err)
@@ -110,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		results = append(results, lint.FileResult{File: file, Diags: diags})
 	}
 
-	if *jsonOut {
+	if jsonOut {
 		if err := lint.WriteJSON(stdout, results); err != nil {
 			return fatalf("%v", err)
 		}

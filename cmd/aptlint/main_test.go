@@ -130,10 +130,93 @@ func TestJSONOutput(t *testing.T) {
 	if len(diags) == 0 {
 		t.Fatal("no diagnostics in JSON output")
 	}
-	for _, k := range []string{"file", "line", "col", "severity", "category", "message"} {
+	for _, k := range []string{"file", "line", "col", "severity", "category", "message", "fingerprint"} {
 		if _, ok := diags[0][k]; !ok {
 			t.Errorf("JSON diagnostic missing key %q: %v", k, diags[0])
 		}
+	}
+	if fp, _ := diags[0]["fingerprint"].(string); len(fp) != 16 || fp == "0000000000000000" {
+		t.Errorf("fingerprint %q is not a 16-hex-digit declaration hash", diags[0]["fingerprint"])
+	}
+}
+
+// TestJSONSchemaGolden pins the machine-readable schema, including the
+// path-sensitivity fields (fingerprint, upgraded_from_maybe).  Fingerprints
+// are content hashes and deterministic, so the full output is golden-able.
+func TestJSONSchemaGolden(t *testing.T) {
+	file := filepath.Join("..", "..", "testdata", "lint", "guarded_doall.c")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", file}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, stderr.String())
+	}
+	got := strings.ReplaceAll(stdout.String(), filepath.ToSlash(file), "guarded_doall.c")
+	golden := filepath.Join("..", "..", "testdata", "lint", "guarded_doall.json.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("JSON schema drift:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(got), &diags); err != nil || len(diags) == 0 {
+		t.Fatalf("golden is not a JSON diagnostic array: %v", err)
+	}
+	if up, _ := diags[0]["upgraded_from_maybe"].(bool); !up {
+		t.Errorf("guard-upgraded verdict not flagged in JSON: %v", diags[0])
+	}
+}
+
+// TestWatchFirstPassMatchesPlainRun: `aptlint -watch` must open with output
+// byte-identical to a plain run over the same files.
+func TestWatchFirstPassMatchesPlainRun(t *testing.T) {
+	files := []string{
+		filepath.Join("..", "..", "testdata", "lint", "guarded_doall.c"),
+		filepath.Join("..", "..", "testdata", "lint", "use_after_update.c"),
+	}
+	var plain, plainErr bytes.Buffer
+	plainCode := run(files, &plain, &plainErr)
+
+	var watch, watchErr bytes.Buffer
+	watchCode := run(append([]string{"-watch", "-watch-cycles", "1", "-watch-interval", "1ms"}, files...),
+		&watch, &watchErr)
+	if watchCode != plainCode {
+		t.Errorf("watch exit = %d, plain exit = %d", watchCode, plainCode)
+	}
+	if watch.String() != plain.String() {
+		t.Errorf("watch first pass diverges from plain run:\n--- watch ---\n%s--- plain ---\n%s",
+			watch.String(), plain.String())
+	}
+}
+
+// TestIncrCache: two one-shot runs against the same persisted store produce
+// identical output, and the store file survives with the schema marker.
+func TestIncrCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "store.json")
+	file := filepath.Join("..", "..", "testdata", "lint", "use_after_update.c")
+
+	var first, second, plain, stderr bytes.Buffer
+	if code := run([]string{"-incr-cache", cache, file}, &first, &stderr); code != 0 {
+		t.Fatalf("first run exit = %d\n%s", code, stderr.String())
+	}
+	if code := run([]string{"-incr-cache", cache, file}, &second, &stderr); code != 0 {
+		t.Fatalf("second run exit = %d\n%s", code, stderr.String())
+	}
+	run([]string{file}, &plain, &stderr)
+	if first.String() != plain.String() || second.String() != first.String() {
+		t.Errorf("incremental runs diverge from plain run:\nplain:\n%s\nfirst:\n%s\nsecond:\n%s",
+			plain.String(), first.String(), second.String())
+	}
+	data, err := os.ReadFile(cache)
+	if err != nil || !strings.Contains(string(data), "aptlint-fp-") {
+		t.Errorf("store not persisted: %v\n%s", err, data)
 	}
 }
 

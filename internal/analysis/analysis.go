@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/axiom"
+	"repro/internal/guard"
 	"repro/internal/lang"
 	"repro/internal/pathexpr"
 	"repro/internal/telemetry"
@@ -72,7 +73,16 @@ type Access struct {
 	// LoopModFields lists pointer fields structurally modified anywhere in
 	// the loops enclosing this access (empty when not in a loop or no mods).
 	LoopModFields []string
-	Pos           lang.Pos
+	// Guards is the conjunction of dominating branch predicates under which
+	// this access executes (positive on then-edges, negated on else-edges).
+	// Sound for same-execution-instance comparisons: predicate identity
+	// already encodes "nothing the condition reads changed in between".
+	Guards guard.Set
+	// InvGuards is the subset of Guards that is loop-invariant with respect
+	// to every enclosing loop — the only guards usable when the two sides
+	// of a query come from different iterations (see LoopCarriedPair).
+	InvGuards guard.Set
+	Pos       lang.Pos
 }
 
 // ModSite is one structural modification: a store to a pointer field.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/axiom"
+	"repro/internal/guard"
 	"repro/internal/lang"
 	"repro/internal/pathexpr"
 	"repro/internal/telemetry"
@@ -35,7 +36,9 @@ func Analyze(prog *lang.Program, fnName string, opts Options) (*Result, error) {
 			APMs: make(map[string]*APM),
 			opts: opts,
 		},
-		record: true,
+		record:    true,
+		ver:       guard.NewVersioner(),
+		addrTaken: collectAddrTaken(fn.Body),
 	}
 	a.collectAxioms()
 
@@ -70,6 +73,35 @@ type loopCtx struct {
 	// modFields accumulates pointer fields structurally modified in the
 	// loop body.
 	modFields map[string]bool
+	// assignedVars and writtenFields are the syntactic prescan of the loop
+	// body: variables assigned and struct fields stored to anywhere inside
+	// it (including through summarized calls).  A guard predicate reading
+	// any of them may change truth value between iterations, so it is not
+	// loop-invariant.  unknownCalls taints every field-reading guard.
+	assignedVars  map[string]bool
+	writtenFields map[string]bool
+	unknownCalls  bool
+}
+
+// invariant reports whether a guard reference keeps one truth value across
+// all iterations of this loop: nothing the condition reads is assigned or
+// stored to in the loop body.
+func (lc *loopCtx) invariant(r guard.Ref) bool {
+	for _, v := range r.P.Vars() {
+		if lc.assignedVars[v] {
+			return false
+		}
+	}
+	flds := r.P.Fields()
+	if len(flds) > 0 && lc.unknownCalls {
+		return false
+	}
+	for _, f := range flds {
+		if lc.writtenFields[f] {
+			return false
+		}
+	}
+	return true
 }
 
 type analyzer struct {
@@ -85,6 +117,75 @@ type analyzer struct {
 	ordinal   int
 	loopID    int
 	loops     []*loopCtx
+	// ver versions guard predicates for this walk; guards is the stack of
+	// dominating branch references at the current program point; addrTaken
+	// vars may be written through pointers, so they are never guarded.
+	ver       *guard.Versioner
+	guards    []guard.Ref
+	addrTaken map[string]bool
+}
+
+// collectAddrTaken returns the variables whose address is taken anywhere in
+// the block — writable behind the analysis's back, hence unguardable.
+func collectAddrTaken(b *lang.Block) map[string]bool {
+	taken := make(map[string]bool)
+	lang.WalkStmts(b, func(st lang.Stmt) {
+		walkStmtExprs(st, func(e lang.Expr) {
+			if ad, ok := e.(*lang.AddrExpr); ok {
+				taken[ad.Name] = true
+			}
+		})
+	})
+	return taken
+}
+
+// walkStmtExprs applies fn to every expression directly attached to st
+// (conditions, operands — not statements of nested blocks, which WalkStmts
+// visits separately).
+func walkStmtExprs(st lang.Stmt, fn func(lang.Expr)) {
+	switch v := st.(type) {
+	case *lang.AssignStmt:
+		lang.WalkExprs(v.LHS, fn)
+		lang.WalkExprs(v.RHS, fn)
+	case *lang.ExprStmt:
+		lang.WalkExprs(v.X, fn)
+	case *lang.IfStmt:
+		lang.WalkExprs(v.Cond, fn)
+	case *lang.WhileStmt:
+		lang.WalkExprs(v.Cond, fn)
+	case *lang.ReturnStmt:
+		lang.WalkExprs(v.Value, fn)
+	}
+}
+
+// branchRefs turns one edge's guardable atoms into interned references,
+// snapshotting pointer-comparison facts from the current APM state.
+func (a *analyzer) branchRefs(st *state, atoms []guard.Atom) []guard.Ref {
+	var out []guard.Ref
+	for _, at := range atoms {
+		if a.guardTainted(at) {
+			continue
+		}
+		var eq *guard.Fact
+		if at.EqX != "" && a.isPointerVar(at.EqX) && a.isPointerVar(at.EqY) {
+			xp, yp := st.pathsOf(at.EqX), st.pathsOf(at.EqY)
+			if h, ok := commonHandle(xp, yp); ok {
+				eq = &guard.Fact{X: at.EqX, Y: at.EqY, XPath: xp[h], YPath: yp[h], Handle: h}
+			}
+		}
+		p := guard.Intern(at.Canon, a.ver.Version(at.Vars, at.Fields), at.Vars, at.Fields, eq)
+		out = append(out, guard.Ref{P: p, Neg: at.Neg})
+	}
+	return out
+}
+
+func (a *analyzer) guardTainted(at guard.Atom) bool {
+	for _, v := range at.Vars {
+		if a.addrTaken[v] {
+			return true
+		}
+	}
+	return false
 }
 
 // collectAxioms merges the axiom sets of every struct declared in the
@@ -213,9 +314,15 @@ func (a *analyzer) walkStmt(st *state, s lang.Stmt) *state {
 
 	case *lang.IfStmt:
 		a.recordReads(st, v.Cond, v.Label(), v.StmtPos())
+		thenAtoms, elseAtoms := guard.BranchAtoms(v.Cond)
+		depth := len(a.guards)
+		a.guards = append(a.guards, a.branchRefs(st, thenAtoms)...)
 		thenSt := a.walkBlock(st.clone(), v.Then)
+		a.guards = a.guards[:depth]
 		if v.Else != nil {
+			a.guards = append(a.guards, a.branchRefs(st, elseAtoms)...)
 			elseSt := a.walkBlock(st.clone(), v.Else)
+			a.guards = a.guards[:depth]
 			return join(thenSt, elseSt)
 		}
 		return join(thenSt, st)
@@ -235,6 +342,7 @@ func (a *analyzer) walkAssign(st *state, s *lang.AssignStmt) *state {
 		// Store to lhs.Base->lhs.Field.  Record the write with the APM
 		// before the statement (the store does not move any pointer VAR).
 		a.recordAccess(st, s.Label(), lhs.Base, lhs.Field, true, s.StmtPos())
+		a.ver.BumpField(lhs.Field)
 		if a.pointerField(lhs.Base, lhs.Field) {
 			a.structuralMod(st, lhs.Field, s.Label(), s.StmtPos())
 		}
@@ -242,6 +350,7 @@ func (a *analyzer) walkAssign(st *state, s *lang.AssignStmt) *state {
 
 	case *lang.Ident:
 		x := lhs.Name
+		a.ver.BumpVar(x)
 		switch rhs := s.RHS.(type) {
 		case *lang.Ident:
 			if !a.isPointerVar(x) {
@@ -371,6 +480,7 @@ func (a *analyzer) walkWhile(st *state, w *lang.WhileStmt) *state {
 		iterDeltas: make(map[string]pathexpr.Expr),
 		modFields:  make(map[string]bool),
 	}
+	a.prescanLoopBody(lc, w.Body)
 	fix := wid.clone()
 	for v, d := range varDelta {
 		if !varOK[v] {
@@ -436,6 +546,41 @@ func (a *analyzer) walkWhile(st *state, w *lang.WhileStmt) *state {
 		}
 	}
 	return post
+}
+
+// prescanLoopBody fills the loop's guard-invariance sets: variables
+// assigned and fields written anywhere in the body, including through
+// summarized calls.  Conservative in the right direction — an
+// over-approximation only shrinks InvGuards, never grows it.
+func (a *analyzer) prescanLoopBody(lc *loopCtx, body *lang.Block) {
+	lc.assignedVars = make(map[string]bool)
+	lc.writtenFields = make(map[string]bool)
+	noteCall := func(name string) {
+		sum := a.summaries[name]
+		if sum == nil || sum.CallsUnknown {
+			lc.unknownCalls = true
+		}
+		if sum != nil {
+			for _, f := range sum.WrittenFields {
+				lc.writtenFields[f] = true
+			}
+		}
+	}
+	lang.WalkStmts(body, func(st lang.Stmt) {
+		if as, ok := st.(*lang.AssignStmt); ok {
+			switch lhs := as.LHS.(type) {
+			case *lang.Ident:
+				lc.assignedVars[lhs.Name] = true
+			case *lang.FieldAccess:
+				lc.writtenFields[lhs.Field] = true
+			}
+		}
+		walkStmtExprs(st, func(e lang.Expr) {
+			if call, ok := e.(*lang.CallExpr); ok {
+				noteCall(call.Name)
+			}
+		})
+	})
 }
 
 // includes decides language inclusion L(sub) ⊆ L(sup); any failure (e.g.
@@ -572,16 +717,26 @@ func (a *analyzer) applyCallsIn(st *state, e lang.Expr, label string, pos lang.P
 		if sum == nil {
 			// Unknown callee: the lenient default assumes it maintains the
 			// axioms (Figure 1's insert); strict mode wipes the world.
+			// Guard versions are invalidated either way — an unknown callee
+			// may overwrite any field's VALUE even while preserving the
+			// structural axioms.
+			a.ver.BumpAllFields()
 			if a.opts.CallsModifyStructure {
 				a.invalidateAll(st, label, pos)
 			}
 			return
 		}
+		for _, f := range sum.WrittenFields {
+			a.ver.BumpField(f)
+		}
 		for _, f := range sum.ModifiedFields {
 			a.structuralMod(st, f, label, pos)
 		}
-		if sum.CallsUnknown && a.opts.CallsModifyStructure {
-			a.invalidateAll(st, label, pos)
+		if sum.CallsUnknown {
+			a.ver.BumpAllFields()
+			if a.opts.CallsModifyStructure {
+				a.invalidateAll(st, label, pos)
+			}
 		}
 	})
 }
@@ -610,6 +765,8 @@ func (a *analyzer) recordAccess(st *state, label, v, field string, isWrite bool,
 		ModEpoch: st.modEpoch,
 		Pos:      pos,
 	}
+	acc.Guards = guard.Canon(a.guards)
+	acc.InvGuards = acc.Guards
 	if len(a.loops) > 0 {
 		acc.IterDeltas = make(map[string]pathexpr.Expr)
 		modSet := map[string]bool{}
@@ -622,6 +779,7 @@ func (a *analyzer) recordAccess(st *state, label, v, field string, isWrite bool,
 			for f := range lc.modFields {
 				modSet[f] = true
 			}
+			acc.InvGuards = acc.InvGuards.Filter(lc.invariant)
 		}
 		for f := range modSet {
 			acc.LoopModFields = append(acc.LoopModFields, f)

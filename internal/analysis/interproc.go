@@ -16,6 +16,11 @@ type Summary struct {
 	// ModifiedFields lists pointer fields the function may store to,
 	// including through calls to other defined functions.
 	ModifiedFields []string
+	// WrittenFields lists every struct field the function may write — data
+	// fields as well as pointer fields, transitively through calls.  This
+	// is the guard versioner's invalidation set at call sites: a branch
+	// predicate reading any of these fields cannot survive the call.
+	WrittenFields []string
 	// CallsUnknown reports that the function (transitively) calls a
 	// function the program does not define, whose effects are unknown.
 	CallsUnknown bool
@@ -41,6 +46,7 @@ func Summarize(prog *lang.Program) map[string]*Summary {
 	for _, fn := range prog.Funcs {
 		s := sums[fn.Name]
 		modSet := map[string]bool{}
+		writeSet := map[string]bool{}
 		paramTypes := map[string]string{}
 		for _, p := range fn.Params {
 			if p.Type.IsPointerToStruct() {
@@ -61,6 +67,7 @@ func Summarize(prog *lang.Program) map[string]*Summary {
 				}
 			case *lang.AssignStmt:
 				if fa, ok := v.LHS.(*lang.FieldAccess); ok {
+					writeSet[fa.Field] = true
 					if isPointerFieldOf(prog, varTypes[fa.Base], fa.Field) {
 						modSet[fa.Field] = true
 					}
@@ -80,6 +87,10 @@ func Summarize(prog *lang.Program) map[string]*Summary {
 			s.ModifiedFields = append(s.ModifiedFields, f)
 		}
 		sort.Strings(s.ModifiedFields)
+		for f := range writeSet {
+			s.WrittenFields = append(s.WrittenFields, f)
+		}
+		sort.Strings(s.WrittenFields)
 	}
 
 	// Propagate modified fields and unknown-call taint to a fixpoint.
@@ -101,10 +112,21 @@ func Summarize(prog *lang.Program) map[string]*Summary {
 					changed = true
 				}
 			}
+			haveW := map[string]bool{}
+			for _, f := range from.WrittenFields {
+				haveW[f] = true
+			}
+			for _, f := range to.WrittenFields {
+				if !haveW[f] {
+					from.WrittenFields = append(from.WrittenFields, f)
+					changed = true
+				}
+			}
 		}
 	}
 	for _, s := range sums {
 		sort.Strings(s.ModifiedFields)
+		sort.Strings(s.WrittenFields)
 	}
 
 	// Return paths for loop-free accessors.

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/lang"
+)
+
+// These tests pin the interprocedural guard-propagation rules: what a call
+// boundary does to the guard predicates in flight.  The invariant under
+// test is directional — guards may only widen toward ⊤ (fewer predicates,
+// or distinct versions that refuse to conflict); a call must never leave a
+// stale predicate behind that could produce an unsound conflict.
+
+const interprocGuardSrc = `
+struct T {
+	struct T *next;
+	int flag;
+	int v;
+};
+
+void poke(struct T *p) {
+	p->flag = 0;
+}
+
+void pokev(struct T *p) {
+	p->v = 0;
+}
+
+void chain(struct T *p) {
+	poke(p);
+}
+
+void opaque_between(struct T *p, struct T *q) {
+	if (p->flag) {
+S:		p->v = 1;
+	}
+	mystery(q);
+	if (!p->flag) {
+T:		q->v = 2;
+	}
+}
+
+void poke_between(struct T *p, struct T *q) {
+	if (p->flag) {
+S:		p->v = 1;
+	}
+	poke(q);
+	if (!p->flag) {
+T:		q->v = 2;
+	}
+}
+
+void chain_between(struct T *p, struct T *q) {
+	if (p->flag) {
+S:		p->v = 1;
+	}
+	chain(q);
+	if (!p->flag) {
+T:		q->v = 2;
+	}
+}
+
+void harmless_between(struct T *p, struct T *q) {
+	if (p->flag) {
+S:		p->v = 1;
+	}
+	pokev(q);
+	if (!p->flag) {
+T:		q->v = 2;
+	}
+}
+
+void var_guard_survives(struct T *p, struct T *q, int mode) {
+	if (mode) {
+S:		p->v = 1;
+	}
+	mystery(q);
+	if (!mode) {
+T:		q->v = 2;
+	}
+}
+
+void call_in_loop(struct T *h, struct T *q) {
+	struct T *p;
+	p = h;
+	while (p != NULL) {
+		if (p->flag) {
+A:			p->v = 1;
+		}
+		poke(q);
+		p = p->next;
+	}
+}
+`
+
+func guardConflictBetween(t *testing.T, fn string) bool {
+	t.Helper()
+	prog := lang.MustParse(interprocGuardSrc)
+	r, err := Analyze(prog, fn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := singleAccess(t, r, "S")
+	tt := singleAccess(t, r, "T")
+	_, _, ok := guard.Conflict(s.Guards, tt.Guards)
+	return ok
+}
+
+func TestSummaryWrittenFieldsIncludeDataFields(t *testing.T) {
+	prog := lang.MustParse(interprocGuardSrc)
+	sums := Summarize(prog)
+	if got := strings.Join(sums["poke"].WrittenFields, ","); got != "flag" {
+		t.Errorf("poke.WrittenFields = %q, want flag", got)
+	}
+	// ModifiedFields (structural) stays empty: flag is a data field.
+	if len(sums["poke"].ModifiedFields) != 0 {
+		t.Errorf("poke.ModifiedFields = %v, want empty", sums["poke"].ModifiedFields)
+	}
+	// Transitive propagation through the call graph.
+	if got := strings.Join(sums["chain"].WrittenFields, ","); got != "flag" {
+		t.Errorf("chain.WrittenFields = %q, want flag (transitive)", got)
+	}
+}
+
+func TestCallBoundaryInvalidatesFieldGuards(t *testing.T) {
+	// A callee that writes the guard's field kills the conflict: the two
+	// p->flag predicates get distinct versions.
+	if guardConflictBetween(t, "poke_between") {
+		t.Errorf("guard survived a call writing its field")
+	}
+	// Same through a transitive callee.
+	if guardConflictBetween(t, "chain_between") {
+		t.Errorf("guard survived a transitive call writing its field")
+	}
+	// An unknown callee may write anything: field guards must widen to ⊤.
+	if guardConflictBetween(t, "opaque_between") {
+		t.Errorf("field guard survived an unknown call")
+	}
+	// A callee writing a different field leaves the guard intact.
+	if !guardConflictBetween(t, "harmless_between") {
+		t.Errorf("guard lost to a call writing an unrelated field")
+	}
+	// Variable guards are immune to calls (no globals, address-taken
+	// variables are never guarded).
+	if !guardConflictBetween(t, "var_guard_survives") {
+		t.Errorf("variable guard lost to an unknown call")
+	}
+}
+
+func TestLoopCallWidensInvariantGuardsToTop(t *testing.T) {
+	prog := lang.MustParse(interprocGuardSrc)
+	r, err := Analyze(prog, "call_in_loop", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := singleAccess(t, r, "A")
+	if len(a.Guards) == 0 {
+		t.Fatalf("A carries no guards at all")
+	}
+	// The loop body calls poke, which writes flag: the p->flag guard is
+	// not loop-invariant and must widen out of InvGuards entirely.
+	if len(a.InvGuards) != 0 {
+		t.Errorf("InvGuards = %v, want ⊤ (loop body call writes the guard field)", a.InvGuards)
+	}
+}

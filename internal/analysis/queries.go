@@ -111,6 +111,10 @@ func (r *Result) QueriesBetween(labelS, labelT string) ([]core.Query, error) {
 						Handle: h, Path: t.Paths[h], Field: t.Field,
 						Type: t.Type, IsWrite: t.IsWrite,
 					},
+					// Straight-line S→T: both sides belong to one execution
+					// instance, so the full guard sets apply.
+					SGuards: s.Guards,
+					TGuards: t.Guards,
 				})
 				continue
 			}
@@ -135,6 +139,8 @@ func (r *Result) QueriesBetween(labelS, labelT string) ([]core.Query, error) {
 					Handle: ht, Path: t.Paths[ht], Field: t.Field,
 					Type: t.Type, IsWrite: t.IsWrite,
 				},
+				SGuards: s.Guards,
+				TGuards: t.Guards,
 			})
 		}
 	}
@@ -194,6 +200,12 @@ func (r *Result) LoopCarriedSelf(a Access) []core.Query {
 		}
 		q := core.LoopCarried(axioms, ih, delta, a.Paths[ih], a.Field, a.IsWrite)
 		q.S.Type, q.T.Type = a.Type, a.Type
+		// Both sides are the same access, so both carry its full guard
+		// set: a syntactic conflict can only arise from a set that
+		// contradicts itself (dead code in every iteration), and an
+		// infeasible guard kills the access in every iteration — both
+		// sound regardless of loop variance.
+		q.SGuards, q.TGuards = a.Guards, a.Guards
 		out = append(out, q)
 	}
 	return out
@@ -250,6 +262,11 @@ func (r *Result) LoopCarriedPair(s, t Access) []core.Query {
 				Field:  t.Field,
 				Type:   t.Type, IsWrite: t.IsWrite,
 			},
+			// s runs in iteration i, t in a later iteration j: only the
+			// loop-invariant guard subsets keep one truth value across
+			// both, so only they may conflict.
+			SGuards: s.InvGuards,
+			TGuards: t.InvGuards,
 		})
 	}
 	return out

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/axiom"
+	"repro/internal/guard"
 	"repro/internal/pathexpr"
 	"repro/internal/prover"
 	"repro/internal/telemetry"
@@ -130,6 +131,15 @@ type Query struct {
 	// two accessed data fields; nil means fields overlap iff their names are
 	// equal (distinct fields of a struct occupy disjoint memory).
 	FieldsOverlap func(f, g string) bool
+	// SGuards and TGuards are the dominating branch predicates of the two
+	// accesses (nil = unconstrained).  The SAT-lite path-sensitivity tier
+	// answers No when the sets contain the same predicate with opposite
+	// signs (the accesses lie on mutually exclusive paths) or when a guard
+	// is refuted by the prover (the guarded access is dead code).  The
+	// caller is responsible for only passing guards whose truth values are
+	// stable across the two execution instances being compared (see
+	// analysis.Access.Guards vs InvGuards).
+	SGuards, TGuards guard.Set
 }
 
 // Outcome reports the answer with its justification.
@@ -145,6 +155,10 @@ type Outcome struct {
 	// AuxProof is the distinct-handle proof when Relation is UnknownHandles
 	// (a No then needs both cases).
 	AuxProof *prover.Proof
+	// GuardUpgraded marks a definite answer produced by the
+	// path-sensitivity tier (contradictory or infeasible guards) — a
+	// verdict the guard-free test could have left at Maybe.
+	GuardUpgraded bool
 }
 
 // ProofMemo shares prover verdicts across queries — and, when its
@@ -237,6 +251,9 @@ func (t *Tester) DepTest(q Query) Outcome {
 	out := t.depTest(q)
 	tel.Counter("core.deptests").Add(1)
 	tel.Counter("core.answer_" + out.Result.String()).Add(1)
+	if out.GuardUpgraded {
+		tel.Counter("core.guard_upgrades").Add(1)
+	}
 	sp.End(
 		telemetry.String("s", q.S.String()),
 		telemetry.String("t", q.T.String()),
@@ -279,6 +296,51 @@ func (t *Tester) depTest(q Query) Outcome {
 		return out
 	}
 
+	verified := func(proofs ...*prover.Proof) bool {
+		if !t.VerifyProofs {
+			return true
+		}
+		for _, pf := range proofs {
+			if err := prv.CheckProof(pf); err != nil {
+				out.Reason = fmt.Sprintf("derivation failed independent checking (%v); degraded to Maybe", err)
+				return false
+			}
+		}
+		return true
+	}
+
+	// Path-sensitivity tier 1 (syntactic): the two guard sets contain one
+	// predicate with opposite signs, so the accesses lie on mutually
+	// exclusive control-flow paths — no execution performs both.  Checked
+	// before the aliasing tiers because it wins even when the access paths
+	// are identical.
+	if rs, rt, ok := guard.Conflict(q.SGuards, q.TGuards); ok {
+		out.Result = No
+		out.GuardUpgraded = true
+		out.Reason = fmt.Sprintf(
+			"contradictory guards: S executes only under %s, T only under %s; the accesses lie on mutually exclusive paths",
+			rs, rt)
+		return out
+	}
+
+	// Path-sensitivity tier 2 (prover-backed): a pointer-comparison guard
+	// refuted by the aliasing axioms makes its access dead code.
+	for _, side := range [2]struct {
+		name string
+		set  guard.Set
+	}{{"S", q.SGuards}, {"T", q.TGuards}} {
+		ref, why, pf, ok := t.refuteGuard(side.set, prv, prove, verified)
+		if !ok {
+			continue
+		}
+		out.Result = No
+		out.GuardUpgraded = true
+		out.Proof = pf
+		out.Reason = fmt.Sprintf("guard %s on %s is infeasible: %s; the guarded access never executes",
+			ref, side.name, why)
+		return out
+	}
+
 	rel := q.Relation
 	if q.S.Handle == q.T.Handle && q.S.Handle != "" {
 		rel = SameHandle
@@ -291,19 +353,6 @@ func (t *Tester) depTest(q Query) Outcome {
 		out.Result = Yes
 		out.Reason = "access paths denote the same vertex"
 		return out
-	}
-
-	verified := func(proofs ...*prover.Proof) bool {
-		if !t.VerifyProofs {
-			return true
-		}
-		for _, pf := range proofs {
-			if err := prv.CheckProof(pf); err != nil {
-				out.Reason = fmt.Sprintf("derivation failed independent checking (%v); degraded to Maybe", err)
-				return false
-			}
-		}
-		return true
 	}
 
 	switch rel {
@@ -339,6 +388,44 @@ func (t *Tester) depTest(q Query) Outcome {
 		out.Reason = "no proof found; dependence assumed"
 	}
 	return out
+}
+
+// refuteGuard looks for a guard reference in s whose pointer-comparison
+// fact the prover refutes under the query's axiom window:
+//
+//   - a positive "x == y" whose branch-time paths are provably disjoint
+//     (x and y could not have denoted the same vertex), or
+//   - a negated "x == y" whose branch-time paths definitely alias (x and y
+//     necessarily denoted the same vertex).
+//
+// Sound because the fact's paths were snapshotted when the comparison was
+// evaluated, and the window's axioms are a subset of the axioms valid at
+// that (quiescent) point.
+func (t *Tester) refuteGuard(
+	s guard.Set,
+	prv *prover.Prover,
+	prove func(form prover.Form, x, y pathexpr.Expr) *prover.Proof,
+	verified func(...*prover.Proof) bool,
+) (guard.Ref, string, *prover.Proof, bool) {
+	for _, r := range s {
+		eq := r.P.Eq()
+		if eq == nil {
+			continue
+		}
+		if !r.Neg {
+			pf := prove(prover.SameSrc, eq.XPath, eq.YPath)
+			if pf.Result == prover.Proved && verified(pf) {
+				why := fmt.Sprintf("%s and %s provably denote distinct vertices (%s.%s <> %s.%s)",
+					eq.X, eq.Y, eq.Handle, eq.XPath, eq.Handle, eq.YPath)
+				return r, why, pf, true
+			}
+		} else if prv.DefinitelyAliased(eq.XPath, eq.YPath) {
+			why := fmt.Sprintf("%s and %s provably denote the same vertex (%s.%s = %s.%s)",
+				eq.X, eq.Y, eq.Handle, eq.XPath, eq.Handle, eq.YPath)
+			return r, why, nil, true
+		}
+	}
+	return guard.Ref{}, "", nil, false
 }
 
 // Classify reports the dependence kind of an access pair from its

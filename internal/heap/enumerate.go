@@ -1,0 +1,56 @@
+package heap
+
+// Bounded small-heap enumeration, after Charatonik & Witkowski: for the
+// small vertex counts that matter in practice, every possible pointer
+// structure can be enumerated outright and used as an exhaustive ground
+// truth.  The soundness oracle for the path-sensitivity layer runs guarded
+// programs concretely over every conforming shape and checks that no run
+// contradicts a guard-upgraded verdict.
+
+// EnumerateGraphs calls visit with every concrete heap on exactly n
+// vertices over the given pointer fields: each field of each vertex either
+// dangles (nil) or points at one of the n vertices.  Graphs are visited in
+// a fixed deterministic order; visit returning false stops the enumeration.
+// The count is (n+1)^(n*len(fields)), so callers keep n and the field set
+// small (n <= 4 with one or two fields is instant).
+//
+// Each visited graph is freshly allocated — the callback may mutate or
+// retain it.
+func EnumerateGraphs(n int, fields []string, visit func(*Graph) bool) {
+	slots := n * len(fields)
+	choice := make([]int, slots) // 0 = nil, k > 0 = vertex k-1
+	for {
+		g := New(n)
+		for s, c := range choice {
+			if c > 0 {
+				g.SetEdge(Vertex(s/len(fields)), fields[s%len(fields)], Vertex(c-1))
+			}
+		}
+		if !visit(g) {
+			return
+		}
+		i := 0
+		for ; i < slots; i++ {
+			choice[i]++
+			if choice[i] <= n {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == slots {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph, so a destructive program can run
+// repeatedly against one enumerated shape.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for f, m := range g.succ {
+		for v, w := range m {
+			c.SetEdge(v, f, w)
+		}
+	}
+	return c
+}

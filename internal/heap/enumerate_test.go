@@ -1,0 +1,77 @@
+package heap
+
+import "testing"
+
+func TestEnumerateGraphsCount(t *testing.T) {
+	cases := []struct {
+		n      int
+		fields []string
+		want   int
+	}{
+		{0, []string{"next"}, 1},
+		{1, []string{"next"}, 2},      // nil or self-loop
+		{2, []string{"next"}, 9},      // 3^2
+		{3, []string{"next"}, 64},     // 4^3
+		{2, []string{"l", "r"}, 81},   // 3^4
+		{3, []string{"l", "r"}, 4096}, // 4^6
+	}
+	for _, tc := range cases {
+		got := 0
+		EnumerateGraphs(tc.n, tc.fields, func(*Graph) bool {
+			got++
+			return true
+		})
+		if got != tc.want {
+			t.Errorf("EnumerateGraphs(%d, %v) visited %d graphs, want %d", tc.n, tc.fields, got, tc.want)
+		}
+	}
+}
+
+func TestEnumerateGraphsEarlyStop(t *testing.T) {
+	got := 0
+	EnumerateGraphs(3, []string{"next"}, func(*Graph) bool {
+		got++
+		return got < 5
+	})
+	if got != 5 {
+		t.Errorf("early stop visited %d graphs, want 5", got)
+	}
+}
+
+// TestEnumerateGraphsCoversLists: the enumeration reaches the canonical
+// chain 0 -> 1 -> 2, i.e. the exact edge set BuildList produces.
+func TestEnumerateGraphsCoversLists(t *testing.T) {
+	want, _ := BuildList(3, "next")
+	found := false
+	EnumerateGraphs(3, []string{"next"}, func(g *Graph) bool {
+		same := true
+		for v := Vertex(0); v < 3; v++ {
+			gw, gok := g.Edge(v, "next")
+			ww, wok := want.Edge(v, "next")
+			if gok != wok || (gok && gw != ww) {
+				same = false
+				break
+			}
+		}
+		if same {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("enumeration never produced the 3-vertex list")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, root := BuildList(3, "next")
+	c := g.Clone()
+	c.ClearEdge(root, "next")
+	if _, ok := g.Edge(root, "next"); !ok {
+		t.Error("mutating the clone reached the original")
+	}
+	if _, ok := c.Edge(1, "next"); !ok {
+		t.Error("clone lost an edge it should share")
+	}
+}

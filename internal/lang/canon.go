@@ -1,0 +1,170 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders declarations to a canonical, position-free text form —
+// the input to the incremental driver's per-function analysis fingerprints.
+// Two declarations render identically iff they are structurally identical
+// (same statements, expressions, labels, and types); moving a function to a
+// different line, reordering its neighbors, or editing an unrelated
+// declaration leaves its rendering byte-for-byte unchanged.  Positions are
+// deliberately excluded; labels are included because query anchoring and
+// diagnostics depend on them.
+
+// CanonFunc renders a function canonically.
+func CanonFunc(fn *FuncDecl) string {
+	var b strings.Builder
+	b.WriteString("func ")
+	b.WriteString(fn.Result.String())
+	b.WriteByte(' ')
+	b.WriteString(fn.Name)
+	b.WriteByte('(')
+	for i, p := range fn.Params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Type.String())
+		b.WriteByte(' ')
+		b.WriteString(p.Name)
+	}
+	b.WriteByte(')')
+	canonBlock(&b, fn.Body)
+	return b.String()
+}
+
+// CanonStruct renders a struct declaration canonically, including its
+// axiom block (the axioms feed every prover window, so an axiom edit must
+// change the fingerprint of everything analyzed under it).
+func CanonStruct(s *StructDecl) string {
+	var b strings.Builder
+	b.WriteString("struct ")
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for _, f := range s.Fields {
+		b.WriteString(f.Type.String())
+		b.WriteByte(' ')
+		b.WriteString(f.Name)
+		b.WriteByte(';')
+	}
+	b.WriteByte('}')
+	if s.Axioms != nil {
+		b.WriteString(s.Axioms.String())
+	}
+	return b.String()
+}
+
+func canonBlock(b *strings.Builder, blk *Block) {
+	b.WriteByte('{')
+	if blk != nil {
+		for _, st := range blk.Stmts {
+			canonStmt(b, st)
+		}
+	}
+	b.WriteByte('}')
+}
+
+func canonStmt(b *strings.Builder, st Stmt) {
+	if l := st.Label(); l != "" {
+		b.WriteString(l)
+		b.WriteByte(':')
+	}
+	switch v := st.(type) {
+	case *DeclStmt:
+		b.WriteString("decl ")
+		for i, it := range v.Items {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(it.Type.String())
+			b.WriteByte(' ')
+			b.WriteString(it.Name)
+		}
+		b.WriteByte(';')
+	case *AssignStmt:
+		canonExpr(b, v.LHS)
+		b.WriteByte('=')
+		canonExpr(b, v.RHS)
+		b.WriteByte(';')
+	case *ExprStmt:
+		canonExpr(b, v.X)
+		b.WriteByte(';')
+	case *WhileStmt:
+		b.WriteString("while(")
+		canonExpr(b, v.Cond)
+		b.WriteByte(')')
+		canonBlock(b, v.Body)
+	case *IfStmt:
+		b.WriteString("if(")
+		canonExpr(b, v.Cond)
+		b.WriteByte(')')
+		canonBlock(b, v.Then)
+		if v.Else != nil {
+			b.WriteString("else")
+			canonBlock(b, v.Else)
+		}
+	case *ReturnStmt:
+		b.WriteString("return")
+		if v.Value != nil {
+			b.WriteByte(' ')
+			canonExpr(b, v.Value)
+		}
+		b.WriteByte(';')
+	case *BlockStmt:
+		canonBlock(b, v.Body)
+	default:
+		fmt.Fprintf(b, "<%T>;", st)
+	}
+}
+
+func canonExpr(b *strings.Builder, e Expr) {
+	switch v := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Ident:
+		b.WriteString(v.Name)
+	case *FieldAccess:
+		b.WriteString(v.Base)
+		b.WriteString("->")
+		b.WriteString(v.Field)
+	case *NumLit:
+		b.WriteString(v.Text)
+	case *NullLit:
+		b.WriteString("NULL")
+	case *MallocExpr:
+		b.WriteString("malloc(")
+		b.WriteString(v.Of)
+		b.WriteByte(')')
+	case *CallExpr:
+		b.WriteString(v.Name)
+		b.WriteByte('(')
+		for i, a := range v.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			canonExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *BinaryExpr:
+		b.WriteByte('(')
+		canonExpr(b, v.L)
+		b.WriteString(v.Op)
+		canonExpr(b, v.R)
+		b.WriteByte(')')
+	case *UnaryExpr:
+		b.WriteString(v.Op)
+		b.WriteByte('(')
+		canonExpr(b, v.X)
+		b.WriteByte(')')
+	case *AddrExpr:
+		b.WriteByte('&')
+		b.WriteString(v.Name)
+	case *DerefExpr:
+		b.WriteByte('*')
+		b.WriteString(v.Name)
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}

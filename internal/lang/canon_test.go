@@ -1,0 +1,96 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const canonSrc = `
+struct Node {
+	struct Node *next;
+	int v;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+
+void touch(struct Node *p) {
+	p->v = 1;
+}
+
+void f(struct Node *h, int mode) {
+	struct Node *p;
+	p = h;
+	while (p != NULL) {
+		if (mode) {
+			A: p->v = 1;
+		} else {
+			touch(p);
+		}
+		p = p->next;
+	}
+}
+`
+
+func TestCanonPositionFree(t *testing.T) {
+	p1, err := Parse(canonSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same declarations shifted down by blank lines and re-indented
+	// must render identically.
+	shifted := "\n\n\n" + strings.ReplaceAll(canonSrc, "\t", "    ")
+	p2, err := Parse(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Funcs {
+		c1, c2 := CanonFunc(p1.Funcs[i]), CanonFunc(p2.Funcs[i])
+		if c1 != c2 {
+			t.Errorf("func %s: shifted rendering differs:\n%s\n%s", p1.Funcs[i].Name, c1, c2)
+		}
+	}
+	for i := range p1.Structs {
+		c1, c2 := CanonStruct(p1.Structs[i]), CanonStruct(p2.Structs[i])
+		if c1 != c2 {
+			t.Errorf("struct %s: shifted rendering differs:\n%s\n%s", p1.Structs[i].Name, c1, c2)
+		}
+	}
+}
+
+func TestCanonSeparatesEdits(t *testing.T) {
+	p1, err := Parse(canonSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := Parse(strings.Replace(canonSrc, "p->v = 1;\n\t\t} else", "p->v = 2;\n\t\t} else", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonFunc(p1.Func("f")) == CanonFunc(edited.Func("f")) {
+		t.Errorf("edit to f not reflected in rendering")
+	}
+	if CanonFunc(p1.Func("touch")) != CanonFunc(edited.Func("touch")) {
+		t.Errorf("edit to f changed touch's rendering")
+	}
+
+	// Label changes are semantic (they anchor queries): must change the
+	// rendering.
+	relabeled, err := Parse(strings.Replace(canonSrc, "A: p->v", "B: p->v", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonFunc(p1.Func("f")) == CanonFunc(relabeled.Func("f")) {
+		t.Errorf("label change not reflected in rendering")
+	}
+
+	// Axiom edits must change the struct rendering (they feed every
+	// prover window).
+	axEdited, err := Parse(strings.Replace(canonSrc, "p.next+ <> p.eps", "p.next <> p.eps", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonStruct(p1.Structs[0]) == CanonStruct(axEdited.Structs[0]) {
+		t.Errorf("axiom edit not reflected in struct rendering")
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteBenchIncrJSON measures the incremental driver's payoff and
+// writes BENCH_incr.json (run via `make bench-incr`, which sets
+// BENCH_INCR_JSON to the output path; skipped otherwise).  The acceptance
+// thresholds are asserted here: re-analysis after a one-line edit must be
+// at least 10x faster than the cold run, and the Maybe-to-definite
+// conversion rate on the seeded lint corpus must stay at or above the
+// committed baseline (the precision-regression gate, shared with
+// TestConversionRateGate).
+
+type benchIncr struct {
+	Decls          int     `json:"decls"`
+	ColdMs         float64 `json:"cold_ms"`
+	IncrMs         float64 `json:"incr_ms"`
+	Speedup        float64 `json:"speedup"`
+	AnalyzedCold   int     `json:"analyzed_cold"`
+	AnalyzedIncr   int     `json:"analyzed_incr"`
+	ReusedIncr     int     `json:"reused_incr"`
+	Upgraded       int     `json:"upgraded"`
+	Maybes         int     `json:"maybes"`
+	ConversionRate float64 `json:"conversion_rate"`
+}
+
+// benchIncrSrc builds a unit of n independent functions, each with a loop
+// the parallelization pass must prove independent — enough §3–§4 prover
+// work per declaration that the cold run has real weight.
+func benchIncrSrc(n int) string {
+	var b strings.Builder
+	b.WriteString(`
+struct Cell {
+	struct Cell *next;
+	int v;
+	int w;
+	int u;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `
+void walk%d(struct Cell *h) {
+	struct Cell *p;
+	p = h;
+	while (p != NULL) {
+		p->v = %d;
+		p->w = p->v + 1;
+		p->u = p->w + p->v;
+		p = p->next;
+	}
+}
+`, i, i)
+	}
+	return b.String()
+}
+
+func TestWriteBenchIncrJSON(t *testing.T) {
+	path := os.Getenv("BENCH_INCR_JSON")
+	if path == "" {
+		t.Skip("set BENCH_INCR_JSON to an output path (make bench-incr) to run")
+	}
+
+	const nFuncs = 64
+	src := benchIncrSrc(nFuncs)
+	edited := strings.Replace(src, "p->v = 7;", "p->v = 77;", 1)
+	if edited == src {
+		t.Fatal("edit did not apply")
+	}
+
+	// Best-of-3 for both sides to keep scheduler noise out of the ratio.
+	var coldBest, incrBest time.Duration
+	var coldStats, incrStats RunStats
+	for trial := 0; trial < 3; trial++ {
+		inc := NewIncremental(NewDriver(nil))
+		start := time.Now()
+		_, cs, err := inc.Run("bench.c", parse(t, src))
+		cold := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start = time.Now()
+		_, is, err := inc.Run("bench.c", parse(t, edited))
+		incr := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 || cold < coldBest {
+			coldBest, coldStats = cold, cs
+		}
+		if trial == 0 || incr < incrBest {
+			incrBest, incrStats = incr, is
+		}
+	}
+	if incrStats.Analyzed != 1 {
+		t.Fatalf("one-line edit re-analyzed %d declarations, want 1", incrStats.Analyzed)
+	}
+
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "lint", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	upgraded, maybes := corpusConversion(t, files)
+
+	report := benchIncr{
+		Decls:        nFuncs + 1,
+		ColdMs:       float64(coldBest.Microseconds()) / 1000,
+		IncrMs:       float64(incrBest.Microseconds()) / 1000,
+		Speedup:      float64(coldBest) / float64(incrBest),
+		AnalyzedCold: coldStats.Analyzed,
+		AnalyzedIncr: incrStats.Analyzed,
+		ReusedIncr:   incrStats.Reused,
+		Upgraded:     upgraded,
+		Maybes:       maybes,
+	}
+	if upgraded+maybes > 0 {
+		report.ConversionRate = float64(upgraded) / float64(upgraded+maybes)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold %.2fms, incremental %.2fms, speedup %.1fx, conversion %.2f",
+		report.ColdMs, report.IncrMs, report.Speedup, report.ConversionRate)
+
+	if report.Speedup < 10 {
+		t.Errorf("incremental re-analysis speedup %.1fx, want >= 10x", report.Speedup)
+	}
+	const baseline = 0.50
+	if report.ConversionRate < baseline {
+		t.Errorf("conversion rate %.2f below baseline %.2f", report.ConversionRate, baseline)
+	}
+}

@@ -67,6 +67,19 @@ type Diagnostic struct {
 	Category string
 	Message  string
 	Related  []Related
+	// Fingerprint is the analysis fingerprint of the top-level declaration
+	// the diagnostic belongs to (see fingerprints): the hash of everything
+	// that can change this diagnostic — the declaration's canonical AST,
+	// the unit's struct declarations and axiom sets, the canonical ASTs of
+	// every transitive callee, and the pass schema version.  The
+	// incremental driver reuses stored diagnostics exactly when the
+	// fingerprint is unchanged.  Zero for diagnostics outside any
+	// declaration (parse errors).
+	Fingerprint uint64
+	// UpgradedFromMaybe marks a verdict the path-sensitivity layer
+	// upgraded: without guard analysis the diagnostic would have reported
+	// an unproved ("maybe") dependence or hazard.
+	UpgradedFromMaybe bool
 }
 
 // Pass is one analysis run by the driver.
@@ -98,6 +111,18 @@ type Context struct {
 	// deterministic but may vary the proof-search statistics quoted in
 	// diagnostics, so the golden-file harness pins 1.
 	Workers int
+	// OnlyFuncs, when non-nil, restricts function-scoped passes to the
+	// named functions; OnlyStructs does the same for struct-scoped passes.
+	// The incremental driver sets them to the fingerprint-dirty subset of
+	// the unit.  Passes consult them through SkipFunc and SkipStruct.
+	OnlyFuncs   map[string]bool
+	OnlyStructs map[string]bool
+	// Caches, when non-nil, holds dependence testers and batched engines
+	// that outlive this run.  Both are keyed by axiom-set ID — pure
+	// functions of axiom content — so reusing them across re-parses of
+	// edited source is sound, and it carries the engines' proof memos and
+	// compiled DFAs from run to run.
+	Caches *Caches
 
 	pass     string
 	diags    []Diagnostic
@@ -105,6 +130,37 @@ type Context struct {
 	anErrs   map[string]error
 	testers  map[uint64]*core.Tester
 	engines  map[uint64]*engine.Engine
+	fps      *unitFingerprints
+}
+
+// SkipFunc reports whether function-scoped passes must skip the named
+// function this run (it is not in the incremental driver's dirty set).
+func (c *Context) SkipFunc(name string) bool {
+	return c.OnlyFuncs != nil && !c.OnlyFuncs[name]
+}
+
+// SkipStruct is SkipFunc for struct-scoped passes.
+func (c *Context) SkipStruct(name string) bool {
+	return c.OnlyStructs != nil && !c.OnlyStructs[name]
+}
+
+// Caches holds the cross-run artifacts of the incremental driver: the
+// dependence testers and batched query engines, keyed by axiom-set ID.
+// Every verdict they produce depends only on axiom content, never on
+// source positions, so a cache hit after a re-parse is exact.  Analysis
+// results are deliberately NOT cached across runs: they embed source
+// positions, which shift under edits that leave the fingerprint unchanged.
+type Caches struct {
+	Testers map[uint64]*core.Tester
+	Engines map[uint64]*engine.Engine
+}
+
+// NewCaches returns an empty cross-run cache set.
+func NewCaches() *Caches {
+	return &Caches{
+		Testers: map[uint64]*core.Tester{},
+		Engines: map[uint64]*engine.Engine{},
+	}
 }
 
 // Report files a diagnostic.  An empty Category is filled with the running
@@ -141,9 +197,15 @@ func (c *Context) Analysis(fn string) (*analysis.Result, error) {
 }
 
 // Tester returns a memoized dependence tester for the analysis result's
-// axiom set (provers and their caches are shared across queries and passes).
+// axiom set (provers and their caches are shared across queries and passes,
+// and across runs when a cross-run cache is attached).
 func (c *Context) Tester(res *analysis.Result) *core.Tester {
 	key := res.Axioms.ID()
+	if c.Caches != nil {
+		if t, ok := c.Caches.Testers[key]; ok {
+			return t
+		}
+	}
 	if c.testers == nil {
 		c.testers = make(map[uint64]*core.Tester)
 	}
@@ -152,6 +214,9 @@ func (c *Context) Tester(res *analysis.Result) *core.Tester {
 	}
 	t := core.NewTester(res.Axioms, prover.Options{Telemetry: c.Telemetry})
 	c.testers[key] = t
+	if c.Caches != nil {
+		c.Caches.Testers[key] = t
+	}
 	return t
 }
 
@@ -162,6 +227,11 @@ func (c *Context) Tester(res *analysis.Result) *core.Tester {
 // queries — and across loops and functions with the same axioms.
 func (c *Context) Engine(res *analysis.Result) *engine.Engine {
 	key := res.Axioms.ID()
+	if c.Caches != nil {
+		if e, ok := c.Caches.Engines[key]; ok {
+			return e
+		}
+	}
 	if c.engines == nil {
 		c.engines = make(map[uint64]*engine.Engine)
 	}
@@ -174,6 +244,9 @@ func (c *Context) Engine(res *analysis.Result) *engine.Engine {
 		Telemetry: c.Telemetry,
 	})
 	c.engines[key] = e
+	if c.Caches != nil {
+		c.Caches.Engines[key] = e
+	}
 	return e
 }
 
@@ -207,6 +280,15 @@ func (d *Driver) SetWorkers(n int) *Driver {
 // Run lints one parsed unit and returns its diagnostics sorted by position.
 func (d *Driver) Run(file string, prog *lang.Program) ([]Diagnostic, error) {
 	ctx := &Context{File: file, Prog: prog, Telemetry: d.tel, Workers: d.workers}
+	return d.RunContext(ctx)
+}
+
+// RunContext lints through a caller-built Context (the incremental driver
+// sets dirty-set filters and cross-run caches on it) and returns the
+// diagnostics sorted by position, each stamped with the fingerprint of the
+// declaration it belongs to.
+func (d *Driver) RunContext(ctx *Context) ([]Diagnostic, error) {
+	file, prog := ctx.File, ctx.Prog
 	for _, p := range d.passes {
 		sp := d.tel.Begin("lint.pass")
 		before := len(ctx.diags)
@@ -224,6 +306,10 @@ func (d *Driver) Run(file string, prog *lang.Program) ([]Diagnostic, error) {
 		}
 	}
 	Sort(ctx.diags)
+	if ctx.fps == nil {
+		ctx.fps = fingerprints(prog)
+	}
+	ctx.fps.stamp(ctx.diags)
 	d.tel.Counter("lint.files").Add(1)
 	for _, diag := range ctx.diags {
 		d.tel.Counter("lint.diags_" + diag.Severity.String()).Add(1)

@@ -33,7 +33,7 @@ func (axiomConsistency) Doc() string {
 
 func (axiomConsistency) Run(ctx *Context) error {
 	for _, s := range ctx.Prog.Structs {
-		if s.Axioms == nil {
+		if s.Axioms == nil || ctx.SkipStruct(s.Name) {
 			continue
 		}
 		for _, d := range CheckSet(s.Axioms) {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/lang"
 )
 
@@ -49,6 +50,10 @@ type varInfo struct {
 	stale      bool
 	stalePos   lang.Pos
 	staleField string
+	// staleGuards is the branch-guard set the destructive update executed
+	// under; a later use under a contradictory guard set lies on a
+	// mutually exclusive path and is not actually stale.
+	staleGuards guard.Set
 }
 
 type handleEnv map[string]varInfo
@@ -63,7 +68,15 @@ func (e handleEnv) clone() handleEnv {
 
 func (handleSafety) Run(ctx *Context) error {
 	for _, fn := range ctx.Prog.Funcs {
-		w := &handleWalker{ctx: ctx, types: map[string]lang.Type{}}
+		if ctx.SkipFunc(fn.Name) {
+			continue
+		}
+		w := &handleWalker{
+			ctx:       ctx,
+			types:     map[string]lang.Type{},
+			ver:       guard.NewVersioner(),
+			addrTaken: addrTakenVars(fn.Body),
+		}
 		env := handleEnv{}
 		for _, p := range fn.Params {
 			w.types[p.Name] = p.Type
@@ -79,6 +92,120 @@ func (handleSafety) Run(ctx *Context) error {
 type handleWalker struct {
 	ctx   *Context
 	types map[string]lang.Type
+	// ver versions guard predicates: a predicate's identity is (canonical
+	// condition, version), and every assignment, field store, or call
+	// bumps the versions it may have changed, so two guard references
+	// conflict only when their shared value provably never changed in
+	// between.
+	ver    *guard.Versioner
+	guards []guard.Ref
+	// addrTaken vars can change through aliases; they never form guards.
+	addrTaken map[string]bool
+	// loopTaints stacks the per-enclosing-loop modification sets: this
+	// walker visits a loop body once, so a guard atom on anything the
+	// body modifies would wrongly keep one version across iterations —
+	// such atoms are skipped (widened to ⊤) instead.
+	loopTaints []*loopTaintInfo
+}
+
+// loopTaintInfo is what one enclosing loop body may modify.
+type loopTaintInfo struct {
+	vars, fields map[string]bool
+	allFields    bool
+}
+
+// addrTakenVars collects every variable whose address is taken anywhere in
+// the function.
+func addrTakenVars(b *lang.Block) map[string]bool {
+	out := map[string]bool{}
+	lang.WalkStmts(b, func(st lang.Stmt) {
+		walkStmtExprsLint(st, func(e lang.Expr) {
+			lang.WalkExprs(e, func(x lang.Expr) {
+				if a, ok := x.(*lang.AddrExpr); ok {
+					out[a.Name] = true
+				}
+			})
+		})
+	})
+	return out
+}
+
+// loopTaintFor prescans one loop body for everything it may modify.
+func loopTaintFor(b *lang.Block) *loopTaintInfo {
+	lt := &loopTaintInfo{vars: map[string]bool{}, fields: map[string]bool{}}
+	lang.WalkStmts(b, func(st lang.Stmt) {
+		if a, ok := st.(*lang.AssignStmt); ok {
+			switch lhs := a.LHS.(type) {
+			case *lang.Ident:
+				lt.vars[lhs.Name] = true
+			case *lang.FieldAccess:
+				lt.fields[lhs.Field] = true
+			}
+		}
+		walkStmtExprsLint(st, func(e lang.Expr) {
+			lang.WalkExprs(e, func(x lang.Expr) {
+				if _, ok := x.(*lang.CallExpr); ok {
+					// A call may write any heap field (locals are safe:
+					// only address-taken vars can change through a call,
+					// and those never form guards).
+					lt.allFields = true
+				}
+			})
+		})
+	})
+	return lt
+}
+
+// tainted reports whether any enclosing loop may modify one of the atom's
+// inputs.
+func (w *handleWalker) tainted(vars, fields []string) bool {
+	for _, lt := range w.loopTaints {
+		for _, v := range vars {
+			if lt.vars[v] {
+				return true
+			}
+		}
+		if lt.allFields && len(fields) > 0 {
+			return true
+		}
+		for _, f := range fields {
+			if lt.fields[f] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// atomRefs interns branch atoms as guard references, skipping atoms whose
+// truth value the analysis cannot pin (address-taken vars, loop-modified
+// inputs).
+func (w *handleWalker) atomRefs(atoms []guard.Atom) []guard.Ref {
+	var out []guard.Ref
+	for _, at := range atoms {
+		usable := true
+		for _, v := range at.Vars {
+			if w.addrTaken[v] {
+				usable = false
+			}
+		}
+		if !usable || w.tainted(at.Vars, at.Fields) {
+			continue
+		}
+		p := guard.Intern(at.Canon, w.ver.Version(at.Vars, at.Fields), at.Vars, at.Fields, nil)
+		out = append(out, guard.Ref{P: p, Neg: at.Neg})
+	}
+	return out
+}
+
+// bumpCalls invalidates all field versions when the expression performs a
+// call (the callee may overwrite any heap field).
+func (w *handleWalker) bumpCalls(e lang.Expr) {
+	lang.WalkExprs(e, func(x lang.Expr) {
+		if _, ok := x.(*lang.CallExpr); ok {
+			w.ver.BumpAllFields()
+		}
+	})
 }
 
 func (w *handleWalker) tracked(name string) bool {
@@ -112,8 +239,16 @@ func (w *handleWalker) stmt(st lang.Stmt, env handleEnv) (terminates bool) {
 		}
 	case *lang.AssignStmt:
 		w.assign(s, env)
+		w.bumpCalls(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *lang.Ident:
+			w.ver.BumpVar(lhs.Name)
+		case *lang.FieldAccess:
+			w.ver.BumpField(lhs.Field)
+		}
 	case *lang.ExprStmt:
 		w.expr(s.X, env)
+		w.bumpCalls(s.X)
 	case *lang.ReturnStmt:
 		w.expr(s.Value, env)
 		return true
@@ -121,11 +256,21 @@ func (w *handleWalker) stmt(st lang.Stmt, env handleEnv) (terminates bool) {
 		return w.block(s.Body, env)
 	case *lang.IfStmt:
 		w.expr(s.Cond, env)
+		w.bumpCalls(s.Cond)
+		// Both branches' guard references are interned at the branch
+		// point: they denote the condition's value at this single
+		// evaluation, so opposite signs genuinely exclude each other.
+		thenAtoms, elseAtoms := guard.BranchAtoms(s.Cond)
+		thenRefs, elseRefs := w.atomRefs(thenAtoms), w.atomRefs(elseAtoms)
 		thenEnv, elseEnv := env.clone(), env.clone()
 		refine(s.Cond, thenEnv, true)
 		refine(s.Cond, elseEnv, false)
+		saved := len(w.guards)
+		w.guards = append(w.guards, thenRefs...)
 		thenEnds := w.block(s.Then, thenEnv)
+		w.guards = append(w.guards[:saved], elseRefs...)
 		elseEnds := s.Else != nil && w.block(s.Else, elseEnv)
+		w.guards = w.guards[:saved]
 		switch {
 		case thenEnds && elseEnds:
 			return true
@@ -146,7 +291,9 @@ func (w *handleWalker) stmt(st lang.Stmt, env handleEnv) (terminates bool) {
 		}
 		bodyEnv := env.clone()
 		refine(s.Cond, bodyEnv, true)
+		w.loopTaints = append(w.loopTaints, loopTaintFor(s.Body))
 		w.block(s.Body, bodyEnv)
+		w.loopTaints = w.loopTaints[:len(w.loopTaints)-1]
 		replace(env, joinEnv(env, bodyEnv))
 		// On exit the guard is false: while (x != NULL) leaves x NULL.
 		refine(s.Cond, env, false)
@@ -224,6 +371,7 @@ func (w *handleWalker) destructiveUpdate(lhs *lang.FieldAccess, env handleEnv) {
 		vi.stale = true
 		vi.stalePos = lhs.Pos
 		vi.staleField = lhs.Field
+		vi.staleGuards = guard.Canon(w.guards)
 		env[name] = vi
 	}
 }
@@ -277,10 +425,22 @@ func (w *handleWalker) deref(name string, pos lang.Pos, env handleEnv) {
 		vi.originMsg = ""
 	}
 	if vi.stale {
-		w.ctx.Report(Diagnostic{Pos: pos, Severity: Warning,
-			Message: fmt.Sprintf("use of handle %s after destructive update of field %s on its access path", name, vi.staleField),
-			Related: []Related{{Pos: vi.stalePos,
-				Message: fmt.Sprintf("field %s rewritten here", vi.staleField)}}})
+		if ru, rd, ok := guard.Conflict(guard.Canon(w.guards), vi.staleGuards); ok {
+			// The update and this use sit on mutually exclusive branch
+			// outcomes of one condition: the hazard cannot happen.  What
+			// would have been a maybe-stale warning upgrades to a
+			// definite all-clear, citing the contradicting guards.
+			w.ctx.Report(Diagnostic{Pos: pos, Severity: Info,
+				Message:           fmt.Sprintf("use of handle %s is safe despite the destructive update of field %s: the update executes only under %s, this use only under %s — the paths are mutually exclusive", name, vi.staleField, rd, ru),
+				UpgradedFromMaybe: true,
+				Related: []Related{{Pos: vi.stalePos,
+					Message: fmt.Sprintf("field %s rewritten here", vi.staleField)}}})
+		} else {
+			w.ctx.Report(Diagnostic{Pos: pos, Severity: Warning,
+				Message: fmt.Sprintf("use of handle %s after destructive update of field %s on its access path", name, vi.staleField),
+				Related: []Related{{Pos: vi.stalePos,
+					Message: fmt.Sprintf("field %s rewritten here", vi.staleField)}}})
+		}
 		vi.stale = false
 	}
 	env[name] = vi
@@ -390,6 +550,7 @@ func joinVar(a, b varInfo) varInfo {
 	}
 	if b.stale && !a.stale {
 		out.stale, out.stalePos, out.staleField = true, b.stalePos, b.staleField
+		out.staleGuards = b.staleGuards
 	}
 	return out
 }

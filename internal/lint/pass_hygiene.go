@@ -20,6 +20,9 @@ func (langHygiene) Doc() string {
 func (langHygiene) Run(ctx *Context) error {
 	checkStructRefs(ctx)
 	for _, fn := range ctx.Prog.Funcs {
+		if ctx.SkipFunc(fn.Name) {
+			continue
+		}
 		h := &hygiene{ctx: ctx, fn: fn, types: map[string]lang.Type{}}
 		for _, p := range fn.Params {
 			h.types[p.Name] = p.Type
@@ -39,11 +42,17 @@ func checkStructRefs(ctx *Context) {
 		}
 	}
 	for _, s := range ctx.Prog.Structs {
+		if ctx.SkipStruct(s.Name) {
+			continue
+		}
 		for _, f := range s.Fields {
 			check(f.Type, f.Pos, "field "+s.Name+"."+f.Name)
 		}
 	}
 	for _, fn := range ctx.Prog.Funcs {
+		if ctx.SkipFunc(fn.Name) {
+			continue
+		}
 		for _, p := range fn.Params {
 			check(p.Type, fn.Pos, "parameter "+p.Name+" of "+fn.Name)
 		}

@@ -30,6 +30,9 @@ func (invariantMaintenance) Doc() string {
 func (invariantMaintenance) Run(ctx *Context) error {
 	sums := analysis.Summarize(ctx.Prog)
 	for _, fn := range ctx.Prog.Funcs {
+		if ctx.SkipFunc(fn.Name) {
+			continue
+		}
 		res, err := ctx.Analysis(fn.Name)
 		if err != nil {
 			continue // not analyzable; other passes still cover it

@@ -30,6 +30,9 @@ func (parLegality) Doc() string {
 
 func (parLegality) Run(ctx *Context) error {
 	for _, fn := range ctx.Prog.Funcs {
+		if ctx.SkipFunc(fn.Name) {
+			continue
+		}
 		res, err := ctx.Analysis(fn.Name)
 		if err != nil {
 			ctx.Reportf(fn.Pos, Info,
@@ -216,7 +219,7 @@ func judgeLoop(ctx *Context, res *analysis.Result, eng *engine.Engine, lp *loopI
 	}
 
 	outs := eng.Batch(context.Background(), batch)
-	var yes, maybe []judged
+	var yes, maybe, upgraded []judged
 	proved := 0
 	for _, s := range slots {
 		out := s.pre
@@ -229,6 +232,11 @@ func judgeLoop(ctx *Context, res *analysis.Result, eng *engine.Engine, lp *loopI
 			yes = append(yes, judged{s.q, out, s.a})
 		case out.Result == core.No:
 			proved++
+			// A guard-upgraded No would have been a Maybe without the
+			// path-sensitivity layer: surface which guards discharged it.
+			if out.GuardUpgraded {
+				upgraded = append(upgraded, judged{s.q, out, s.a})
+			}
 		case out.Result == core.Yes:
 			yes = append(yes, judged{s.q, out, s.a})
 		default:
@@ -250,6 +258,17 @@ func judgeLoop(ctx *Context, res *analysis.Result, eng *engine.Engine, lp *loopI
 			Message: "loop may carry a dependence: DOALL parallelization not proved legal"}
 		for _, j := range maybe {
 			d.Related = append(d.Related, Related{Pos: j.a.Pos, Message: explainMaybe(j.q, j.out, j.a)})
+		}
+		ctx.Report(d)
+	case proved > 0 && len(upgraded) > 0:
+		d := Diagnostic{Pos: pos, Severity: Info,
+			Message: fmt.Sprintf(
+				"No dependence between iterations (%d %s proved independent, %d by branch-guard analysis): DOALL parallelization is legal",
+				proved, plural(proved, "query", "queries"), len(upgraded)),
+			UpgradedFromMaybe: true}
+		for _, j := range upgraded {
+			d.Related = append(d.Related, Related{Pos: j.a.Pos,
+				Message: fmt.Sprintf("%s: %s", describeQuery(j.q), j.out.Reason)})
 		}
 		ctx.Report(d)
 	case proved > 0:

@@ -36,13 +36,20 @@ type jsonRelated struct {
 }
 
 type jsonDiagnostic struct {
-	File     string        `json:"file"`
-	Line     int           `json:"line"`
-	Col      int           `json:"col"`
-	Severity string        `json:"severity"`
-	Category string        `json:"category"`
-	Message  string        `json:"message"`
-	Related  []jsonRelated `json:"related,omitempty"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+	// Fingerprint is the owning declaration's analysis fingerprint in hex
+	// (see Diagnostic.Fingerprint); "0000000000000000" outside any
+	// declaration.
+	Fingerprint string `json:"fingerprint"`
+	// UpgradedFromMaybe marks verdicts the path-sensitivity layer turned
+	// from unproved into definite.
+	UpgradedFromMaybe bool          `json:"upgraded_from_maybe,omitempty"`
+	Related           []jsonRelated `json:"related,omitempty"`
 }
 
 // WriteJSON renders all results as one JSON array of diagnostic objects.
@@ -51,12 +58,14 @@ func WriteJSON(w io.Writer, results []FileResult) error {
 	for _, r := range results {
 		for _, d := range r.Diags {
 			jd := jsonDiagnostic{
-				File:     r.File,
-				Line:     d.Pos.Line,
-				Col:      d.Pos.Col,
-				Severity: d.Severity.String(),
-				Category: d.Category,
-				Message:  d.Message,
+				File:              r.File,
+				Line:              d.Pos.Line,
+				Col:               d.Pos.Col,
+				Severity:          d.Severity.String(),
+				Category:          d.Category,
+				Message:           d.Message,
+				Fingerprint:       fmt.Sprintf("%016x", d.Fingerprint),
+				UpgradedFromMaybe: d.UpgradedFromMaybe,
 			}
 			for _, rel := range d.Related {
 				jd.Related = append(jd.Related, jsonRelated{

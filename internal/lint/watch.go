@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/lang"
+)
+
+// WatchOptions configures a watch session.
+type WatchOptions struct {
+	// Interval is the polling period (modification time + size; the
+	// portable change signal — no platform watcher dependencies).
+	Interval time.Duration
+	// Cycles bounds the session: after this many polls the session
+	// returns (0 means watch forever).  Tests use small cycle counts.
+	Cycles int
+	// Out receives the diagnostics; every cycle that re-analyzes anything
+	// re-emits the full result set for all watched files, so consumers
+	// always see a complete, current picture.  The first emission is
+	// byte-identical to a plain (non-watch) run over the same files.
+	Out io.Writer
+	// Status receives one human-readable line per event (stderr in the
+	// CLI); nil discards them.
+	Status io.Writer
+	// JSON selects machine-readable re-emissions.
+	JSON bool
+	// StorePath, when non-empty, persists the incremental store there
+	// after every emission.
+	StorePath string
+}
+
+// watchedFile is the per-file polling state.
+type watchedFile struct {
+	name    string
+	modTime time.Time
+	size    int64
+	result  FileResult
+}
+
+// Watch incrementally lints files, then polls them and re-analyzes
+// whatever changed — only fingerprint-dirty declarations and their
+// interprocedural dependents actually re-run.  Returns whether the most
+// recent emission contained error-severity diagnostics.
+func Watch(files []string, inc *IncrementalDriver, opts WatchOptions) (bool, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 500 * time.Millisecond
+	}
+	status := func(format string, args ...any) {
+		if opts.Status != nil {
+			fmt.Fprintf(opts.Status, "aptlint: "+format+"\n", args...)
+		}
+	}
+
+	watched := make([]*watchedFile, len(files))
+	for i, f := range files {
+		watched[i] = &watchedFile{name: f}
+	}
+
+	lintOne := func(w *watchedFile) RunStats {
+		start := time.Now()
+		var stats RunStats
+		src, err := os.ReadFile(w.name)
+		if err != nil {
+			status("%s: %v", w.name, err)
+			return stats
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			if pos, ok := lang.ErrPos(err); ok {
+				w.result = FileResult{File: w.name, Diags: []Diagnostic{{
+					Pos: pos, Severity: Error, Category: "parse", Message: err.Error(),
+				}}}
+			} else {
+				status("%s: %v", w.name, err)
+			}
+			return stats
+		}
+		diags, stats, err := inc.Run(w.name, prog)
+		if err != nil {
+			status("%s: %v", w.name, err)
+			return stats
+		}
+		w.result = FileResult{File: w.name, Diags: diags}
+		status("%s: re-analyzed %d declaration(s), reused %d, %d diagnostic(s) in %.1fms",
+			w.name, stats.Analyzed, stats.Reused, stats.Diags,
+			float64(time.Since(start).Microseconds())/1000)
+		return stats
+	}
+
+	emit := func() (bool, error) {
+		results := make([]FileResult, len(watched))
+		for i, w := range watched {
+			results[i] = w.result
+		}
+		if opts.JSON {
+			if err := WriteJSON(opts.Out, results); err != nil {
+				return false, err
+			}
+		} else {
+			WriteText(opts.Out, results)
+		}
+		if opts.StorePath != "" {
+			if err := inc.Store.Save(opts.StorePath); err != nil {
+				return false, err
+			}
+		}
+		hadErrors := false
+		for _, r := range results {
+			hadErrors = hadErrors || HasErrors(r.Diags)
+		}
+		return hadErrors, nil
+	}
+
+	// Initial pass over everything.
+	for _, w := range watched {
+		if st, err := os.Stat(w.name); err == nil {
+			w.modTime, w.size = st.ModTime(), st.Size()
+		}
+		lintOne(w)
+	}
+	hadErrors, err := emit()
+	if err != nil {
+		return hadErrors, err
+	}
+	status("watching %d file(s), polling every %s", len(watched), opts.Interval)
+
+	for cycle := 0; opts.Cycles == 0 || cycle < opts.Cycles; cycle++ {
+		time.Sleep(opts.Interval)
+		changed := false
+		for _, w := range watched {
+			st, err := os.Stat(w.name)
+			if err != nil {
+				continue
+			}
+			if st.ModTime().Equal(w.modTime) && st.Size() == w.size {
+				continue
+			}
+			w.modTime, w.size = st.ModTime(), st.Size()
+			lintOne(w)
+			changed = true
+		}
+		if changed {
+			if hadErrors, err = emit(); err != nil {
+				return hadErrors, err
+			}
+		}
+	}
+	return hadErrors, nil
+}

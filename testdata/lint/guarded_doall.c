@@ -1,0 +1,33 @@
+// Path-sensitive DOALL: the write at A runs only when mode is set, the
+// read at B only when it is not.  B reaches its cell through the jump
+// field, which no axiom constrains, so the prover alone cannot separate
+// the two accesses — without guard analysis the loop is a Maybe.  The
+// branch guards "mode" and "!(mode)" contradict, so the cross-iteration
+// A-B queries upgrade to a definite No and the loop is DOALL-legal.
+struct Node {
+	struct Node *next;
+	struct Node *jump;
+	int v;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+
+void sweep(struct Node *h, int mode) {
+	struct Node *p;
+	struct Node *r;
+	int t;
+	t = 0;
+	p = h;
+	while (p != NULL) {
+		if (mode) {
+A:			p->v = 1;
+		} else {
+			r = p->jump;
+			if (r != NULL) {
+B:				t = t + r->v;
+			}
+		}
+		p = p->next;
+	}
+}

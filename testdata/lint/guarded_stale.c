@@ -1,0 +1,26 @@
+// Path-sensitive stale-handle analysis: the destructive update of next
+// happens only when fix is set, and the handle t is used only when it is
+// not.  The two branch outcomes of one evaluation of fix are mutually
+// exclusive, so the use-after-update hazard cannot occur — the warning
+// upgrades to a guard-citing all-clear.
+struct N {
+	struct N *next;
+	int v;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+
+void patch(struct N *h, int fix) {
+	struct N *t;
+	t = h->next;
+	if (t == NULL) {
+		return;
+	}
+	if (fix) {
+		h->next = t->next;
+	}
+	if (!fix) {
+		h->v = t->v;
+	}
+}
