@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-engine race-pool race-serve race-guards serve-smoke obs-check bench bench-json bench-served bench-intern bench-incr lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool race-serve race-guards serve-smoke obs-check fuzzfarm-smoke bench bench-json bench-served bench-intern bench-incr bench-fuzzfarm lintsmoke allocs figure7 clean
 
-check: vet build race bench lintsmoke serve-smoke obs-check
+check: vet build race bench lintsmoke serve-smoke obs-check fuzzfarm-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,7 +44,7 @@ race-serve:
 # program under every boolean input, asserting no execution reaches both
 # accesses — plus adversarial variants that must NOT upgrade.
 race-guards:
-	$(GO) test -race -run 'TestGuardUpgradeOracle|TestOracleCorpus|TestEnumerateGraphs|TestClone' ./internal/lint ./internal/heap
+	$(GO) test -race -run 'TestGuardUpgradeOracle|TestOracleCorpus|TestEnumerateGraphs|TestEnumerateConforming|TestClone|TestForEachRun|TestSweepLabels|TestChecker' ./internal/lint ./internal/heap ./internal/heap/oracle
 
 # End-to-end daemon smoke: boot aptserved on a loopback port, round-trip
 # /healthz + /v1/batch + both metrics endpoints, SIGQUIT-dump the flight
@@ -65,6 +65,14 @@ obs-check:
 	$(GO) test -run 'TestDisabledObservabilityAllocations|TestWarmHitAllocationBudget' \
 		./internal/telemetry ./internal/engine
 	$(GO) test -race -run 'TestDegradedCountersSplitByReason' ./internal/engine
+
+# Fixed-seed differential fuzzing smoke: generate scenario programs over all
+# five structure families, cross-check every verdict against the concrete and
+# enumerated-heap oracles, and replay the committed regression corpus.  Any
+# divergence is a failure.
+fuzzfarm-smoke:
+	$(GO) run ./cmd/aptfuzz -seed 1 -n 50
+	$(GO) run ./cmd/aptfuzz -repro testdata/fuzz/regressions
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
@@ -101,6 +109,13 @@ bench-intern:
 # asserted by the test.
 bench-incr:
 	BENCH_INCR_JSON=$(CURDIR)/BENCH_incr.json $(GO) test -run TestWriteBenchIncrJSON -v ./internal/lint
+
+# Seeded scenario-farm throughput and soundness report: 1500 generated
+# programs (>10k dependence queries) across all five families, every No
+# verdict cross-checked against both oracles, written to BENCH_fuzzfarm.json.
+# A non-zero divergence count fails the target (aptfuzz exits 1).
+bench-fuzzfarm:
+	$(GO) run ./cmd/aptfuzz -seed 1 -n 1500 -report $(CURDIR)/BENCH_fuzzfarm.json
 
 # Lint every program in testdata/ with aptlint and diff the diagnostics
 # against the committed golden.  Regenerate after intentional changes with:

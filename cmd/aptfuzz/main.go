@@ -1,0 +1,169 @@
+// Command aptfuzz is the differential scenario farm: it generates random
+// mini-C programs over the scenario families (skip lists, B+-trees, chained
+// hash tables, union-find forests, deques) together with conforming concrete
+// heaps, obtains dependence verdicts through the batched engine, and
+// cross-checks every definite No against two oracles — concrete execution on
+// the generated heap and exhaustive execution on every conforming small heap.
+//
+// Examples:
+//
+//	aptfuzz -seed 1 -n 200                    fixed-seed farm run
+//	aptfuzz -n 500 -families skiplist,deque   restrict the families
+//	aptfuzz -serve http://localhost:8080      also cross-check a live aptserved
+//	aptfuzz -out testdata/fuzz/regressions    save minimized divergence artifacts
+//	aptfuzz -report BENCH_fuzzfarm.json       write the machine-readable report
+//	aptfuzz -repro testdata/fuzz/regressions  replay saved artifacts instead
+//
+// Exit status: 0 when the run (or replay) was clean, 1 when a divergence was
+// found (or an artifact still reproduces), 2 on usage or internal errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global bindings, so tests can drive the
+// whole CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aptfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "rng `seed`; equal seeds reproduce the exact same programs, heaps, and queries")
+	n := fs.Int("n", 100, "number of scenario `programs` to generate and check")
+	familiesFlag := fs.String("families", "", "comma-separated `list` of families to exercise (default: all)")
+	workers := fs.Int("j", 0, "worker `width` for the batched engine (0 = engine default)")
+	timeout := fs.Duration("timeout", 200*time.Millisecond, "per-query proof `budget`")
+	serveURL := fs.String("serve", "", "base `URL` of a live aptserved instance to cross-check (doubles as a load test of /v1/batch)")
+	outDir := fs.String("out", "", "`directory` to write minimized divergence artifacts into")
+	reportPath := fs.String("report", "", "`path` to write the JSON run report (BENCH_fuzzfarm.json shape)")
+	reproPath := fs.String("repro", "", "replay the artifact `file-or-directory` instead of fuzzing")
+	minimize := fs.Bool("minimize", true, "shrink diverging programs before reporting")
+	verbose := fs.Bool("v", false, "log progress while the farm runs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "aptfuzz: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	if *reproPath != "" {
+		return replay(*reproPath, stdout, stderr)
+	}
+
+	cfg := scenario.Config{
+		Seed:         *seed,
+		Programs:     *n,
+		Workers:      *workers,
+		QueryTimeout: *timeout,
+		ServeURL:     *serveURL,
+		Minimize:     *minimize,
+	}
+	if *familiesFlag != "" {
+		cfg.Families = strings.Split(*familiesFlag, ",")
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "aptfuzz: "+format+"\n", args...)
+		}
+	}
+	farm, err := scenario.NewFarm(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "aptfuzz: %v\n", err)
+		return 2
+	}
+	rep, divs, err := farm.Run(context.Background())
+	if err != nil {
+		fmt.Fprintf(stderr, "aptfuzz: %v\n", err)
+		return 2
+	}
+
+	for _, d := range divs {
+		fmt.Fprintf(stdout, "DIVERGENCE [%s] family=%s query=%q\n  %s\n", d.Kind, d.Family, d.Query.Text, d.Detail)
+		if *outDir != "" {
+			path, err := scenario.SaveArtifact(*outDir, d)
+			if err != nil {
+				fmt.Fprintf(stderr, "aptfuzz: saving artifact: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "  artifact: %s\n", path)
+		}
+	}
+	fmt.Fprintf(stdout, "aptfuzz: seed %d: %d programs, %d query lines (%d queries), %d oracle runs, %d divergences (%d soundness) in %dms (%.0f q/s)\n",
+		rep.Seed, rep.Programs, rep.QueryLines, rep.Queries, rep.OracleRuns,
+		rep.Divergences, rep.SoundnessViolations, rep.ElapsedMS, rep.QueriesPerSec)
+
+	if *reportPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "aptfuzz: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*reportPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "aptfuzz: %v\n", err)
+			return 2
+		}
+	}
+	if len(divs) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// replay re-runs saved divergence artifacts (one file or every .json in a
+// directory) against fresh verdicts and oracles.
+func replay(path string, stdout, stderr io.Writer) int {
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "aptfuzz: %v\n", err)
+		return 2
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = scenario.ListArtifacts(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "aptfuzz: %v\n", err)
+			return 2
+		}
+		if len(files) == 0 {
+			fmt.Fprintf(stderr, "aptfuzz: no artifacts under %s\n", path)
+			return 2
+		}
+	}
+	reproduced := 0
+	for _, f := range files {
+		d, err := scenario.LoadArtifact(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "aptfuzz: %v\n", err)
+			return 2
+		}
+		redo, err := scenario.Replay(d)
+		if err != nil {
+			fmt.Fprintf(stderr, "aptfuzz: replaying %s: %v\n", f, err)
+			return 2
+		}
+		if redo != nil {
+			reproduced++
+			fmt.Fprintf(stdout, "REPRODUCES %s\n  %s\n", f, redo.Detail)
+		} else {
+			fmt.Fprintf(stdout, "clean      %s\n", f)
+		}
+	}
+	fmt.Fprintf(stdout, "aptfuzz: %d/%d artifacts still reproduce\n", reproduced, len(files))
+	if reproduced > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSmokeRunIsCleanAndWritesReport(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	code, out, errOut := runCLI(t, "-seed", "1", "-n", "10", "-report", report)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "0 divergences") {
+		t.Errorf("summary missing divergence count: %s", out)
+	}
+	blob, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scenario.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Programs != 10 || rep.Queries == 0 || rep.SoundnessViolations != 0 {
+		t.Errorf("report out of shape: %+v", rep)
+	}
+}
+
+func TestFamilySubsetAndDeterminism(t *testing.T) {
+	r1 := filepath.Join(t.TempDir(), "r1.json")
+	r2 := filepath.Join(t.TempDir(), "r2.json")
+	for _, path := range []string{r1, r2} {
+		code, out, errOut := runCLI(t, "-seed", "7", "-n", "6", "-families", "skiplist,deque", "-report", path)
+		if code != 0 {
+			t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+		}
+	}
+	var a, b scenario.Report
+	for path, dst := range map[string]*scenario.Report{r1: &a, r2: &b} {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(blob, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Queries != b.Queries || a.QueryLines != b.QueryLines || a.OracleRuns != b.OracleRuns {
+		t.Errorf("equal seeds disagree: %+v vs %+v", a, b)
+	}
+	for fam := range a.FamilyPrograms {
+		if fam != "skiplist" && fam != "deque" {
+			t.Errorf("family %q ran despite -families subset", fam)
+		}
+	}
+}
+
+func TestReproReplaysArtifactDirectory(t *testing.T) {
+	// Build a planted (ForceNo) divergence artifact, then replay it through
+	// the CLI: honest verdicts are not No, so the replay must be clean.
+	f, err := scenario.NewFarm(scenario.Config{Seed: 1, Programs: 20, ForceNo: true, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, divs, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) == 0 {
+		t.Fatal("no planted divergences")
+	}
+	dir := t.TempDir()
+	if _, err := scenario.SaveArtifact(dir, divs[0]); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-repro", dir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "0/1 artifacts still reproduce") {
+		t.Errorf("unexpected replay summary: %s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "-badflag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "stray-arg"); code != 2 {
+		t.Errorf("stray argument: exit %d, want 2", code)
+	}
+	if code, _, errOut := runCLI(t, "-families", "nosuch", "-n", "1"); code != 2 || !strings.Contains(errOut, "unknown family") {
+		t.Errorf("unknown family: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "-repro", filepath.Join(t.TempDir(), "missing.json")); code != 2 {
+		t.Errorf("missing repro path: exit %d, want 2", code)
+	}
+}

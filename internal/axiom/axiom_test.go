@@ -263,3 +263,62 @@ func TestSkipListAxioms(t *testing.T) {
 		t.Errorf("form counts = %v", forms)
 	}
 }
+
+func TestBPlusTreeAxioms(t *testing.T) {
+	s := BPlusTree("next", "c0", "c1")
+	// Sibling disjointness (1 pair), unshared children, injective leaf
+	// chain, global acyclicity.
+	if s.Len() != 4 {
+		t.Fatalf("B+-tree has %d axioms, want 4", s.Len())
+	}
+	forms := map[Form]int{}
+	for _, a := range s.Axioms {
+		forms[a.Form]++
+	}
+	if forms[DiffSrcDisjoint] != 2 || forms[SameSrcDisjoint] != 2 {
+		t.Errorf("form counts = %v", forms)
+	}
+	if got := s.Fields(); len(got) != 3 {
+		t.Errorf("fields = %v, want c0 c1 next", got)
+	}
+}
+
+func TestChainedHashTableAxioms(t *testing.T) {
+	s := ChainedHashTable("next", "b0", "b1")
+	// Bucket-pair chain disjointness (1 pair), injective next, acyclicity.
+	if s.Len() != 3 {
+		t.Fatalf("hash table has %d axioms, want 3", s.Len())
+	}
+	forms := map[Form]int{}
+	for _, a := range s.Axioms {
+		forms[a.Form]++
+	}
+	if forms[DiffSrcDisjoint] != 1 || forms[SameSrcDisjoint] != 2 {
+		t.Errorf("form counts = %v", forms)
+	}
+}
+
+func TestUnionFindForestAxioms(t *testing.T) {
+	s := UnionFindForest("parent")
+	if s.Len() != 1 {
+		t.Fatalf("union-find forest has %d axioms, want 1", s.Len())
+	}
+	a := s.Axioms[0]
+	// Acyclicity only: parent edges are deliberately shareable.
+	if a.Form != SameSrcDisjoint {
+		t.Errorf("axiom form = %v, want SameSrcDisjoint acyclicity", a.Form)
+	}
+	if got := s.Fields(); len(got) != 1 || got[0] != "parent" {
+		t.Errorf("fields = %v, want [parent]", got)
+	}
+}
+
+func TestDequeAxioms(t *testing.T) {
+	s := Deque("next", "prev")
+	if s.StructName != "Deque" {
+		t.Errorf("struct name = %q", s.StructName)
+	}
+	if s.Len() != DoublyLinkedList("next", "prev").Len() {
+		t.Errorf("deque axiom count %d differs from doubly linked list", s.Len())
+	}
+}

@@ -209,6 +209,88 @@ func SkipList(levels ...string) *Set {
 	return s
 }
 
+// BPlusTree returns axioms for a leaf-linked B+-tree: an n-ary tree over the
+// child fields plus a leaf-chain field threading the leaves in order.  It
+// generalizes Figure 3's leaf-linked binary tree to arbitrary fan-out —
+// distinct child fields of one node lead to disjoint subtrees, children and
+// leaf-successors are unshared, and no traversal mixing descents with
+// leaf-chain hops returns to its origin.
+func BPlusTree(next string, children ...string) *Set {
+	s := &Set{StructName: fmt.Sprintf("BPlusTree%d", len(children))}
+	for i, f := range children {
+		for _, g := range children[i+1:] {
+			s.Add(Axiom{Form: SameSrcDisjoint, RE1: pathexpr.F(f), RE2: pathexpr.F(g)})
+		}
+	}
+	alts := make([]pathexpr.Expr, len(children))
+	for i, f := range children {
+		alts[i] = pathexpr.F(f)
+	}
+	any := pathexpr.Or(alts...)
+	s.Add(Axiom{Form: DiffSrcDisjoint, RE1: any, RE2: any})
+	s.Add(Axiom{Form: DiffSrcDisjoint, RE1: pathexpr.F(next), RE2: pathexpr.F(next)})
+	s.Add(Axiom{
+		Form: SameSrcDisjoint,
+		RE1:  pathexpr.Rep1(pathexpr.Or(append(append([]pathexpr.Expr{}, alts...), pathexpr.F(next))...)),
+		RE2:  pathexpr.Eps,
+	})
+	return s
+}
+
+// ChainedHashTable returns axioms for a hash table with chaining: a table
+// vertex fans out through the bucket fields to per-bucket collision chains
+// linked by next.  Distinct buckets of one table reach disjoint chains (the
+// hash partitions the keys), chain links are injective, and the whole
+// structure is acyclic.
+func ChainedHashTable(next string, buckets ...string) *Set {
+	s := &Set{StructName: fmt.Sprintf("ChainedHashTable%d", len(buckets))}
+	chain := pathexpr.Rep(pathexpr.F(next))
+	for i, f := range buckets {
+		for _, g := range buckets[i+1:] {
+			s.Add(Axiom{
+				Form: SameSrcDisjoint,
+				RE1:  pathexpr.Cat(pathexpr.F(f), chain),
+				RE2:  pathexpr.Cat(pathexpr.F(g), chain),
+			})
+		}
+	}
+	alts := make([]pathexpr.Expr, 0, len(buckets)+1)
+	for _, f := range buckets {
+		alts = append(alts, pathexpr.F(f))
+	}
+	s.Add(Axiom{Form: DiffSrcDisjoint, RE1: pathexpr.F(next), RE2: pathexpr.F(next)})
+	s.Add(Axiom{
+		Form: SameSrcDisjoint,
+		RE1:  pathexpr.Rep1(pathexpr.Or(append(alts, pathexpr.F(next))...)),
+		RE2:  pathexpr.Eps,
+	})
+	return s
+}
+
+// UnionFindForest returns the one-axiom description of a union-find forest
+// over a parent field: parent chains terminate (roots hold a nil parent, the
+// standard sentinel-free representation), so no chain returns to its origin.
+// Injectivity deliberately does NOT hold — arbitrarily many children share a
+// parent — which makes this the weakest library in the farm: the prover can
+// lean only on acyclicity, and the differential oracle checks it claims
+// nothing more.
+func UnionFindForest(parent string) *Set {
+	return MustParseSet("UnionFindForest", fmt.Sprintf(`
+		A1: forall p, p.%[1]s+ <> p.ε
+	`, parent))
+}
+
+// Deque returns axioms for a doubly linked deque: both link directions are
+// injective and acyclic, and no vertex is its own neighbor in either
+// direction.  Structurally this is DoublyLinkedList under the name deque —
+// what distinguishes the deque family in the scenario farm is its workload
+// (pushes and pops at both ends) rather than its shape invariants.
+func Deque(next, prev string) *Set {
+	s := DoublyLinkedList(next, prev)
+	s.StructName = "Deque"
+	return s
+}
+
 // TwoDRangeTree returns axioms for a two-dimensional range tree (§3.1): a
 // leaf-linked tree whose leaves each own a second leaf-linked tree through
 // an aux field.  Outer fields are L/R/N, inner fields are l/r/n.

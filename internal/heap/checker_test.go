@@ -1,0 +1,110 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/axiom"
+)
+
+// The checker must agree with the uncached CheckSet on every enumerated
+// 3-vertex two-field graph — same accept/reject decision per shape.
+func TestCheckerAgreesWithCheckSet(t *testing.T) {
+	set := axiom.SinglyLinkedList("next")
+	set.Add(axiom.MustParse("forall p, p.next <> p.alt"))
+	c := NewChecker(set, "next", "alt")
+	checked, disagreements := 0, 0
+	EnumerateGraphs(3, []string{"next", "alt"}, func(g *Graph) bool {
+		checked++
+		slow := g.CheckSet(set) == nil
+		fast := c.Conforms(g) == nil
+		if slow != fast {
+			disagreements++
+			t.Errorf("graph #%d: CheckSet conforming=%v, Checker conforming=%v", checked, slow, fast)
+			return disagreements < 5
+		}
+		return true
+	})
+	if checked != 4096 {
+		t.Fatalf("enumerated %d graphs, want 4096", checked)
+	}
+}
+
+func TestCheckerConformsOnBuilders(t *testing.T) {
+	lc := NewChecker(axiom.SinglyLinkedList("next"), "next")
+	g, _ := BuildList(5, "next")
+	if err := lc.Conforms(g); err != nil {
+		t.Fatalf("list rejected: %v", err)
+	}
+	g.SetEdge(3, "next", 1) // back edge: violates acyclicity
+	if err := lc.Conforms(g); err == nil {
+		t.Fatal("cyclic list accepted")
+	}
+
+	tc := NewChecker(axiom.BinaryTree("l", "r"), "l", "r")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		g, _ := RandomBinaryTree(rng, 1+rng.Intn(8), "l", "r")
+		if err := tc.Conforms(g); err != nil {
+			t.Fatalf("random tree %d rejected: %v", i, err)
+		}
+	}
+	shared := New(3)
+	shared.SetEdge(0, "l", 2)
+	shared.SetEdge(1, "r", 2) // two parents share a child
+	if err := tc.Conforms(shared); err == nil {
+		t.Fatal("shared-child graph accepted as a binary tree")
+	}
+}
+
+// An equality axiom (form 3) must be checked as set equality, not just
+// disjointness: the doubly linked ring satisfies next.prev = ε, a broken
+// ring does not.
+func TestCheckerEqualityAxiom(t *testing.T) {
+	set := axiom.CyclicDoublyLinkedRing("next", "prev")
+	c := NewChecker(set, "next", "prev")
+	g, _ := BuildDoublyLinkedRing(4, "next", "prev")
+	if err := c.Conforms(g); err != nil {
+		t.Fatalf("ring rejected: %v", err)
+	}
+	g.ClearEdge(2, "prev")
+	if err := c.Conforms(g); err == nil {
+		t.Fatal("ring with a missing prev edge accepted")
+	}
+}
+
+func TestEnumerateConforming(t *testing.T) {
+	set := axiom.SinglyLinkedList("next")
+	c := NewChecker(set, "next")
+	var got []*Graph
+	total, conforming := EnumerateConforming(2, []string{"next"}, c, func(g *Graph) bool {
+		got = append(got, g.Clone())
+		return true
+	})
+	if total != 9 {
+		t.Fatalf("total = %d, want 9", total)
+	}
+	// On 2 vertices the conforming shapes are: no edges, 0->1, 1->0
+	// (self-loops violate acyclicity; both-edges graphs are 2-cycles).
+	if conforming != 3 || len(got) != 3 {
+		t.Fatalf("conforming = %d (visited %d), want 3", conforming, len(got))
+	}
+	for _, g := range got {
+		if err := g.CheckSet(set); err != nil {
+			t.Fatalf("visited graph does not conform: %v", err)
+		}
+	}
+}
+
+func TestEnumerationSize(t *testing.T) {
+	for _, tc := range []struct{ n, f, want int }{
+		{1, 1, 2}, {2, 1, 9}, {3, 1, 64}, {2, 2, 81}, {3, 2, 4096}, {2, 3, 729},
+	} {
+		if got := EnumerationSize(tc.n, tc.f); got != tc.want {
+			t.Errorf("EnumerationSize(%d, %d) = %d, want %d", tc.n, tc.f, got, tc.want)
+		}
+	}
+	if got := EnumerationSize(20, 20); got != 1<<40 {
+		t.Errorf("EnumerationSize(20, 20) = %d, want saturation at 2^40", got)
+	}
+}

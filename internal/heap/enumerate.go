@@ -43,6 +43,37 @@ func EnumerateGraphs(n int, fields []string, visit func(*Graph) bool) {
 	}
 }
 
+// EnumerateConforming visits every heap on exactly n vertices over the
+// given fields that the checker accepts, in the same deterministic order as
+// EnumerateGraphs.  It returns how many graphs were enumerated and how many
+// conformed (the visited count, unless visit stopped the walk early by
+// returning false).
+func EnumerateConforming(n int, fields []string, c *Checker, visit func(*Graph) bool) (total, conforming int) {
+	EnumerateGraphs(n, fields, func(g *Graph) bool {
+		total++
+		if c.Conforms(g) != nil {
+			return true
+		}
+		conforming++
+		return visit(g)
+	})
+	return total, conforming
+}
+
+// EnumerationSize returns the number of graphs EnumerateGraphs visits for n
+// vertices over f fields: (n+1)^(n·f).  Callers use it to pick the largest
+// bound that fits an enumeration budget.
+func EnumerationSize(n, f int) int {
+	size := 1
+	for i := 0; i < n*f; i++ {
+		size *= n + 1
+		if size < 0 || size > 1<<40 {
+			return 1 << 40 // saturate, avoids overflow for silly inputs
+		}
+	}
+	return size
+}
+
 // Clone returns a deep copy of the graph, so a destructive program can run
 // repeatedly against one enumerated shape.
 func (g *Graph) Clone() *Graph {

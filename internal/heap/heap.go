@@ -105,38 +105,9 @@ func (g *Graph) WalkWord(v Vertex, word []string) (Vertex, bool) {
 // language of e: the denotation of the access path v.e.  The evaluation is
 // a product reachability walk of the DFA of e against the heap.
 func (g *Graph) Eval(v Vertex, e pathexpr.Expr) map[Vertex]bool {
-	alpha := automata.NewAlphabet(append(g.Fields(), pathexpr.Fields(e)...)...)
-	d := automata.MustCompile(e, alpha)
-	type conf struct {
-		v Vertex
-		s int
-	}
-	out := make(map[Vertex]bool)
-	seen := map[conf]bool{{v, 0}: true}
-	stack := []conf{{v, 0}}
-	for len(stack) > 0 {
-		c := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if d.Accepting(c.s) {
-			out[c.v] = true
-		}
-		for _, f := range g.Fields() {
-			w, ok := g.Edge(c.v, f)
-			if !ok {
-				continue
-			}
-			ns := d.Step(c.s, f)
-			if ns < 0 {
-				continue
-			}
-			nc := conf{w, ns}
-			if !seen[nc] {
-				seen[nc] = true
-				stack = append(stack, nc)
-			}
-		}
-	}
-	return out
+	fields := g.Fields()
+	alpha := automata.NewAlphabet(append(append([]string{}, fields...), pathexpr.Fields(e)...)...)
+	return g.evalDFA(v, automata.MustCompile(e, alpha), fields)
 }
 
 // Disjoint reports whether v.x and w.y reach disjoint vertex sets.

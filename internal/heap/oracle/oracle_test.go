@@ -1,0 +1,183 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+const listSrc = `
+struct N {
+	struct N *next;
+	int v;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+
+void touch(struct N *h, int w) {
+	struct N *t;
+	t = h->next;
+	if (t == NULL) {
+		return;
+	}
+	if (w) {
+		U: t->v = 1;
+	}
+	if (!w) {
+		S: h->v = t->v;
+	}
+}
+`
+
+func parse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestForEachRunCounts(t *testing.T) {
+	prog := parse(t, listSrc)
+	// Acyclic single-field heaps: n=1 has 1 conforming shape, n=2 has 3.
+	// Each shape is run from every root under w ∈ {0, 1}:
+	// 1·(1·2) + 3·(2·2) = 14 runs.
+	runs, err := ForEachRun(prog, Config{MaxVertices: 2}, func(Run) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 14 {
+		t.Fatalf("runs = %d, want 14", runs)
+	}
+}
+
+func TestForEachRunEarlyStop(t *testing.T) {
+	prog := parse(t, listSrc)
+	visited := 0
+	runs, err := ForEachRun(prog, Config{MaxVertices: 2}, func(Run) bool {
+		visited++
+		return visited < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 3 || runs != 3 {
+		t.Fatalf("visited %d runs (reported %d), want the sweep to stop after 3", visited, runs)
+	}
+}
+
+func TestSweepLabelsExclusiveGuards(t *testing.T) {
+	prog := parse(t, listSrc)
+	res, err := SweepLabels(prog, "touch", "U", "S", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 {
+		t.Fatal("sweep did no runs")
+	}
+	// U and S sit under opposite-polarity guards of an unchanging variable:
+	// no single run reaches both.
+	if res.BothReached || res.Conflict {
+		t.Fatalf("exclusive guards: BothReached=%v Conflict=%v, want false/false", res.BothReached, res.Conflict)
+	}
+}
+
+func TestSweepLabelsDetectsConflict(t *testing.T) {
+	// Same-polarity variant: with w=1 both labels run and both touch t->v.
+	src := strings.Replace(listSrc, "if (!w) {", "if (w) {", 1)
+	prog := parse(t, src)
+	res, err := SweepLabels(prog, "touch", "U", "S", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BothReached {
+		t.Fatal("same-polarity guards: expected a run reaching both labels")
+	}
+	// U writes t->v, S reads t->v: same vertex, same field, one write.
+	if !res.Conflict {
+		t.Fatal("same-polarity guards: expected a conflicting access pair")
+	}
+}
+
+func TestForEachRunEnumeratesAllPointerAssignments(t *testing.T) {
+	src := `
+struct N {
+	struct N *next;
+	int v;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+
+void two(struct N *a, struct N *b) {
+	A: a->v = 1;
+	B: b->v = 2;
+}
+`
+	prog := parse(t, src)
+	type pair struct{ a, b int }
+	seen := map[pair]bool{}
+	_, err := ForEachRun(prog, Config{MaxVertices: 2, Fn: "two"}, func(r Run) bool {
+		ea, eb := r.Trace.At("A"), r.Trace.At("B")
+		if len(ea) == 1 && len(eb) == 1 {
+			seen[pair{int(ea[0].Vertex), int(eb[0].Vertex)}] = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the 2-vertex shapes each pointer parameter independently ranges
+	// over both vertices — all four (a, b) assignments must appear, which
+	// the old single-root sweep (same vertex for every pointer parameter)
+	// could not produce.
+	for _, want := range []pair{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		if !seen[want] {
+			t.Errorf("pointer assignment a=%d b=%d never executed", want.a, want.b)
+		}
+	}
+}
+
+func TestForEachRunErrors(t *testing.T) {
+	prog := parse(t, listSrc)
+	if _, err := ForEachRun(prog, Config{Fn: "nope"}, func(Run) bool { return true }); err == nil {
+		t.Error("unknown function accepted")
+	}
+
+	noAxioms := parse(t, `
+struct N {
+	struct N *next;
+	int v;
+};
+
+void f(struct N *h) {
+	S: h->v = 1;
+}
+`)
+	if _, err := ForEachRun(noAxioms, Config{}, func(Run) bool { return true }); err == nil {
+		t.Error("axiom-free struct accepted — the oracle would sweep nothing meaningful")
+	}
+
+	// A runtime failure (null dereference with no guard) aborts the sweep.
+	crash := parse(t, `
+struct N {
+	struct N *next;
+	int v;
+	axioms {
+		A1: forall p, p.next+ <> p.eps;
+	}
+};
+
+void f(struct N *h) {
+	struct N *t;
+	t = h->next;
+	S: t->v = 1;
+}
+`)
+	if _, err := ForEachRun(crash, Config{MaxVertices: 1}, func(Run) bool { return true }); err == nil {
+		t.Error("null-dereferencing program swept without error")
+	}
+}

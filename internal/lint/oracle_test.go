@@ -6,22 +6,20 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/heap"
-	"repro/internal/interp"
-	"repro/internal/lang"
+	"repro/internal/heap/oracle"
 )
 
 // Soundness oracle for the path-sensitivity layer (wired as `make
 // race-guards`): every guard-upgraded verdict claims that two accesses lie
 // on mutually exclusive paths.  The oracle checks that claim against ground
-// truth — it enumerates every concrete heap shape up to a bound (package
-// heap's Charatonik–Witkowski-style EnumerateGraphs), keeps the shapes that
-// satisfy the declared axioms, runs the function concretely under every
-// boolean input, and asserts that no single execution ever reaches both
-// labeled accesses.  Adversarial variants (guard variable reassigned
-// between the branches; same-polarity guards) must NOT be upgraded, and the
-// oracle demonstrates a concrete run reaching both labels — evidence the
-// upgrade would have been unsound had the analysis claimed it.
+// truth — the bounded small-heap sweep in internal/heap/oracle enumerates
+// every conforming concrete heap shape up to a bound, runs the function
+// concretely under every root and boolean input, and asserts that no single
+// execution ever reaches both labeled accesses.  Adversarial variants
+// (guard variable reassigned between the branches; same-polarity guards)
+// must NOT be upgraded, and the oracle demonstrates a concrete run reaching
+// both labels — evidence the upgrade would have been unsound had the
+// analysis claimed it.
 
 type oracleCase struct {
 	name string
@@ -185,7 +183,11 @@ func TestGuardUpgradeOracle(t *testing.T) {
 				t.Fatalf("guard upgrade = %v, want %v; diagnostics:\n%v", upgraded, tc.wantUpgrade, diags)
 			}
 
-			bothReached, conflict := oracleSweep(t, prog, tc)
+			sweep, err := oracle.SweepLabels(prog, tc.fn, tc.labelA, tc.labelB, tc.maxVertices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bothReached, conflict := sweep.BothReached, sweep.Conflict
 			if tc.wantUpgrade {
 				// The upgrade claims mutual exclusivity — no concrete run
 				// may reach both labels, and in particular no conflicting
@@ -204,62 +206,6 @@ func TestGuardUpgradeOracle(t *testing.T) {
 			}
 		})
 	}
-}
-
-// oracleSweep runs the case's function over every axiom-conforming heap up
-// to the vertex bound, from every root, under every boolean value of every
-// int parameter.  It reports whether any single run reached both labels,
-// and whether any run produced a conflicting access pair (same vertex, same
-// field, at least one write) across the two labels.
-func oracleSweep(t *testing.T, prog *lang.Program, tc oracleCase) (bothReached, conflict bool) {
-	t.Helper()
-	st := prog.Structs[0]
-	fn := prog.Func(tc.fn)
-	if fn == nil || st.Axioms == nil {
-		t.Fatalf("oracle case %s is malformed", tc.name)
-	}
-	runs := 0
-	for n := 1; n <= tc.maxVertices; n++ {
-		heap.EnumerateGraphs(n, st.PointerFields(), func(g *heap.Graph) bool {
-			if g.CheckSet(st.Axioms) != nil {
-				return true // not a conforming shape
-			}
-			for root := heap.Vertex(0); int(root) < n; root++ {
-				for _, b := range []float64{0, 1} {
-					in := interp.New(prog, g.Clone(), interp.Options{MaxSteps: 10000})
-					args := make([]interp.Value, len(fn.Params))
-					for i, p := range fn.Params {
-						if p.Type.IsPointerToStruct() {
-							args[i] = interp.Ptr(root)
-						} else {
-							args[i] = interp.Num(b)
-						}
-					}
-					_, tr, err := in.Run(tc.fn, args...)
-					if err != nil {
-						t.Fatalf("%s on a conforming %d-vertex heap: %v", tc.fn, n, err)
-					}
-					runs++
-					ea, eb := tr.At(tc.labelA), tr.At(tc.labelB)
-					if len(ea) > 0 && len(eb) > 0 {
-						bothReached = true
-					}
-					for _, x := range ea {
-						for _, y := range eb {
-							if x.Vertex == y.Vertex && x.Field == y.Field && x.Field != "" && (x.IsWrite || y.IsWrite) {
-								conflict = true
-							}
-						}
-					}
-				}
-			}
-			return true
-		})
-	}
-	if runs == 0 {
-		t.Fatalf("no conforming heaps enumerated for %s", tc.name)
-	}
-	return bothReached, conflict
 }
 
 // TestOracleCorpusUpgradesAreExclusive closes the loop on the seeded

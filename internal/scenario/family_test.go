@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/lang"
+	"repro/internal/lint"
+)
+
+func TestRegistryHasFiveFamilies(t *testing.T) {
+	fams := Families()
+	if len(fams) != 5 {
+		t.Fatalf("registry has %d families, want 5", len(fams))
+	}
+	want := []string{"bplustree", "deque", "hashtable", "skiplist", "unionfind"}
+	for i, f := range fams {
+		if f.Name != want[i] {
+			t.Errorf("family %d = %q, want %q", i, f.Name, want[i])
+		}
+		if FamilyByName(f.Name) != f {
+			t.Errorf("FamilyByName(%q) does not round-trip", f.Name)
+		}
+	}
+}
+
+// The rendered struct source must parse, and the parsed axiom set must be
+// the library set itself — same canonical fingerprint — so the prover the
+// farm drives through generated source reasons from exactly the library
+// the generators conform to.
+func TestStructSourceRoundTrips(t *testing.T) {
+	for _, fam := range Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			src := fam.StructSource() + "\nvoid f(struct " + fam.StructName + " *h) {\n\tS: h->" + fam.DataField + " = 1;\n}\n"
+			prog, err := lang.Parse(src)
+			if err != nil {
+				t.Fatalf("struct source does not parse: %v\n%s", err, src)
+			}
+			st := prog.Structs[0]
+			if st.Axioms == nil {
+				t.Fatal("parsed struct has no axioms")
+			}
+			if st.Axioms.Key() != fam.Axioms.Key() {
+				t.Errorf("parsed axiom set differs from the library:\nparsed:  %v\nlibrary: %v", st.Axioms, fam.Axioms)
+			}
+			for _, pf := range fam.PointerFields {
+				found := false
+				for _, f := range st.PointerFields() {
+					if f == pf {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("pointer field %s missing from parsed struct", pf)
+				}
+			}
+		})
+	}
+}
+
+// Every family's axiom library must pass the aptlint axiom-consistency
+// gate: a library with contradictory or vacuous axioms would make the whole
+// farm vacuous (no conforming heaps to test against).
+func TestFamilyAxiomsPassConsistencyLint(t *testing.T) {
+	driver := lint.NewDriver(nil, lint.AxiomConsistency())
+	for _, fam := range Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			src := fam.StructSource() + "\nvoid f(struct " + fam.StructName + " *h) {\n\tS: h->" + fam.DataField + " = 1;\n}\n"
+			prog, err := lang.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := driver.Run(fam.Name+".c", prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("axiom-consistency diagnostic: %v", d)
+			}
+		})
+	}
+}
+
+// Every heap the generators produce must satisfy its family's axioms, at
+// every size up to MaxHeap, across many random draws.
+func TestGeneratedHeapsConform(t *testing.T) {
+	for _, fam := range Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			c := heap.NewChecker(fam.Axioms, fam.PointerFields...)
+			rng := rand.New(rand.NewSource(7))
+			for n := 1; n <= fam.MaxHeap; n++ {
+				for trial := 0; trial < 25; trial++ {
+					g, root := fam.Generate(rng, n)
+					if g.NumVertices() != n {
+						t.Fatalf("n=%d: generated %d vertices", n, g.NumVertices())
+					}
+					if int(root) < 0 || int(root) >= n {
+						t.Fatalf("n=%d: root %d out of range", n, root)
+					}
+					if err := c.Conforms(g); err != nil {
+						t.Fatalf("n=%d trial %d: generated heap violates axioms: %v", n, trial, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The conforming-heap cache must be non-empty for every family (an empty
+// set would make the enumerated oracle vacuous) and every cached shape must
+// itself conform.
+func TestConformingHeapsCache(t *testing.T) {
+	for _, fam := range Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			heaps := fam.ConformingHeaps()
+			if len(heaps) == 0 {
+				t.Fatal("no conforming shapes enumerated")
+			}
+			c := heap.NewChecker(fam.Axioms, fam.PointerFields...)
+			for i, g := range heaps {
+				if err := c.Conforms(g); err != nil {
+					t.Fatalf("cached shape %d does not conform: %v", i, err)
+				}
+			}
+			again := fam.ConformingHeaps()
+			if len(again) != len(heaps) {
+				t.Fatalf("cache not stable: %d then %d shapes", len(heaps), len(again))
+			}
+		})
+	}
+}

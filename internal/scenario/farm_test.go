@@ -1,0 +1,221 @@
+package scenario
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/serve"
+)
+
+// The fixed-seed smoke farm: every family, a few dozen programs, zero
+// divergences.  This is the same check `make fuzzfarm-smoke` runs in CI.
+func TestFarmSmoke(t *testing.T) {
+	f, err := NewFarm(Config{Seed: 1, Programs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, divs, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("divergence [%s] %s: %s\nprogram:\n%s", d.Kind, d.Family, d.Detail, d.Program)
+	}
+	if rep.Programs != 50 {
+		t.Errorf("checked %d programs, want 50", rep.Programs)
+	}
+	if rep.Queries == 0 || rep.Verdicts["no"] == 0 {
+		t.Errorf("farm proved nothing: %+v", rep)
+	}
+	if rep.OracleRuns == 0 {
+		t.Errorf("oracle never ran: %+v", rep)
+	}
+	for _, fam := range Families() {
+		if rep.FamilyPrograms[fam.Name] == 0 {
+			t.Errorf("family %s never exercised", fam.Name)
+		}
+	}
+}
+
+// Teeth: with every verdict forced to No, the oracles must catch planted
+// soundness violations, and the minimizer must shrink the programs.
+func TestFarmDetectsPlantedUnsoundness(t *testing.T) {
+	f, err := NewFarm(Config{Seed: 1, Programs: 20, ForceNo: true, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, divs, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SoundnessViolations == 0 || len(divs) == 0 {
+		t.Fatalf("forced-No farm found no violations: %+v", rep)
+	}
+	// Every divergence must replay against a fresh engine/oracle... except
+	// that honest verdicts are not No, so a planted divergence's Replay
+	// comes back clean — which is itself the property Replay guarantees
+	// for regression artifacts of fixed bugs.
+	for _, d := range divs[:min(3, len(divs))] {
+		redo, err := Replay(d)
+		if err != nil {
+			t.Fatalf("replay failed: %v\nprogram:\n%s", err, d.Program)
+		}
+		if redo != nil {
+			t.Errorf("planted divergence replays as a real one: %s", redo.Detail)
+		}
+	}
+}
+
+// Minimized divergences must stay diverging and must not grow.
+func TestMinimizerShrinks(t *testing.T) {
+	big, err := NewFarm(Config{Seed: 3, Programs: 10, ForceNo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rawDivs, err := big.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewFarm(Config{Seed: 3, Programs: 10, ForceNo: true, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, minDivs, err := small.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rawDivs) == 0 || len(rawDivs) != len(minDivs) {
+		t.Fatalf("raw %d vs minimized %d divergences", len(rawDivs), len(minDivs))
+	}
+	for i := range minDivs {
+		if len(minDivs[i].Program) > len(rawDivs[i].Program) {
+			t.Errorf("divergence %d grew under minimization: %d -> %d bytes",
+				i, len(rawDivs[i].Program), len(minDivs[i].Program))
+		}
+	}
+}
+
+// Serve parity: the same seed run against an in-process aptserved instance
+// must agree with the local engine — no mismatches, and the farm's
+// reported query count doubles as a load test of /v1/batch.
+func TestFarmServeParity(t *testing.T) {
+	srv := httptest.NewServer(serve.New(serve.Config{}))
+	defer srv.Close()
+
+	f, err := NewFarm(Config{Seed: 2, Programs: 25, ServeURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, divs, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("divergence [%s]: %s", d.Kind, d.Detail)
+	}
+	if rep.DivergencesByKind[KindServeMismatch] != 0 {
+		t.Errorf("serve mismatches: %+v", rep)
+	}
+	// The in-process daemon answers well inside its 2s default budget, so
+	// any softening here means the client misread the wire verdicts (e.g.
+	// the "No"-vs-"no" casing), not a genuine timeout.
+	if rep.Softenings != 0 {
+		t.Errorf("%d serve verdicts softened to maybe: %+v", rep.Softenings, rep)
+	}
+}
+
+// Artifacts round-trip through disk and replay.
+func TestArtifactSaveLoadReplay(t *testing.T) {
+	f, err := NewFarm(Config{Seed: 1, Programs: 20, ForceNo: true, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, divs, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) == 0 {
+		t.Fatal("no divergences to round-trip")
+	}
+	dir := t.TempDir()
+	path, err := SaveArtifact(dir, divs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Program != divs[0].Program || loaded.Query != divs[0].Query {
+		t.Fatal("artifact did not round-trip")
+	}
+	if redo, err := Replay(loaded); err != nil {
+		t.Fatal(err)
+	} else if redo != nil {
+		t.Errorf("planted artifact replays as a live divergence: %s", redo.Detail)
+	}
+
+	files, err := ListArtifacts(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("ListArtifacts = %v, %v", files, err)
+	}
+	if files, err := ListArtifacts(filepath.Join(dir, "missing")); err != nil || files != nil {
+		t.Fatalf("missing dir must be an empty corpus, got %v, %v", files, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(filepath.Join(dir, "junk.json")); err == nil {
+		t.Error("corrupt artifact loaded without error")
+	}
+}
+
+// The oracle sweep must flag a program that violates the farm's null-guard
+// discipline as an execution error (the farm reports it as an exec-error
+// divergence rather than crashing or silently skipping the program).
+func TestOracleSweepCatchesUnguardedDeref(t *testing.T) {
+	fam := FamilyByName("unionfind")
+	src := fam.StructSource() + `
+void scenario(struct UFNode *h) {
+	struct UFNode *t;
+	t = h->parent;
+	S0: t->v = 1;
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracleSweepAll(prog, fam, 0, nil); err == nil {
+		t.Fatal("unguarded dereference swept without error")
+	}
+
+	// Sanity check the other direction: a renderer-built (guarded) spec
+	// runs the whole farm pipeline without any divergence.
+	sp := &progSpec{
+		fam:     fam,
+		nInts:   1,
+		nLocals: 1,
+		stmts: []specStmt{
+			{Kind: stSetup, Src: varRef{Kind: 'h'}, Field: "parent", Dst: 0, Cond: -1},
+			{Kind: stWrite, Src: varRef{Kind: 't', Idx: 0}, Field: "v", Label: "S0", Cond: -1},
+			{Kind: stRead, Src: varRef{Kind: 'h'}, Field: "v", Label: "S1", Cond: -1},
+		},
+	}
+	f, err := NewFarm(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, root := fam.Generate(rand.New(rand.NewSource(4)), 4)
+	if err := f.checkProgram(context.Background(), fam, sp, g, root); err != nil {
+		t.Fatal(err)
+	}
+	if f.report.Divergences != 0 {
+		t.Fatalf("well-guarded spec diverged: %+v", f.report)
+	}
+}

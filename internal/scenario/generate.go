@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// specGen carries the running state of one random program build.
+type specGen struct {
+	fam    *Family
+	rng    *rand.Rand
+	sp     *progSpec
+	labels int
+	// ready lists the pointer variables known at the current top-level
+	// point: h plus every local assigned so far.
+	ready []varRef
+}
+
+// GenerateSpec builds a random program spec over the family.  The same
+// (family, rng state) always yields the same spec — aptfuzz's -seed replay
+// depends on it.
+func GenerateSpec(fam *Family, rng *rand.Rand) *progSpec {
+	g := &specGen{
+		fam: fam,
+		rng: rng,
+		sp: &progSpec{
+			fam:   fam,
+			nInts: 1 + rng.Intn(2),
+		},
+		ready: []varRef{{Kind: 'h'}},
+	}
+	g.sp.nLocals = 1 + rng.Intn(3)
+
+	loops := 0
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		switch k := g.rng.Intn(10); {
+		case k < 3:
+			g.emitSetup()
+		case k < 8 || loops >= 2:
+			g.emitAccess()
+		default:
+			g.emitLoop()
+			loops++
+		}
+	}
+	// Guarantee at least two labels so the program supports a query.
+	for g.labels < 2 {
+		g.emitAccess()
+	}
+	return g.sp
+}
+
+func (g *specGen) newLabel() string {
+	g.labels++
+	return fmt.Sprintf("S%d", g.labels-1)
+}
+
+func (g *specGen) pickVar() varRef { return g.ready[g.rng.Intn(len(g.ready))] }
+func (g *specGen) pickField() string {
+	return g.fam.PointerFields[g.rng.Intn(len(g.fam.PointerFields))]
+}
+
+// maybeCond wraps roughly a third of top-level accesses in an int-parameter
+// guard, exercising the path-sensitivity tier.
+func (g *specGen) maybeCond(s *specStmt) {
+	if g.rng.Intn(3) == 0 {
+		s.Cond = g.rng.Intn(g.sp.nInts)
+		s.CondNeg = g.rng.Intn(2) == 0
+	} else {
+		s.Cond = -1
+	}
+}
+
+// emitSetup assigns a pointer local from a ready variable, occasionally
+// labeling it (a labeled pointer-field read is an access like any other).
+func (g *specGen) emitSetup() {
+	dst := g.rng.Intn(g.sp.nLocals)
+	s := specStmt{
+		Kind:  stSetup,
+		Src:   g.pickVar(),
+		Field: g.pickField(),
+		Dst:   dst,
+		Cond:  -1,
+	}
+	if g.rng.Intn(3) == 0 {
+		s.Label = g.newLabel()
+	}
+	g.sp.stmts = append(g.sp.stmts, s)
+	ref := varRef{Kind: 't', Idx: dst}
+	for _, r := range g.ready {
+		if r == ref {
+			return
+		}
+	}
+	g.ready = append(g.ready, ref)
+}
+
+// emitAccess appends one labeled top-level access: a data read, a data
+// write, or (rarely) a structural truncation.
+func (g *specGen) emitAccess() {
+	s := specStmt{Src: g.pickVar(), Label: g.newLabel()}
+	switch k := g.rng.Intn(10); {
+	case k < 4:
+		s.Kind, s.Field = stRead, g.fam.DataField
+	case k < 8:
+		s.Kind, s.Field = stWrite, g.fam.DataField
+	default:
+		s.Kind, s.Field = stTrunc, g.pickField()
+	}
+	g.maybeCond(&s)
+	g.sp.stmts = append(g.sp.stmts, s)
+}
+
+// emitLoop appends a NULL-terminated walk over one of the family's safe
+// walk fields, with one to three labeled body statements.
+func (g *specGen) emitLoop() {
+	loop := specStmt{
+		Kind: stLoop,
+		Src:  g.pickVar(),
+		Walk: g.fam.WalkFields[g.rng.Intn(len(g.fam.WalkFields))],
+		Cond: -1,
+	}
+	hasAux := false
+	bn := 1 + g.rng.Intn(3)
+	for i := 0; i < bn; i++ {
+		s := specStmt{Src: varRef{Kind: 'p'}, Label: g.newLabel(), Cond: -1}
+		switch k := g.rng.Intn(12); {
+		case k < 4:
+			s.Kind, s.Field = stRead, g.fam.DataField
+		case k < 8:
+			s.Kind, s.Field = stWrite, g.fam.DataField
+		case k < 9:
+			s.Kind, s.Field = stTrunc, g.pickField()
+		case k < 11:
+			// Aux chase: r = p->f, unlabeled, then a guarded access on r.
+			s.Kind, s.Field, s.Dst, s.Label = stSetup, g.pickField(), -1, ""
+			loop.Body = append(loop.Body, s)
+			hasAux = true
+			s = specStmt{Src: varRef{Kind: 'r'}, Label: g.newLabel(), Cond: -1}
+			if g.rng.Intn(2) == 0 {
+				s.Kind, s.Field = stRead, g.fam.DataField
+			} else {
+				s.Kind, s.Field = stWrite, g.fam.DataField
+			}
+		default:
+			if !hasAux {
+				s.Kind, s.Field = stRead, g.fam.DataField
+			} else {
+				s = specStmt{Src: varRef{Kind: 'r'}, Label: g.newLabel(), Cond: -1,
+					Kind: stTrunc, Field: g.pickField()}
+			}
+		}
+		loop.Body = append(loop.Body, s)
+	}
+	g.sp.stmts = append(g.sp.stmts, loop)
+}

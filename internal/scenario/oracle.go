@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// oracleRun is one concrete execution of a scenario program: the trace plus
+// the inputs that produced it (kept for divergence reports).
+type oracleRun struct {
+	Trace *interp.Trace
+	Root  heap.Vertex
+	Ints  []int
+	Desc  string // "concrete" or "enum"
+}
+
+// maxOracleSteps bounds each oracle execution.  Conforming heaps are tiny
+// and loops walk acyclic fields, so any budget hit is a harness bug
+// surfaced as an exec-error divergence.
+const maxOracleSteps = 50000
+
+// runProgram executes fn once on a clone of g with the root and int inputs.
+func runProgram(prog *lang.Program, fn string, g *heap.Graph, root heap.Vertex, ints []int) (*interp.Trace, error) {
+	f := prog.Func(fn)
+	if f == nil {
+		return nil, fmt.Errorf("scenario: function %q not found", fn)
+	}
+	args := make([]interp.Value, len(f.Params))
+	ptrSeen := false
+	k := 0
+	for i, p := range f.Params {
+		if p.Type.IsPointerToStruct() {
+			if ptrSeen {
+				return nil, fmt.Errorf("scenario: %q has more than one pointer parameter", fn)
+			}
+			ptrSeen = true
+			args[i] = interp.Ptr(root)
+			continue
+		}
+		v := 0
+		if k < len(ints) {
+			v = ints[k]
+		}
+		k++
+		args[i] = interp.Num(float64(v))
+	}
+	in := interp.New(prog, g.Clone(), interp.Options{MaxSteps: maxOracleSteps})
+	_, tr, err := in.Run(fn, args...)
+	return tr, err
+}
+
+// intCombos enumerates every 0/1 assignment to n int parameters.
+func intCombos(n int) [][]int {
+	out := make([][]int, 0, 1<<n)
+	for bits := 0; bits < 1<<n; bits++ {
+		combo := make([]int, n)
+		for i := range combo {
+			combo[i] = (bits >> i) & 1
+		}
+		out = append(out, combo)
+	}
+	return out
+}
+
+// sweepHeap runs the program on one heap from the given roots under every
+// int combination, appending to runs.  An execution error is returned with
+// the failing inputs identified — the farm reports it as an exec-error
+// divergence (generated programs must run cleanly on every conforming
+// heap).
+func sweepHeap(prog *lang.Program, fn string, g *heap.Graph, roots []heap.Vertex, nInts int, desc string, runs []oracleRun) ([]oracleRun, error) {
+	for _, root := range roots {
+		for _, ints := range intCombos(nInts) {
+			tr, err := runProgram(prog, fn, g, root, ints)
+			if err != nil {
+				return runs, fmt.Errorf("%s heap, root %d, ints %v: %w", desc, root, ints, err)
+			}
+			runs = append(runs, oracleRun{Trace: tr, Root: root, Ints: ints, Desc: desc})
+		}
+	}
+	return runs, nil
+}
+
+// allRoots returns every vertex of g.
+func allRoots(g *heap.Graph) []heap.Vertex {
+	out := make([]heap.Vertex, g.NumVertices())
+	for i := range out {
+		out[i] = heap.Vertex(i)
+	}
+	return out
+}
+
+// event is an interp event with its global trace position.
+type event struct {
+	interp.Event
+	idx int
+}
+
+// eventsAt collects the label's events with trace indices.
+func eventsAt(tr *interp.Trace, label string) []event {
+	var out []event
+	for i, e := range tr.Events {
+		if e.Label == label {
+			out = append(out, event{e, i})
+		}
+	}
+	return out
+}
+
+func collide(a, b event) bool {
+	return a.Vertex == b.Vertex && a.Field == b.Field && a.Field != "" &&
+		(a.IsWrite || b.IsWrite)
+}
+
+// lineConflict reports whether one run exhibits a dependence covered by the
+// query line's claim, under the line's pairing discipline:
+//
+//   - between, straight-line: any pair (a, b) with a before b in the trace
+//     (a "No" claims no instance of A conflicts with a later instance of B);
+//   - between, same-iteration (both labels lockstep in one loop): pairs
+//     occurrence i with occurrence i — the prover anchors both paths at the
+//     shared iteration handle, so its claim is per-iteration;
+//   - cross: occurrence i of A against occurrence j > i of B (lockstep
+//     occurrence index = iteration index);
+//   - loop: two distinct occurrences of A (each iteration executes the
+//     label at most once, so distinct occurrences are distinct iterations).
+func lineConflict(tr *interp.Trace, q QueryLine) (bool, string) {
+	ea := eventsAt(tr, q.A)
+	switch q.Mode {
+	case "loop":
+		for i := range ea {
+			for j := i + 1; j < len(ea); j++ {
+				if collide(ea[i], ea[j]) {
+					return true, fmt.Sprintf("occurrences %d and %d of %s touch vertex %d field %s",
+						i, j, q.A, ea[i].Vertex, ea[i].Field)
+				}
+			}
+		}
+		return false, ""
+	case "cross":
+		eb := eventsAt(tr, q.B)
+		for i := range ea {
+			for j := i + 1; j < len(eb); j++ {
+				if collide(ea[i], eb[j]) {
+					return true, fmt.Sprintf("%s@%d and %s@%d touch vertex %d field %s",
+						q.A, i, q.B, j, ea[i].Vertex, ea[i].Field)
+				}
+			}
+		}
+		return false, ""
+	default: // between
+		eb := eventsAt(tr, q.B)
+		if q.SameIter {
+			n := len(ea)
+			if len(eb) < n {
+				n = len(eb)
+			}
+			for i := 0; i < n; i++ {
+				if collide(ea[i], eb[i]) {
+					return true, fmt.Sprintf("iteration %d: %s and %s touch vertex %d field %s",
+						i, q.A, q.B, ea[i].Vertex, ea[i].Field)
+				}
+			}
+			return false, ""
+		}
+		for _, a := range ea {
+			for _, b := range eb {
+				if a.idx < b.idx && collide(a, b) {
+					return true, fmt.Sprintf("%s then %s touch vertex %d field %s",
+						q.A, q.B, a.Vertex, a.Field)
+				}
+			}
+		}
+		return false, ""
+	}
+}

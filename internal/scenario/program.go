@@ -1,0 +1,291 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A progSpec is the generator's intermediate form of one scenario program:
+// a small list of statements over one structure family, rendered to mini-C
+// by Render.  Keeping the spec around (rather than only the source text)
+// is what makes shrinking cheap: the minimizer drops statements from the
+// spec and re-renders.
+//
+// The spec is built so that every rendered program is safe to execute on
+// every conforming heap of its family:
+//
+//   - every dereference is null-guarded, except accesses through a loop
+//     induction variable directly in its loop body (the while condition is
+//     the guard);
+//   - loops are NULL-terminated single-field walks over WalkFields (covered
+//     by the family's acyclicity axiom), and the induction variable is
+//     never reassigned in the body;
+//   - the only structural modification is truncation (p->f = NULL), which
+//     preserves injectivity, acyclicity, and walk termination.
+type progSpec struct {
+	fam     *Family
+	nInts   int // int parameters c0..c{nInts-1}
+	nLocals int // pointer locals t0..t{nLocals-1}
+	stmts   []specStmt
+}
+
+// varRef names a pointer-valued variable of the spec.
+type varRef struct {
+	// Kind: 'h' the root parameter, 't' local (Idx), 'p' the loop
+	// induction variable, 'r' the loop-body aux local.
+	Kind byte
+	Idx  int
+}
+
+func (v varRef) String() string {
+	switch v.Kind {
+	case 'h':
+		return "h"
+	case 't':
+		return fmt.Sprintf("t%d", v.Idx)
+	case 'p':
+		return "p"
+	default:
+		return "r"
+	}
+}
+
+type stmtKind int
+
+const (
+	// stSetup: DST = SRC->Field; (pointer-field read, optionally labeled).
+	stSetup stmtKind = iota
+	// stRead: x = SRC->Field; (labeled data read).
+	stRead
+	// stWrite: SRC->Field = x; (labeled data write).
+	stWrite
+	// stTrunc: SRC->Field = NULL; (labeled structural truncation).
+	stTrunc
+	// stLoop: p = SRC; while (p != NULL) { Body; p = p->Walk; }.
+	stLoop
+)
+
+type specStmt struct {
+	Kind  stmtKind
+	Src   varRef
+	Field string
+	Dst   int    // stSetup: destination local index
+	Label string // "" for unlabeled setup
+	// Cond wraps the statement in "if (cK)" (Cond = K) or "if (!cK)"
+	// (CondNeg); -1 leaves it unconditional.  Only used at top level.
+	Cond    int
+	CondNeg bool
+	// Loop fields.
+	Walk string
+	Body []specStmt
+}
+
+// labelInfo records where a label sits, for query-line generation and
+// oracle pairing.
+type labelInfo struct {
+	Label string
+	// Loop indexes the top-level loop statement containing the label, or
+	// -1 at top level.
+	Loop int
+	// Lockstep: the statement executes unconditionally in every iteration
+	// of its loop (subject is the induction variable, no wrapping guard).
+	Lockstep bool
+	// IsWrite reports whether the labeled access writes.
+	IsWrite bool
+	// Field is the accessed field.
+	Field string
+}
+
+// labels returns the spec's labels in program order.
+func (sp *progSpec) labels() []labelInfo {
+	var out []labelInfo
+	for i, s := range sp.stmts {
+		if s.Kind == stLoop {
+			for _, b := range s.Body {
+				if b.Label == "" {
+					continue
+				}
+				out = append(out, labelInfo{
+					Label:    b.Label,
+					Loop:     i,
+					Lockstep: b.Src.Kind == 'p' && b.Cond < 0,
+					IsWrite:  b.Kind == stWrite || b.Kind == stTrunc,
+					Field:    b.Field,
+				})
+			}
+			continue
+		}
+		if s.Label != "" {
+			out = append(out, labelInfo{
+				Label:   s.Label,
+				Loop:    -1,
+				IsWrite: s.Kind == stWrite || s.Kind == stTrunc,
+				Field:   s.Field,
+			})
+		}
+	}
+	return out
+}
+
+// QueryLine is one aptdep -batch line the farm submits for this program,
+// plus the pairing discipline its oracle check uses.
+type QueryLine struct {
+	// Text is the batch line ("between S T", "cross S T", "loop U").
+	Text string `json:"text"`
+	// Mode is "between", "cross", or "loop".
+	Mode string `json:"mode"`
+	// A and B are the two labels (B empty for loop lines).
+	A string `json:"a"`
+	B string `json:"b,omitempty"`
+	// SameIter: both labels advance in lockstep through one loop, so the
+	// line's between-claim is about same-iteration instances and the
+	// oracle pairs occurrence i with occurrence i.
+	SameIter bool `json:"same_iter,omitempty"`
+}
+
+// queryLines derives every query line the program supports: between-lines
+// for label pairs with at least one write, cross/loop lines inside loops.
+func (sp *progSpec) queryLines() []QueryLine {
+	ls := sp.labels()
+	var out []QueryLine
+	for i, a := range ls {
+		for _, b := range ls[i+1:] {
+			if !a.IsWrite && !b.IsWrite {
+				continue
+			}
+			sameLoop := a.Loop >= 0 && a.Loop == b.Loop
+			if sameLoop && !(a.Lockstep && b.Lockstep) {
+				// Conditional statements drift out of occurrence
+				// alignment; neither between nor cross pairing is
+				// meaningful for them.
+				continue
+			}
+			out = append(out, QueryLine{
+				Text: "between " + a.Label + " " + b.Label, Mode: "between",
+				A: a.Label, B: b.Label, SameIter: sameLoop,
+			})
+			if sameLoop {
+				out = append(out, QueryLine{
+					Text: "cross " + a.Label + " " + b.Label, Mode: "cross",
+					A: a.Label, B: b.Label,
+				})
+			}
+		}
+		if a.Loop >= 0 && a.IsWrite {
+			out = append(out, QueryLine{Text: "loop " + a.Label, Mode: "loop", A: a.Label})
+		}
+	}
+	return out
+}
+
+// Render emits the spec as a mini-C compilation unit: the family's struct
+// declaration followed by one function over it.
+func (sp *progSpec) Render() string {
+	var b strings.Builder
+	b.WriteString(sp.fam.StructSource())
+	b.WriteString("\nvoid scenario(")
+	fmt.Fprintf(&b, "struct %s *h", sp.fam.StructName)
+	for i := 0; i < sp.nInts; i++ {
+		fmt.Fprintf(&b, ", int c%d", i)
+	}
+	b.WriteString(") {\n")
+	for i := 0; i < sp.nLocals; i++ {
+		fmt.Fprintf(&b, "\tstruct %s *t%d;\n", sp.fam.StructName, i)
+	}
+	hasLoop, hasAux := false, false
+	for _, s := range sp.stmts {
+		if s.Kind == stLoop {
+			hasLoop = true
+			for _, bs := range s.Body {
+				if bs.Src.Kind == 'r' || (bs.Kind == stSetup && bs.Dst < 0) {
+					hasAux = true
+				}
+			}
+		}
+	}
+	if hasLoop {
+		fmt.Fprintf(&b, "\tstruct %s *p;\n", sp.fam.StructName)
+	}
+	if hasAux {
+		fmt.Fprintf(&b, "\tstruct %s *r;\n", sp.fam.StructName)
+	}
+	b.WriteString("\tint x;\n\tx = 0;\n")
+	for i := 0; i < sp.nLocals; i++ {
+		fmt.Fprintf(&b, "\tt%d = NULL;\n", i)
+	}
+	for _, s := range sp.stmts {
+		sp.renderStmt(&b, s, 1)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteByte('\t')
+	}
+}
+
+// renderStmt renders one statement.  Null guards are added around every
+// dereference of a non-induction variable; Cond wraps the guarded form.
+func (sp *progSpec) renderStmt(b *strings.Builder, s specStmt, depth int) {
+	if s.Kind == stLoop {
+		indent(b, depth)
+		fmt.Fprintf(b, "p = %s;\n", s.Src)
+		indent(b, depth)
+		b.WriteString("while (p != NULL) {\n")
+		for _, bs := range s.Body {
+			sp.renderStmt(b, bs, depth+1)
+		}
+		indent(b, depth+1)
+		fmt.Fprintf(b, "p = p->%s;\n", s.Walk)
+		indent(b, depth)
+		b.WriteString("}\n")
+		return
+	}
+
+	if s.Cond >= 0 {
+		indent(b, depth)
+		neg := ""
+		if s.CondNeg {
+			neg = "!"
+		}
+		fmt.Fprintf(b, "if (%sc%d) {\n", neg, s.Cond)
+		depth++
+	}
+	guarded := s.Src.Kind != 'p'
+	if guarded {
+		indent(b, depth)
+		fmt.Fprintf(b, "if (%s != NULL) {\n", s.Src)
+		depth++
+	}
+	indent(b, depth)
+	label := ""
+	if s.Label != "" {
+		label = s.Label + ": "
+	}
+	switch s.Kind {
+	case stSetup:
+		dst := "r"
+		if s.Dst >= 0 {
+			dst = fmt.Sprintf("t%d", s.Dst)
+		}
+		fmt.Fprintf(b, "%s%s = %s->%s;\n", label, dst, s.Src, s.Field)
+	case stRead:
+		fmt.Fprintf(b, "%sx = %s->%s;\n", label, s.Src, s.Field)
+	case stWrite:
+		fmt.Fprintf(b, "%s%s->%s = x;\n", label, s.Src, s.Field)
+	case stTrunc:
+		fmt.Fprintf(b, "%s%s->%s = NULL;\n", label, s.Src, s.Field)
+	}
+	if guarded {
+		depth--
+		indent(b, depth)
+		b.WriteString("}\n")
+	}
+	if s.Cond >= 0 {
+		depth--
+		indent(b, depth)
+		b.WriteString("}\n")
+	}
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/lang"
+)
+
+// Every generated program must parse, analyze, and carry at least two
+// labels; generation from an equal rng state must be byte-identical (the
+// -seed replay contract).
+func TestGeneratedProgramsParseAndAnalyze(t *testing.T) {
+	for _, fam := range Families() {
+		t.Run(fam.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 40; i++ {
+				sp := GenerateSpec(fam, rng)
+				src := sp.Render()
+				prog, err := lang.Parse(src)
+				if err != nil {
+					t.Fatalf("spec %d does not parse: %v\n%s", i, err, src)
+				}
+				if _, err := analysis.Analyze(prog, "scenario", analysis.Options{}); err != nil {
+					t.Fatalf("spec %d does not analyze: %v\n%s", i, err, src)
+				}
+				if n := len(sp.labels()); n < 2 {
+					t.Fatalf("spec %d has %d labels, want >= 2", i, n)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	fam := FamilyByName("skiplist")
+	a := rand.New(rand.NewSource(99))
+	b := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		sa := GenerateSpec(fam, a).Render()
+		sb := GenerateSpec(fam, b).Render()
+		if sa != sb {
+			t.Fatalf("spec %d differs between equal rng states:\n%s\n-- vs --\n%s", i, sa, sb)
+		}
+	}
+}
+
+// Query lines must respect the pairing preconditions: loop lines only for
+// writes inside loops, cross lines only for lockstep same-loop pairs, and
+// every between line must have at least one writing side.
+func TestQueryLineDisciplines(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	checked := 0
+	for i := 0; i < 100; i++ {
+		fam := Families()[i%len(Families())]
+		sp := GenerateSpec(fam, rng)
+		byLabel := map[string]labelInfo{}
+		for _, l := range sp.labels() {
+			byLabel[l.Label] = l
+		}
+		for _, q := range sp.queryLines() {
+			checked++
+			a := byLabel[q.A]
+			switch q.Mode {
+			case "loop":
+				if a.Loop < 0 || !a.IsWrite {
+					t.Fatalf("loop line %q on a non-write or non-loop label", q.Text)
+				}
+			case "cross":
+				b := byLabel[q.B]
+				if a.Loop < 0 || a.Loop != b.Loop || !a.Lockstep || !b.Lockstep {
+					t.Fatalf("cross line %q without lockstep same-loop labels", q.Text)
+				}
+			case "between":
+				b := byLabel[q.B]
+				if !a.IsWrite && !b.IsWrite {
+					t.Fatalf("between line %q with no writing side", q.Text)
+				}
+				if q.SameIter != (a.Loop >= 0 && a.Loop == b.Loop) {
+					t.Fatalf("between line %q has SameIter=%v for loops %d/%d", q.Text, q.SameIter, a.Loop, b.Loop)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no query lines generated across 100 specs")
+	}
+}
+
+// A hand-built spec renders to the expected shape: guards around non-
+// induction dereferences, no guard on the loop variable, NULL-initialized
+// locals.
+func TestRenderShape(t *testing.T) {
+	fam := FamilyByName("deque")
+	sp := &progSpec{
+		fam:     fam,
+		nInts:   1,
+		nLocals: 1,
+		stmts: []specStmt{
+			{Kind: stSetup, Src: varRef{Kind: 'h'}, Field: "next", Dst: 0, Cond: -1},
+			{Kind: stWrite, Src: varRef{Kind: 't', Idx: 0}, Field: "v", Label: "S0", Cond: 0, CondNeg: true},
+			{Kind: stLoop, Src: varRef{Kind: 'h'}, Walk: "next", Cond: -1, Body: []specStmt{
+				{Kind: stRead, Src: varRef{Kind: 'p'}, Field: "v", Label: "S1", Cond: -1},
+			}},
+		},
+	}
+	src := sp.Render()
+	for _, want := range []string{
+		"t0 = NULL;",
+		"if (h != NULL) {",
+		"t0 = h->next;",
+		"if (!c0) {",
+		"if (t0 != NULL) {",
+		"S0: t0->v = x;",
+		"while (p != NULL) {",
+		"S1: x = p->v;",
+		"p = p->next;",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("rendered program missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(src, "if (p != NULL)") {
+		t.Errorf("loop induction variable must not be re-guarded:\n%s", src)
+	}
+	if _, err := lang.Parse(src); err != nil {
+		t.Fatalf("hand-built spec does not parse: %v\n%s", err, src)
+	}
+}

@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// regressionsDir is the committed corpus of minimized divergence artifacts.
+// cmd/aptfuzz writes new ones here; this test replays every artifact from
+// scratch on each `go test` run, so a fixed divergence stays fixed.
+const regressionsDir = "../../testdata/fuzz/regressions"
+
+func TestRegressionCorpusReplaysClean(t *testing.T) {
+	files, err := ListArtifacts(regressionsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("regression corpus is empty; expected committed artifacts under testdata/fuzz/regressions")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			d, err := LoadArtifact(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			redo, err := Replay(d)
+			if err != nil {
+				t.Fatalf("replay failed: %v\nprogram:\n%s", err, d.Program)
+			}
+			if redo != nil {
+				t.Errorf("regression reproduces: %s\nprogram:\n%s", redo.Detail, d.Program)
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// serveClient talks to a live aptserved endpoint's POST /v1/batch.
+type serveClient struct {
+	base   string
+	client *http.Client
+}
+
+func newServeClient(base string) *serveClient {
+	return &serveClient{
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// serveBatchRequest mirrors serve.BatchRequest (declared locally so the
+// farm depends only on the wire format, exactly like an external client).
+type serveBatchRequest struct {
+	Program string   `json:"program"`
+	Fn      string   `json:"fn,omitempty"`
+	Queries []string `json:"queries"`
+}
+
+type serveQueryResult struct {
+	Line   int    `json:"line"`
+	Result string `json:"result"`
+}
+
+type serveBatchResponse struct {
+	Results []serveQueryResult `json:"results"`
+}
+
+// batchVerdicts submits the program and query lines, returning one folded
+// verdict per line ("no" only when every expanded query answered no).
+func (c *serveClient) batchVerdicts(ctx context.Context, program, fn string, lines []string) ([]string, error) {
+	body, err := json.Marshal(serveBatchRequest{Program: program, Fn: fn, Queries: lines})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var br serveBatchResponse
+	if err := json.Unmarshal(payload, &br); err != nil {
+		return nil, fmt.Errorf("serve: bad response: %w", err)
+	}
+	verdicts := make([]string, len(lines))
+	seen := make([]bool, len(lines))
+	for i := range verdicts {
+		verdicts[i] = "no"
+	}
+	for _, r := range br.Results {
+		if r.Line < 0 || r.Line >= len(lines) {
+			return nil, fmt.Errorf("serve: result line %d out of range", r.Line)
+		}
+		seen[r.Line] = true
+		// The daemon renders core.Result.String() — "No"/"Maybe"/"Yes".
+		switch strings.ToLower(r.Result) {
+		case "yes":
+			verdicts[r.Line] = "yes"
+		case "no":
+		default:
+			if verdicts[r.Line] != "yes" {
+				verdicts[r.Line] = "maybe"
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			// The server expanded no queries for this line; no claim made.
+			verdicts[i] = "maybe"
+		}
+	}
+	return verdicts, nil
+}
