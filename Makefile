@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-engine race-pool race-serve race-guards serve-smoke obs-check fuzzfarm-smoke bench bench-json bench-served bench-intern bench-incr bench-fuzzfarm lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool race-serve race-guards serve-smoke obs-check fuzzfarm-smoke aptc-smoke bench bench-json bench-served bench-dfa bench-intern bench-incr bench-fuzzfarm lintsmoke allocs figure7 clean
 
-check: vet build race bench lintsmoke serve-smoke obs-check fuzzfarm-smoke
+check: vet build race bench lintsmoke serve-smoke obs-check fuzzfarm-smoke aptc-smoke
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,18 @@ fuzzfarm-smoke:
 	$(GO) run ./cmd/aptfuzz -seed 1 -n 50
 	$(GO) run ./cmd/aptfuzz -repro testdata/fuzz/regressions
 
+# Offline-compiler round-trip smoke: compile a library artifact and a
+# replay artifact with self-verification on, then boot aptdep from each and
+# demand output identical to a cold run (the -preload identity contract).
+aptc-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) run ./cmd/aptc -library LeafLinkedBinaryTree -o $$tmp/llbt.aptc -verify && \
+	printf 'between S T\n' > $$tmp/q.txt && \
+	$(GO) run ./cmd/aptc -program testdata/section33.c -queries $$tmp/q.txt -o $$tmp/replay.aptc -verify && \
+	$(GO) run ./cmd/aptdep -fn subr -batch $$tmp/q.txt testdata/section33.c > $$tmp/cold.out && \
+	$(GO) run ./cmd/aptdep -preload $$tmp/replay.aptc -fn subr -batch $$tmp/q.txt testdata/section33.c > $$tmp/warm.out && \
+	diff -u $$tmp/cold.out $$tmp/warm.out && echo "aptc-smoke: OK"
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
@@ -85,14 +97,26 @@ bench-json:
 
 # Serving latency/hit-rate report: 8 concurrent loadgen clients drive an
 # in-process aptserved over the §3.3 tree program; p50/p99 plus the
-# cold-vs-warm split land in BENCH_served.json.
+# cold-vs-warm split land in BENCH_served.json.  The server boots from an
+# aptc artifact compiled for the same workload, so the cold-start penalty
+# (cold_p50_us vs warm_p50_us) measures the preloaded boot path.
 bench-served:
 	@printf 'between S T\nbetween S I\n' > $(CURDIR)/.served.queries
-	$(GO) run ./cmd/aptserved -loadgen -self \
+	$(GO) run ./cmd/aptc -program testdata/section33.c -fn subr \
+		-queries $(CURDIR)/.served.queries -o $(CURDIR)/.served.aptc -verify
+	$(GO) run ./cmd/aptserved -loadgen -self -preload $(CURDIR)/.served.aptc \
 		-program testdata/section33.c -fn subr \
 		-queries-file $(CURDIR)/.served.queries \
 		-clients 8 -requests 64 -out $(CURDIR)/BENCH_served.json
-	@rm -f $(CURDIR)/.served.queries
+	@rm -f $(CURDIR)/.served.queries $(CURDIR)/.served.aptc
+
+# DFA backend report: the flat-table backend vs the frozen map/string
+# backend over the same expression suite, written to BENCH_dfa.json.  The
+# acceptance guards (equal verdicts, table no slower per decision) are
+# asserted by the tests.
+bench-dfa:
+	$(GO) test -run TestTableBackendMatchesLegacy ./internal/automata
+	BENCH_DFA_JSON=$(CURDIR)/BENCH_dfa.json $(GO) test -run TestWriteBenchDFAJSON -v ./internal/automata
 
 # Warm-hit cost of the interned-key caches (shared DFA cache, its decision
 # memo, the proof memo, canonical goal keys) written to BENCH_intern.json

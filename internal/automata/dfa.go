@@ -3,8 +3,6 @@ package automata
 import (
 	"fmt"
 	"math"
-	"strconv"
-	"strings"
 
 	"repro/internal/pathexpr"
 )
@@ -12,17 +10,24 @@ import (
 // DFA is a deterministic finite automaton over an Alphabet.  DFAs produced
 // by this package are always total: every state has a transition on every
 // symbol (a dead state absorbs failures).  State 0 is the start state.
+//
+// The transition function is a dense int32 table (trans[s*k+c] with
+// k = alphabet.Size()), the representation the decision path walks and the
+// artifact format persists verbatim.  A DFA is frozen once built: no method
+// mutates trans or accept after construction, which is what makes it safe
+// to alias trans onto read-only mmap-backed artifact memory (see
+// LoadArtifact) and to share one *DFA across every prover in a process.
 type DFA struct {
 	alphabet *Alphabet
-	// trans[s*k+c] is the successor of state s on symbol c, where
-	// k = alphabet.Size().
-	trans  []int
+	// trans[s*k+c] is the successor of state s on symbol c.
+	trans  []int32
 	accept []bool
 }
 
-// ErrStateLimit is returned by Compile when subset construction exceeds the
-// configured state budget.  The prover treats it as "unable to decide",
-// which degrades an answer towards Maybe — never towards an unsound No.
+// ErrStateLimit is returned by Compile — and by the budgeted product
+// constructions — when the state count exceeds the configured budget.  The
+// prover treats it as "unable to decide", which degrades an answer towards
+// Maybe — never towards an unsound No.
 type ErrStateLimit struct {
 	Limit int
 }
@@ -31,9 +36,9 @@ func (e ErrStateLimit) Error() string {
 	return fmt.Sprintf("automata: DFA exceeds state limit %d", e.Limit)
 }
 
-// DefaultStateLimit bounds subset construction.  Path expressions in
-// practice are tiny (the paper: n on the order of ten), so this is far above
-// anything a realistic proof needs.
+// DefaultStateLimit bounds subset construction and product construction.
+// Path expressions in practice are tiny (the paper: n on the order of ten),
+// so this is far above anything a realistic proof needs.
 const DefaultStateLimit = 1 << 14
 
 // Compile builds a total DFA recognizing e over the given alphabet, via
@@ -44,72 +49,14 @@ func Compile(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 }
 
 // CompileLimit is Compile with an explicit subset-construction state budget.
+// The construction is fully integer-keyed (see table.go): NFA state sets
+// are interned through a hash table of int32 slices, never rendered to
+// strings.
 func CompileLimit(e pathexpr.Expr, a *Alphabet, limit int) (*DFA, error) {
 	n := newNFA(a)
 	start, accept := n.build(e)
 	n.start, n.accept = start, accept
-
-	k := a.Size()
-	d := &DFA{alphabet: a}
-	// Subset construction.  States are identified by the canonical string of
-	// their sorted NFA state set.
-	type pending struct {
-		id  int
-		set []int
-	}
-	stateID := make(map[string]int)
-	var work []pending
-
-	intern := func(set []int) int {
-		key := intsKey(set)
-		if id, ok := stateID[key]; ok {
-			return id
-		}
-		id := len(d.accept)
-		if id >= limit {
-			panic(ErrStateLimit{Limit: limit})
-		}
-		stateID[key] = id
-		d.accept = append(d.accept, containsInt(set, n.accept))
-		d.trans = append(d.trans, make([]int, k)...)
-		work = append(work, pending{id: id, set: set})
-		return id
-	}
-
-	var err error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if e, ok := r.(ErrStateLimit); ok {
-					err = e
-					return
-				}
-				panic(r)
-			}
-		}()
-		intern(n.epsClosure([]int{n.start}))
-		for len(work) > 0 {
-			cur := work[len(work)-1]
-			work = work[:len(work)-1]
-			for c := 0; c < k; c++ {
-				var next []int
-				for _, s := range cur.set {
-					next = append(next, n.trans[s][c]...)
-				}
-				var id int
-				if len(next) == 0 {
-					id = intern(nil) // dead state: empty subset
-				} else {
-					id = intern(n.epsClosure(dedupInts(next)))
-				}
-				d.trans[cur.id*k+c] = id
-			}
-		}
-	}()
-	if err != nil {
-		return nil, err
-	}
-	return d, nil
+	return compileTable(n, limit)
 }
 
 // MustCompile is Compile, panicking on error.
@@ -119,38 +66,6 @@ func MustCompile(e pathexpr.Expr, a *Alphabet) *DFA {
 		panic(err)
 	}
 	return d
-}
-
-func intsKey(set []int) string {
-	var b strings.Builder
-	for i, s := range set {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(s))
-	}
-	return b.String()
-}
-
-func containsInt(set []int, x int) bool {
-	for _, s := range set {
-		if s == x {
-			return true
-		}
-	}
-	return false
-}
-
-func dedupInts(xs []int) []int {
-	seen := make(map[int]bool, len(xs))
-	out := xs[:0]
-	for _, x := range xs {
-		if !seen[x] {
-			seen[x] = true
-			out = append(out, x)
-		}
-	}
-	return out
 }
 
 // Alphabet returns the DFA's alphabet.
@@ -166,7 +81,7 @@ func (d *DFA) Step(s int, name string) int {
 	if c < 0 {
 		return -1
 	}
-	return d.trans[s*d.alphabet.Size()+c]
+	return int(d.trans[s*d.alphabet.Size()+c])
 }
 
 // Accepting reports whether state s accepts.
@@ -187,44 +102,90 @@ func (d *DFA) Accepts(word []string) bool {
 
 // Complement returns a DFA for the complement language over the same
 // alphabet.  The receiver must be total, which Compile guarantees.
+//
+// The transition table is copied, not aliased: the receiver's table may be
+// mmap-backed read-only artifact memory with its own lifetime (Artifact.
+// Close unmaps it), and two automata silently sharing a backing slice is a
+// correctness hazard the moment any caller stops treating DFAs as frozen.
+// An aliasing regression is caught by TestComplementDoesNotAliasTables.
 func (d *DFA) Complement() *DFA {
 	acc := make([]bool, len(d.accept))
 	for i, a := range d.accept {
 		acc[i] = !a
 	}
-	return &DFA{alphabet: d.alphabet, trans: d.trans, accept: acc}
+	trans := make([]int32, len(d.trans))
+	copy(trans, d.trans)
+	return &DFA{alphabet: d.alphabet, trans: trans, accept: acc}
 }
 
-// Intersect returns the product DFA recognizing L(d) ∩ L(o).  Both automata
-// must share the alphabet (same Key); otherwise Intersect panics, since a
-// silent mismatch would make prover answers meaningless.
-func (d *DFA) Intersect(o *DFA) *DFA {
+// product runs the budgeted product construction over d and o, accepting
+// product states (a, b) for which acceptPair(d.accept[a], o.accept[b]) is
+// true.  Intersection and difference (the inclusion check's L(d) ∩ ¬L(o))
+// are the two instantiations.  Exceeding limit returns ErrStateLimit: two
+// automata near the compile budget can otherwise intern up to limit² product
+// states, which is an OOM, not a proof.
+func (d *DFA) product(o *DFA, limit int, acceptPair func(a, b bool) bool) (*DFA, error) {
 	if d.alphabet.Key() != o.alphabet.Key() {
-		panic("automata: Intersect over mismatched alphabets")
+		panic("automata: product over mismatched alphabets")
+	}
+	if limit <= 0 {
+		limit = DefaultStateLimit
 	}
 	k := d.alphabet.Size()
-	type pair struct{ a, b int }
-	id := map[pair]int{}
-	var order []pair
-	intern := func(p pair) int {
-		if n, ok := id[p]; ok {
-			return n
+	// Product states are pairs (a, b) of component states, encoded into one
+	// uint64 key; order is interning order with (0, 0) first.
+	id := make(map[uint64]int32)
+	var order []uint64
+	intern := func(a, b int32) (int32, error) {
+		key := uint64(uint32(a))<<32 | uint64(uint32(b))
+		if n, ok := id[key]; ok {
+			return n, nil
 		}
-		n := len(order)
-		id[p] = n
-		order = append(order, p)
-		return n
+		if len(order) >= limit {
+			return 0, ErrStateLimit{Limit: limit}
+		}
+		n := int32(len(order))
+		id[key] = n
+		order = append(order, key)
+		return n, nil
 	}
-	intern(pair{0, 0})
+	if _, err := intern(0, 0); err != nil {
+		return nil, err
+	}
 	out := &DFA{alphabet: d.alphabet}
 	for i := 0; i < len(order); i++ {
-		p := order[i]
-		out.accept = append(out.accept, d.accept[p.a] && o.accept[p.b])
+		a := int32(order[i] >> 32)
+		b := int32(uint32(order[i]))
+		out.accept = append(out.accept, acceptPair(d.accept[a], o.accept[b]))
 		base := len(out.trans)
-		out.trans = append(out.trans, make([]int, k)...)
+		out.trans = append(out.trans, make([]int32, k)...)
 		for c := 0; c < k; c++ {
-			out.trans[base+c] = intern(pair{d.trans[p.a*k+c], o.trans[p.b*k+c]})
+			n, err := intern(d.trans[int(a)*k+c], o.trans[int(b)*k+c])
+			if err != nil {
+				return nil, err
+			}
+			out.trans[base+c] = n
 		}
+	}
+	return out, nil
+}
+
+// IntersectLimit returns the product DFA recognizing L(d) ∩ L(o), or
+// ErrStateLimit when the product exceeds the given state budget (limit <= 0
+// selects DefaultStateLimit).  Both automata must share the alphabet (same
+// Key); otherwise it panics, since a silent mismatch would make prover
+// answers meaningless.
+func (d *DFA) IntersectLimit(o *DFA, limit int) (*DFA, error) {
+	return d.product(o, limit, func(a, b bool) bool { return a && b })
+}
+
+// Intersect is IntersectLimit at DefaultStateLimit, panicking when even the
+// default budget is exceeded.  Budget-aware callers (the caches, and through
+// them the prover) use IntersectLimit and degrade toward Maybe instead.
+func (d *DFA) Intersect(o *DFA) *DFA {
+	out, err := d.IntersectLimit(o, DefaultStateLimit)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
@@ -253,24 +214,24 @@ func (d *DFA) Witness() ([]string, bool) {
 func (d *DFA) shortestAccepted() []string {
 	k := d.alphabet.Size()
 	type edge struct {
-		prev int
-		sym  int
+		prev int32
+		sym  int32
 	}
 	seen := make([]bool, len(d.accept))
 	from := make([]edge, len(d.accept))
-	queue := []int{0}
+	queue := []int32{0}
 	seen[0] = true
-	goal := -1
+	goal := int32(-1)
 	for len(queue) > 0 && goal < 0 {
 		s := queue[0]
 		queue = queue[1:]
 		for c := 0; c < k; c++ {
-			t := d.trans[s*k+c]
+			t := d.trans[int(s)*k+c]
 			if seen[t] {
 				continue
 			}
 			seen[t] = true
-			from[t] = edge{prev: s, sym: c}
+			from[t] = edge{prev: s, sym: int32(c)}
 			if d.accept[t] {
 				goal = t
 				break
@@ -291,15 +252,46 @@ func (d *DFA) shortestAccepted() []string {
 	return rev
 }
 
-// Includes reports whether L(d) ⊆ L(o): decided as L(d) ∩ complement(L(o))
-// being empty, exactly as the paper prescribes.
-func (d *DFA) Includes(o *DFA) bool {
-	return d.Intersect(o.Complement()).IsEmpty()
+// IncludesLimit reports whether L(d) ⊆ L(o), deciding L(d) ∩ ¬L(o) = ∅ as
+// the paper prescribes, under the given product-state budget.  The
+// difference automaton is built directly by the product construction — no
+// materialized complement, no intermediate table copy.
+func (d *DFA) IncludesLimit(o *DFA, limit int) (bool, error) {
+	diff, err := d.product(o, limit, func(a, b bool) bool { return a && !b })
+	if err != nil {
+		return false, err
+	}
+	return diff.IsEmpty(), nil
 }
 
-// Equivalent reports whether the two DFAs recognize the same language.
+// Includes is IncludesLimit at DefaultStateLimit, panicking on budget
+// exhaustion (see Intersect).
+func (d *DFA) Includes(o *DFA) bool {
+	ok, err := d.IncludesLimit(o, DefaultStateLimit)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// EquivalentLimit reports whether the two DFAs recognize the same language,
+// under the given product-state budget.
+func (d *DFA) EquivalentLimit(o *DFA, limit int) (bool, error) {
+	ok, err := d.IncludesLimit(o, limit)
+	if err != nil || !ok {
+		return false, err
+	}
+	return o.IncludesLimit(d, limit)
+}
+
+// Equivalent is EquivalentLimit at DefaultStateLimit, panicking on budget
+// exhaustion (see Intersect).
 func (d *DFA) Equivalent(o *DFA) bool {
-	return d.Includes(o) && o.Includes(d)
+	ok, err := d.EquivalentLimit(o, DefaultStateLimit)
+	if err != nil {
+		panic(err)
+	}
+	return ok
 }
 
 // Cardinality classifies the size of the language.
@@ -348,7 +340,7 @@ func (d *DFA) Cardinality() (Cardinality, []string) {
 	dfs = func(s int) {
 		color[s] = gray
 		for c := 0; c < k; c++ {
-			t := d.trans[s*k+c]
+			t := int(d.trans[s*k+c])
 			if !useful[t] {
 				continue
 			}
@@ -380,7 +372,7 @@ func (d *DFA) Cardinality() (Cardinality, []string) {
 			n = 1
 		}
 		for c := 0; c < k; c++ {
-			t := d.trans[s*k+c]
+			t := int(d.trans[s*k+c])
 			if useful[t] {
 				n += count(t)
 			}
@@ -425,7 +417,7 @@ func (d *DFA) uniqueWord(useful []bool) ([]string, bool) {
 		}
 		advanced := false
 		for c := 0; c < k; c++ {
-			t := d.trans[s*k+c]
+			t := int(d.trans[s*k+c])
 			if useful[t] {
 				word = append(word, d.alphabet.symbols[c])
 				s = t
@@ -446,13 +438,13 @@ func (d *DFA) usefulStates() []bool {
 	k := d.alphabet.Size()
 	n := len(d.accept)
 	reach := make([]bool, n)
-	stack := []int{0}
+	stack := []int32{0}
 	reach[0] = true
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for c := 0; c < k; c++ {
-			t := d.trans[s*k+c]
+			t := d.trans[int(s)*k+c]
 			if !reach[t] {
 				reach[t] = true
 				stack = append(stack, t)
@@ -460,18 +452,18 @@ func (d *DFA) usefulStates() []bool {
 		}
 	}
 	// Reverse reachability from accepting states.
-	rev := make([][]int, n)
+	rev := make([][]int32, n)
 	for s := 0; s < n; s++ {
 		for c := 0; c < k; c++ {
 			t := d.trans[s*k+c]
-			rev[t] = append(rev[t], s)
+			rev[t] = append(rev[t], int32(s))
 		}
 	}
 	coreach := make([]bool, n)
 	for s := 0; s < n; s++ {
 		if d.accept[s] && !coreach[s] {
 			coreach[s] = true
-			stack = append(stack, s)
+			stack = append(stack, int32(s))
 		}
 	}
 	for len(stack) > 0 {
@@ -491,90 +483,10 @@ func (d *DFA) usefulStates() []bool {
 	return useful
 }
 
-// Minimize returns the Hopcroft-minimal DFA equivalent to d.
+// Minimize returns the minimal DFA equivalent to d, via the integer
+// partition refinement in table.go (no per-state string signatures).
 func (d *DFA) Minimize() *DFA {
-	k := d.alphabet.Size()
-	n := len(d.accept)
-	if n == 0 {
-		return d
-	}
-	// Partition refinement (Hopcroft).  part[s] is the block of state s.
-	part := make([]int, n)
-	for s := 0; s < n; s++ {
-		if d.accept[s] {
-			part[s] = 1
-		}
-	}
-	numBlocks := 2
-	if allSameBool(d.accept) {
-		numBlocks = 1
-		for s := range part {
-			part[s] = 0
-		}
-	}
-	for {
-		// Refine: signature of a state is (block, successor blocks).
-		sig := make(map[string][]int)
-		var order []string
-		for s := 0; s < n; s++ {
-			var b strings.Builder
-			b.WriteString(strconv.Itoa(part[s]))
-			for c := 0; c < k; c++ {
-				b.WriteByte(':')
-				b.WriteString(strconv.Itoa(part[d.trans[s*k+c]]))
-			}
-			key := b.String()
-			if _, ok := sig[key]; !ok {
-				order = append(order, key)
-			}
-			sig[key] = append(sig[key], s)
-		}
-		if len(order) == numBlocks {
-			break
-		}
-		numBlocks = len(order)
-		for i, key := range order {
-			for _, s := range sig[key] {
-				part[s] = i
-			}
-		}
-	}
-	// Rebuild with block of start state first.
-	remap := make([]int, numBlocks)
-	for i := range remap {
-		remap[i] = -1
-	}
-	next := 0
-	assign := func(b int) int {
-		if remap[b] < 0 {
-			remap[b] = next
-			next++
-		}
-		return remap[b]
-	}
-	assign(part[0])
-	out := &DFA{
-		alphabet: d.alphabet,
-		trans:    make([]int, numBlocks*k),
-		accept:   make([]bool, numBlocks),
-	}
-	for s := 0; s < n; s++ {
-		b := assign(part[s])
-		out.accept[b] = d.accept[s]
-		for c := 0; c < k; c++ {
-			out.trans[b*k+c] = assign(part[d.trans[s*k+c]])
-		}
-	}
-	return out
-}
-
-func allSameBool(xs []bool) bool {
-	for _, x := range xs {
-		if x != xs[0] {
-			return false
-		}
-	}
-	return true
+	return minimizeTable(d)
 }
 
 // MaxWordLen returns the length of the longest accepted word, or
@@ -605,7 +517,7 @@ func (d *DFA) MaxWordLen() int {
 		}
 		memo[s] = best // provisional; DAG so no revisits on a cycle
 		for c := 0; c < k; c++ {
-			t := d.trans[s*k+c]
+			t := int(d.trans[s*k+c])
 			if !useful[t] {
 				continue
 			}

@@ -140,7 +140,20 @@ func (c *Cache) DFA(e pathexpr.Expr, a *Alphabet) (*DFA, error) {
 // Len reports the number of cached DFAs.
 func (c *Cache) Len() int { return len(c.dfas) }
 
-// Includes reports L(sub) ⊆ L(sup) over alphabet a.
+// budgetErr charges a product-construction budget failure to the stats
+// before passing the error on.  The caller (the prover) degrades toward
+// Maybe on any cache error, so a blown product budget is never an unsound
+// answer — just a weaker one.
+func (c *Cache) budgetErr(err error) error {
+	if err != nil {
+		c.stats.LimitFailures++
+		c.cLimitFails.Add(1)
+	}
+	return err
+}
+
+// Includes reports L(sub) ⊆ L(sup) over alphabet a.  The inclusion check's
+// product construction runs under the cache's state budget.
 func (c *Cache) Includes(sub, sup pathexpr.Expr, a *Alphabet) (bool, error) {
 	ds, err := c.DFA(sub, a)
 	if err != nil {
@@ -150,10 +163,12 @@ func (c *Cache) Includes(sub, sup pathexpr.Expr, a *Alphabet) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return ds.Includes(dp), nil
+	ok, err := ds.IncludesLimit(dp, c.limit)
+	return ok, c.budgetErr(err)
 }
 
-// Disjoint reports L(x) ∩ L(y) = ∅ over alphabet a.
+// Disjoint reports L(x) ∩ L(y) = ∅ over alphabet a, under the cache's
+// product-state budget.
 func (c *Cache) Disjoint(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
 	dx, err := c.DFA(x, a)
 	if err != nil {
@@ -163,10 +178,15 @@ func (c *Cache) Disjoint(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return dx.Intersect(dy).IsEmpty(), nil
+	prod, err := dx.IntersectLimit(dy, c.limit)
+	if err != nil {
+		return false, c.budgetErr(err)
+	}
+	return prod.IsEmpty(), nil
 }
 
-// Equivalent reports L(x) = L(y) over alphabet a.
+// Equivalent reports L(x) = L(y) over alphabet a, under the cache's
+// product-state budget.
 func (c *Cache) Equivalent(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
 	dx, err := c.DFA(x, a)
 	if err != nil {
@@ -176,5 +196,6 @@ func (c *Cache) Equivalent(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return dx.Equivalent(dy), nil
+	ok, err := dx.EquivalentLimit(dy, c.limit)
+	return ok, c.budgetErr(err)
 }

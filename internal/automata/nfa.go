@@ -35,8 +35,20 @@ type Alphabet struct {
 var alphaIDs = struct {
 	mu   sync.Mutex
 	ids  map[string]uint64
+	keys map[uint64]string
 	next uint64
-}{ids: make(map[string]uint64)}
+}{ids: make(map[string]uint64), keys: make(map[uint64]string)}
+
+// alphabetKeyByID reverses the alphabet-ID registry: given an ID handed out
+// by NewAlphabet, it returns the canonical space-joined symbol key.  The
+// artifact writer uses it to turn cache snapshot keys (which are bare IDs)
+// back into serializable symbol lists.
+func alphabetKeyByID(id uint64) (string, bool) {
+	alphaIDs.mu.Lock()
+	key, ok := alphaIDs.keys[id]
+	alphaIDs.mu.Unlock()
+	return key, ok
+}
 
 // NewAlphabet builds an alphabet from the given field names, deduplicating
 // and sorting them.
@@ -62,6 +74,7 @@ func NewAlphabet(fields ...string) *Alphabet {
 		alphaIDs.next++
 		id = alphaIDs.next
 		alphaIDs.ids[key] = id
+		alphaIDs.keys[id] = key
 	}
 	alphaIDs.mu.Unlock()
 	return &Alphabet{symbols: syms, index: idx, key: key, id: id}
@@ -191,30 +204,4 @@ func (n *nfa) build(e pathexpr.Expr) (start, accept int) {
 		panic(fmt.Sprintf("automata: unknown expression type %T", e))
 	}
 	return start, accept
-}
-
-// epsClosure expands the set of states with everything reachable over
-// ε-transitions.  The set is represented as a sorted slice.
-func (n *nfa) epsClosure(states []int) []int {
-	seen := make(map[int]bool, len(states))
-	stack := append([]int{}, states...)
-	for _, s := range states {
-		seen[s] = true
-	}
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, t := range n.eps[s] {
-			if !seen[t] {
-				seen[t] = true
-				stack = append(stack, t)
-			}
-		}
-	}
-	out := make([]int, 0, len(seen))
-	for s := range seen {
-		out = append(out, s)
-	}
-	sort.Ints(out)
-	return out
 }

@@ -261,7 +261,7 @@ func (c *SharedCache) HitRate() float64 {
 // intersection, emptiness) dominate the prover's direct checks once the DFAs
 // themselves are cached, and the same decisions recur across the goals of a
 // batch.
-func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func(dx, dy *DFA) bool) (bool, error) {
+func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func(dx, dy *DFA) (bool, error)) (bool, error) {
 	c.decisions.Add(1)
 	c.cDecisions.Add(1)
 	key := opsKey{op: op, alpha: a.ID(), x: pathexpr.InternID(x), y: pathexpr.InternID(y)}
@@ -283,7 +283,15 @@ func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func
 	if err != nil {
 		return false, err
 	}
-	v = eval(dx, dy)
+	v, err = eval(dx, dy)
+	if err != nil {
+		// A blown product budget is not memoized: the answer is "don't
+		// know", not false, and a retry under a larger budget must be free
+		// to succeed.
+		c.limitFails.Add(1)
+		c.cLimitFails.Add(1)
+		return false, err
+	}
 	sh.mu.Lock()
 	if c.perShard > 0 && len(sh.ops) >= c.perShard {
 		// The decision memo obeys the same per-shard epoch eviction as the
@@ -300,19 +308,32 @@ func (c *SharedCache) decide(op byte, x, y pathexpr.Expr, a *Alphabet, eval func
 	return v, nil
 }
 
-// Includes reports L(sub) ⊆ L(sup) over alphabet a.
+// Includes reports L(sub) ⊆ L(sup) over alphabet a, under the cache's
+// product-state budget.
 func (c *SharedCache) Includes(sub, sup pathexpr.Expr, a *Alphabet) (bool, error) {
-	return c.decide('i', sub, sup, a, func(ds, dp *DFA) bool { return ds.Includes(dp) })
+	return c.decide('i', sub, sup, a, func(ds, dp *DFA) (bool, error) {
+		return ds.IncludesLimit(dp, c.limit)
+	})
 }
 
-// Disjoint reports L(x) ∩ L(y) = ∅ over alphabet a.
+// Disjoint reports L(x) ∩ L(y) = ∅ over alphabet a, under the cache's
+// product-state budget.
 func (c *SharedCache) Disjoint(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
-	return c.decide('d', x, y, a, func(dx, dy *DFA) bool { return dx.Intersect(dy).IsEmpty() })
+	return c.decide('d', x, y, a, func(dx, dy *DFA) (bool, error) {
+		prod, err := dx.IntersectLimit(dy, c.limit)
+		if err != nil {
+			return false, err
+		}
+		return prod.IsEmpty(), nil
+	})
 }
 
-// Equivalent reports L(x) = L(y) over alphabet a.
+// Equivalent reports L(x) = L(y) over alphabet a, under the cache's
+// product-state budget.
 func (c *SharedCache) Equivalent(x, y pathexpr.Expr, a *Alphabet) (bool, error) {
-	return c.decide('e', x, y, a, func(dx, dy *DFA) bool { return dx.Equivalent(dy) })
+	return c.decide('e', x, y, a, func(dx, dy *DFA) (bool, error) {
+		return dx.EquivalentLimit(dy, c.limit)
+	})
 }
 
 // DecisionStats returns the decision-memo lookup/hit counts.

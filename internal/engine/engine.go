@@ -43,6 +43,13 @@ type Options struct {
 	// one-shot batch and a leak for a server.
 	MemoShards   int
 	MemoShardCap int
+	// Preload, when non-nil, preseeds the shared DFA cache and the proof
+	// memo from a compiled automata artifact (see cmd/aptc), so the engine
+	// boots with the artifact's working set already warm instead of paying
+	// cold subset constructions and proof searches on first queries.  Goal
+	// verdicts are scoped to their axiom-set fingerprint and never consulted
+	// under a different set.
+	Preload *automata.Artifact
 }
 
 // Stats is a point-in-time snapshot of the engine's shared state.
@@ -103,12 +110,17 @@ func New(axioms *axiom.Set, opts Options) *Engine {
 	}
 	dfas := automata.NewSharedCache(opts.Prover.DFAStateLimit, opts.DFAShards, opts.DFAShardCap)
 	dfas.SetTelemetry(tel)
+	memo := NewMemo(opts.MemoShards, opts.MemoShardCap, tel)
+	if opts.Preload != nil {
+		dfas.Preseed(opts.Preload)
+		memo.Preseed(opts.Preload)
+	}
 	return &Engine{
 		axioms:     axioms,
 		opts:       opts,
 		pool:       parallel.NewPool(opts.Workers).SetTelemetry(tel),
 		dfas:       dfas,
-		memo:       NewMemo(opts.MemoShards, opts.MemoShardCap, tel),
+		memo:       memo,
 		cBatches:   tel.Counter("engine.batches"),
 		cQueries:   tel.Counter("engine.queries"),
 		cTimeouts:  tel.Counter("engine.degraded.query_timeout"),

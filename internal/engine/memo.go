@@ -107,14 +107,19 @@ func NewMemo(shards, perShardCap int, tel *telemetry.Set) *Memo {
 	return m
 }
 
+// shardFor returns the shard owning key.
+func (m *Memo) shardFor(key memoKey) *memoShard {
+	h := pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.MixInit, key.ax), uint64(key.goal.Form)), key.goal.A), key.goal.B)
+	return &m.shards[h%uint64(len(m.shards))]
+}
+
 // Prove implements core.ProofMemo: it returns the memoized proof of the
 // canonicalized goal under the axiom set identified by axiomID (see
 // axiom.Set.ID), or runs compute once and shares its result.
 func (m *Memo) Prove(axiomID uint64, form prover.Form, x, y pathexpr.Expr, compute func() *prover.Proof) *prover.Proof {
 	m.lookups.Add(1)
 	key := memoKey{ax: axiomID, goal: CanonicalGoalKey(form, x, y)}
-	h := pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.Mix64(pathexpr.MixInit, key.ax), uint64(key.goal.Form)), key.goal.A), key.goal.B)
-	sh := &m.shards[h%uint64(len(m.shards))]
+	sh := m.shardFor(key)
 
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {

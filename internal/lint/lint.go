@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/automata"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/lang"
@@ -123,6 +124,11 @@ type Context struct {
 	// edited source is sound, and it carries the engines' proof memos and
 	// compiled DFAs from run to run.
 	Caches *Caches
+	// Preload, when non-nil, preseeds every tester and engine DFA cache
+	// built by this context from a compiled automata artifact (aptc), so
+	// the first query of each axiom set skips cold compilation.  Purely an
+	// optimization: verdicts are identical with or without it.
+	Preload *automata.Artifact
 
 	pass     string
 	diags    []Diagnostic
@@ -212,7 +218,13 @@ func (c *Context) Tester(res *analysis.Result) *core.Tester {
 	if t, ok := c.testers[key]; ok {
 		return t
 	}
-	t := core.NewTester(res.Axioms, prover.Options{Telemetry: c.Telemetry})
+	popts := prover.Options{Telemetry: c.Telemetry}
+	if c.Preload != nil {
+		cache := automata.NewSharedCache(0, 0, 0)
+		cache.Preseed(c.Preload)
+		popts.DFACache = cache
+	}
+	t := core.NewTester(res.Axioms, popts)
 	c.testers[key] = t
 	if c.Caches != nil {
 		c.Caches.Testers[key] = t
@@ -242,6 +254,7 @@ func (c *Context) Engine(res *analysis.Result) *engine.Engine {
 		Workers:   c.Workers,
 		Prover:    prover.Options{Telemetry: c.Telemetry},
 		Telemetry: c.Telemetry,
+		Preload:   c.Preload,
 	})
 	c.engines[key] = e
 	if c.Caches != nil {
@@ -255,6 +268,7 @@ type Driver struct {
 	passes  []Pass
 	tel     *telemetry.Set
 	workers int
+	preload *automata.Artifact
 }
 
 // NewDriver builds a driver over the given passes (DefaultPasses when none
@@ -277,9 +291,17 @@ func (d *Driver) SetWorkers(n int) *Driver {
 	return d
 }
 
+// SetPreload attaches a compiled automata artifact (aptc) that preseeds the
+// DFA caches of every tester and engine the driver's contexts build.
+// Returns the driver for chaining.
+func (d *Driver) SetPreload(art *automata.Artifact) *Driver {
+	d.preload = art
+	return d
+}
+
 // Run lints one parsed unit and returns its diagnostics sorted by position.
 func (d *Driver) Run(file string, prog *lang.Program) ([]Diagnostic, error) {
-	ctx := &Context{File: file, Prog: prog, Telemetry: d.tel, Workers: d.workers}
+	ctx := &Context{File: file, Prog: prog, Telemetry: d.tel, Workers: d.workers, Preload: d.preload}
 	return d.RunContext(ctx)
 }
 

@@ -55,6 +55,12 @@ type QueryResult struct {
 type BatchStats struct {
 	Queries   int   `json:"queries"`
 	ElapsedUS int64 `json:"elapsed_us"`
+	// ServiceUS is the server-side service time for the whole request —
+	// parse, analysis, engine acquisition (including a cold build), and the
+	// batch run — excluding admission queueing.  Cold-vs-warm comparisons
+	// should use this rather than client-observed latency, which folds in
+	// queue wait and connection effects.
+	ServiceUS int64 `json:"service_us"`
 	// ColdEngine reports whether this request built the engine (first
 	// sighting of its axiom set since startup or since LRU reclamation).
 	ColdEngine bool   `json:"cold_engine"`

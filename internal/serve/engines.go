@@ -75,6 +75,7 @@ func (p *enginePool) get(ax *axiom.Set) (eng *engine.Engine, cold bool) {
 			Telemetry:    p.tel,
 			DFAShardCap:  p.cfg.DFAShardCap,
 			MemoShardCap: p.cfg.MemoShardCap,
+			Preload:      p.cfg.Preload,
 		}),
 		lastUse: p.seq,
 		uses:    1,

@@ -25,17 +25,21 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/automata"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/parallel"
 	"repro/internal/pathexpr"
@@ -94,6 +98,10 @@ type Config struct {
 	// AccessLog, when non-nil, receives one JSONL "http_access" line per
 	// HTTP request (method, path, status, bytes, latency, traceparent).
 	AccessLog *telemetry.TraceWriter
+	// Preload, when non-nil, preseeds every engine the pool builds with a
+	// compiled automata artifact (see cmd/aptc), so even a cold engine's
+	// first batch rides warm DFA tables and memoized decisions.
+	Preload *automata.Artifact
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +157,12 @@ type Server struct {
 	flight *telemetry.FlightRecorder
 	access *telemetry.TraceWriter
 
+	// completions feeds the Retry-After estimator: one observation per
+	// completed request.  Server-owned (not drawn from cfg.Telemetry, which
+	// may be nil) because shedding must be able to estimate drain rate even
+	// on an uninstrumented server.
+	completions *telemetry.WindowHistogram
+
 	start        time.Time
 	accepted     atomic.Int64
 	completed    atomic.Int64
@@ -168,24 +182,32 @@ type Server struct {
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
+	warmProcess()
+	return newServer(cfg)
+}
+
+// newServer is New without the process warmup, so warmup itself can build
+// a throwaway instance without re-entering the warmup once.
+func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	tel := cfg.Telemetry
 	s := &Server{
-		cfg:        cfg,
-		tel:        tel,
-		pool:       newEnginePool(cfg, tel),
-		mux:        http.NewServeMux(),
-		slots:      make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
-		run:        make(chan struct{}, cfg.MaxConcurrent),
-		flight:     telemetry.NewFlightRecorder(cfg.FlightK, cfg.FlightRing),
-		access:     cfg.AccessLog,
-		start:      time.Now(),
-		cRequests:  tel.Counter("serve.requests"),
-		cShed:      tel.Counter("serve.shed"),
-		cPanics:    tel.Counter("serve.panics"),
-		hRequestNS: tel.Histogram("serve.request_ns"),
-		hQueueNS:   tel.Histogram("serve.queue_wait_ns"),
-		wRequestNS: tel.Window("serve.request_ns"),
+		cfg:         cfg,
+		tel:         tel,
+		pool:        newEnginePool(cfg, tel),
+		mux:         http.NewServeMux(),
+		slots:       make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		run:         make(chan struct{}, cfg.MaxConcurrent),
+		flight:      telemetry.NewFlightRecorder(cfg.FlightK, cfg.FlightRing),
+		access:      cfg.AccessLog,
+		completions: telemetry.NewWindowHistogram(),
+		start:       time.Now(),
+		cRequests:   tel.Counter("serve.requests"),
+		cShed:       tel.Counter("serve.shed"),
+		cPanics:     tel.Counter("serve.panics"),
+		hRequestNS:  tel.Histogram("serve.request_ns"),
+		hQueueNS:    tel.Histogram("serve.queue_wait_ns"),
+		wRequestNS:  tel.Window("serve.request_ns"),
 	}
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -193,7 +215,65 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	// Boot-time engine prewarm: the artifact carries the full axiom sets it
+	// was compiled under, so the engines requests will ask for can be built
+	// now — artifact-preseeded DFA cache and proof memo included — instead
+	// of on the first request per set.  With this, a -preload server's first
+	// request is already engine-warm (Stats.ColdEngine false), which is the
+	// artifact's whole point: warm-equivalent behavior from boot.
+	if cfg.Preload != nil {
+		for _, set := range engine.ArtifactAxiomSets(cfg.Preload) {
+			s.pool.get(set)
+		}
+		s.replayWarm(cfg.Preload.Replays)
+		// Boot prewarm allocates heavily (engine construction, first parses);
+		// collect now so the first real request inherits a quiet heap instead
+		// of boot's GC debt.
+		runtime.GC()
+	}
 	return s
+}
+
+// replayWarm drives the artifact's recorded replay workloads through the
+// server's own request path, round-robin, until a time budget is spent.
+// The engine prewarm above removes engine construction from the first
+// request, but a long tail of one-time costs remains — first parse of that
+// exact program text, first query expansion and its interning, the
+// prewarmed engine's first batch — and the only way to pay them all is to
+// serve the workload.  The budget is wall time rather than a pass count
+// because request latency keeps improving long after logical first-touch is
+// done: sustained busy CPU is what ramps a host's frequency governor and
+// settles the allocator, and a ~tenth of a second of it at boot is what
+// makes the first client request perform like a steady-state one.  Errors
+// are ignored (a malformed recorded workload degrades warmth, nothing
+// else); the warmup requests show up in the request counters and /statz
+// like any request.
+func (s *Server) replayWarm(replays []automata.ArtifactReplay) {
+	const (
+		budget    = 120 * time.Millisecond
+		maxPasses = 4096 // bound the counter pollution when passes are very cheap
+	)
+	var bodies [][]byte
+	for _, rp := range replays {
+		body, err := json.Marshal(BatchRequest{Program: rp.Program, Fn: rp.Fn, Queries: rp.Queries})
+		if err != nil {
+			continue
+		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) == 0 {
+		return
+	}
+	start := time.Now()
+	for pass := 0; pass < maxPasses && time.Since(start) < budget; pass++ {
+		body := bodies[pass%len(bodies)]
+		req, err := http.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		s.ServeHTTP(&discardResponseWriter{h: make(http.Header)}, req)
+	}
 }
 
 // ServeHTTP dispatches with panic isolation: a panic below (including a
@@ -246,6 +326,36 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// retryAfterWindow is the completion-rate lookback, and retryAfterMax the
+// ceiling: a Retry-After beyond a minute stops being backpressure and
+// starts being an outage announcement.
+const (
+	retryAfterWindow = 10 * time.Second
+	retryAfterMax    = 60
+)
+
+// retryAfterSeconds estimates how long a shed client should wait before the
+// backlog it just bounced off has drained: backlog / recent completion
+// rate, rounded up, clamped to [1, retryAfterMax].  With no completions in
+// the window there is no rate to extrapolate (an idle server that just got
+// burst-filled), so it answers the 1-second floor.
+func (s *Server) retryAfterSeconds() int {
+	backlog := len(s.slots)
+	done := s.completions.Summary(retryAfterWindow).Count
+	if backlog == 0 || done == 0 {
+		return 1
+	}
+	windowSec := int64(retryAfterWindow / time.Second)
+	secs := (int64(backlog)*windowSec + done - 1) / done
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > retryAfterMax {
+		secs = retryAfterMax
+	}
+	return int(secs)
+}
+
 // admit registers one in-flight request unless the server is draining.
 func (s *Server) admit() bool {
 	s.mu.Lock()
@@ -283,7 +393,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.shed.Add(1)
 		s.cShed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSONError(w, http.StatusTooManyRequests, "admission queue full; retry")
 		return
 	}
@@ -302,6 +412,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		dur := time.Since(startWait)
 		s.gauge.Add(-1)
 		s.completed.Add(1)
+		s.completions.Observe(1)
 		s.inflight.Done()
 		s.hRequestNS.Observe(dur.Nanoseconds())
 		s.wRequestNS.Observe(dur.Nanoseconds())
@@ -345,6 +456,7 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.Re
 	if len(req.Queries) == 0 {
 		return nil, nil, http.StatusBadRequest, fmt.Errorf("no queries")
 	}
+	svc0 := time.Now()
 	asp := rt.StartSpan("serve.analyze", parent)
 	prog, err := lang.Parse(req.Program)
 	if err != nil {
@@ -417,6 +529,7 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.Re
 	resp.Stats = BatchStats{
 		Queries:         len(outs),
 		ElapsedUS:       elapsed.Microseconds(),
+		ServiceUS:       time.Since(svc0).Microseconds(),
 		ColdEngine:      cold,
 		AxiomSet:        res.Axioms.StructName,
 		MemoHits:        st.Memo.Hits,

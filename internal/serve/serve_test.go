@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -189,8 +190,10 @@ func TestAdmissionShedding(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-admission request = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 without Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer ≥ 1 second", ra)
 	}
 	if srv.StatzSnapshot().Shed != 1 {
 		t.Errorf("Shed = %d, want 1", srv.StatzSnapshot().Shed)
@@ -416,5 +419,60 @@ func TestRequestScaleDeadline(t *testing.T) {
 		if r.Result != "No" && r.Result != "Maybe" {
 			t.Errorf("results[%d] = %q, want No or the sound degradation Maybe", i, r.Result)
 		}
+	}
+}
+
+// TestRetryAfterScalesWithBacklog is the regression test for the constant
+// Retry-After: the hint must be backlog ÷ recent completion rate, so a
+// deeper jam at the same drain rate tells clients to wait longer, a faster-
+// draining server tells them to come back sooner, and the floor (1s) and
+// ceiling (60s) clamp the extremes.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	mk := func(depth, backlog, completions int) *Server {
+		srv := New(Config{MaxConcurrent: 1, QueueDepth: depth})
+		for i := 0; i < backlog; i++ {
+			srv.slots <- struct{}{}
+		}
+		for i := 0; i < completions; i++ {
+			srv.completions.Observe(1)
+		}
+		return srv
+	}
+
+	// No backlog, or no completions to extrapolate a rate from: the floor.
+	if got := mk(10, 0, 50).retryAfterSeconds(); got != 1 {
+		t.Errorf("empty backlog: Retry-After = %d, want the 1s floor", got)
+	}
+	if got := mk(10, 5, 0).retryAfterSeconds(); got != 1 {
+		t.Errorf("no recent completions: Retry-After = %d, want the 1s floor", got)
+	}
+
+	// 20 completions in the 10s window = 2/s; a backlog of 10 should drain
+	// in ~5s.
+	if got := mk(20, 10, 20).retryAfterSeconds(); got != 5 {
+		t.Errorf("backlog 10 at 2/s: Retry-After = %d, want 5", got)
+	}
+
+	// Scaling in backlog at a fixed rate: strictly monotone until the clamp.
+	prev := 0
+	for _, backlog := range []int{2, 8, 20, 40} {
+		got := mk(50, backlog, 20).retryAfterSeconds()
+		if got <= prev {
+			t.Errorf("backlog %d: Retry-After = %d, want > %d (must grow with backlog)", backlog, got, prev)
+		}
+		prev = got
+	}
+
+	// Scaling in drain rate at a fixed backlog: more completions, sooner retry.
+	slow := mk(50, 40, 10).retryAfterSeconds()
+	fast := mk(50, 40, 100).retryAfterSeconds()
+	if fast >= slow {
+		t.Errorf("faster drain must shorten the hint: %ds at 10 completions vs %ds at 100", slow, fast)
+	}
+
+	// A glacial drain rate clamps at the 60s ceiling rather than announcing
+	// a multi-minute outage.
+	if got := mk(200, 200, 1).retryAfterSeconds(); got != 60 {
+		t.Errorf("glacial drain: Retry-After = %d, want the 60s ceiling", got)
 	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -107,17 +108,20 @@ func (h *WindowHistogram) Summary(window time.Duration) WindowSummary {
 }
 
 // nearestRank returns the q-quantile of sorted by the nearest-rank method:
-// the smallest value with at least ⌈q·n⌉ samples at or below it.
+// the smallest value with at least ⌈q·n⌉ samples at or below it.  The rank
+// is computed in exact integer arithmetic — q scaled to a rational over
+// 10⁴ (quantiles here are specified to at most four decimals) — because
+// the float truncate-then-compare version was one representation error
+// away from an off-by-one rank at exact multiples like q=0.50, n even.
 func nearestRank(sorted []int64, q float64) int64 {
-	rank := int(q * float64(len(sorted)))
-	if float64(rank) < q*float64(len(sorted)) {
-		rank++ // ceil
-	}
+	n := int64(len(sorted))
+	num := int64(math.Round(q * 1e4))
+	rank := (n*num + 9999) / 10000
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(sorted) {
-		rank = len(sorted)
+	if rank > n {
+		rank = n
 	}
 	return sorted[rank-1]
 }

@@ -125,3 +125,36 @@ func TestRegistryWindowInSnapshot(t *testing.T) {
 		t.Error("Window is not idempotent per name")
 	}
 }
+
+// TestNearestRankAgainstBruteForce is the regression property test for the
+// float-arithmetic rank bug: for every population size up to the ring
+// capacity and each quantile the summary publishes, the selected value must
+// equal the brute-force nearest-rank definition — the smallest rank r with
+// r·10⁴ ≥ n·(q·10⁴).  The old ⌈q·n⌉-via-float version violated this at
+// exact multiples (q=0.50 with even n) when the product rounded up a ulp.
+func TestNearestRankAgainstBruteForce(t *testing.T) {
+	quantiles := []struct {
+		q   float64
+		num int64 // q scaled to the rational numerator over 10⁴
+	}{
+		{0.50, 5000},
+		{0.95, 9500},
+		{0.99, 9900},
+	}
+	for n := 1; n <= 4096; n++ {
+		// sorted[i] = i+1, so sorted[r-1] == r: the selected value IS the rank.
+		sorted := make([]int64, n)
+		for i := range sorted {
+			sorted[i] = int64(i + 1)
+		}
+		for _, qc := range quantiles {
+			want := int64(1)
+			for want*10000 < int64(n)*qc.num {
+				want++
+			}
+			if got := nearestRank(sorted, qc.q); got != want {
+				t.Fatalf("nearestRank(n=%d, q=%g) = %d, brute force says %d", n, qc.q, got, want)
+			}
+		}
+	}
+}
