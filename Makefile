@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-engine race-pool race-serve race-guards serve-smoke obs-check fuzzfarm-smoke aptc-smoke bench bench-json bench-served bench-dfa bench-intern bench-incr bench-fuzzfarm lintsmoke allocs figure7 clean
+.PHONY: check vet build test race race-engine race-pool race-serve race-cluster race-guards serve-smoke cluster-smoke obs-check fuzzfarm-smoke aptc-smoke bench bench-json bench-served bench-cluster bench-dfa bench-intern bench-incr bench-fuzzfarm lintsmoke allocs figure7 clean
 
-check: vet build race bench lintsmoke serve-smoke obs-check fuzzfarm-smoke aptc-smoke
+check: vet build race bench lintsmoke serve-smoke cluster-smoke race-cluster obs-check fuzzfarm-smoke aptc-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,21 @@ race-pool:
 # then a drain overlapping a fresh request wave.
 race-serve:
 	$(GO) test -race -count=3 -run 'TestSoak|TestDrain|TestAdmission' ./internal/serve
+
+# Soak the routing tier's trickiest interleavings under the race detector:
+# hedge accounting (no double-counted completions, losers canceled), ring
+# membership changes under live load, and drain racing a hedged request.
+# The tests synchronize through channel handshakes, so 50 iterations stay
+# cheap and deterministic.
+race-cluster:
+	$(GO) test -race -count=50 -run 'Hedge|RingChangeUnderLoad|AllBackendsDraining' ./internal/route
+
+# Cluster smoke: two backend daemons plus a router daemon in one process,
+# a batch routed end to end, one SIGTERM draining all three with exit 0 —
+# plus the tiny three-phase cluster bench validating its report schema.
+cluster-smoke:
+	$(GO) test -run 'TestClusterSmokeAndDrain|TestClusterBenchSmoke' -v ./cmd/aptserved
+	$(GO) test -run 'TestFarmServeParityThroughRouter' ./internal/scenario
 
 # Soundness oracle for the path-sensitivity layer: every guard-upgraded
 # verdict claims two accesses lie on mutually exclusive paths; the oracle
@@ -109,6 +124,15 @@ bench-served:
 		-queries-file $(CURDIR)/.served.queries \
 		-clients 8 -requests 64 -out $(CURDIR)/BENCH_served.json
 	@rm -f $(CURDIR)/.served.queries $(CURDIR)/.served.aptc
+
+# Cluster scaling report: ring-size x per-backend-capacity distinct
+# axiom-set shards driven through a single backend (LRU thrash, cold
+# rebuilds), the full 4-backend ring (every shard engine-warm), and the
+# warm ring with hedged retries; queries/sec, latency quantiles, hedge
+# outcomes, and the warm-capacity scaling factor land in BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/aptserved -loadgen -cluster -cluster-requests 480 \
+		-out $(CURDIR)/BENCH_cluster.json
 
 # DFA backend report: the flat-table backend vs the frozen map/string
 # backend over the same expression suite, written to BENCH_dfa.json.  The

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/axiom"
+	"repro/internal/route"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// The cluster benchmark measures what sharding is FOR on this workload:
+// engine warmth.  The dependence test is a pure function of (axiom set,
+// goal), so a cluster adds nothing to any single answer — what it adds is
+// aggregate warm-engine capacity.  The benchmark builds ring-size x
+// per-backend-capacity distinct axiom-set shards, chosen ring-aware so the
+// scaled phase places exactly `engines` shards on every backend: the full
+// ring holds every shard warm, while a single backend with the same
+// capacity LRU-thrashes and pays a cold engine build on nearly every
+// request.  That warmth gap — not parallelism, which a one-CPU host cannot
+// offer — is the queries/sec difference the report records.  A third phase
+// re-runs the scaled ring with hedged retries to show hedging trims the
+// tail without double-counting completions.
+
+type clusterBenchConfig struct {
+	backends int           // ring size of the scaled phase
+	engines  int           // per-backend MaxEngines (warm capacity)
+	requests int           // requests per phase
+	clients  int           // concurrent clients
+	hedge    time.Duration // hedge delay; 0 = auto (3x warm p50)
+	out      string
+}
+
+// ClusterPhase is one benchmark phase in the BENCH_cluster.json schema.
+type ClusterPhase struct {
+	Name         string  `json:"name"`
+	Backends     int     `json:"backends"`
+	HedgeDelayUS int64   `json:"hedge_delay_us,omitempty"`
+	Requests     int     `json:"requests"`
+	OK           int     `json:"ok"`
+	Errors       int     `json:"errors"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+	QPS          float64 `json:"queries_per_sec"`
+	P50US        int64   `json:"p50_us"`
+	P95US        int64   `json:"p95_us"`
+	P99US        int64   `json:"p99_us"`
+	ColdRequests int     `json:"cold_requests"`
+	HedgesWon    int64   `json:"hedges_won,omitempty"`
+	HedgesLost   int64   `json:"hedges_lost,omitempty"`
+	HedgesSpared int64   `json:"hedges_spared,omitempty"`
+}
+
+// BenchClusterReport is the BENCH_cluster.json schema.
+type BenchClusterReport struct {
+	Shards            int          `json:"shards"`
+	EnginesPerBackend int          `json:"engines_per_backend"`
+	QueriesPerRequest int          `json:"queries_per_request"`
+	Single            ClusterPhase `json:"single"`
+	Cluster           ClusterPhase `json:"cluster"`
+	ClusterHedged     ClusterPhase `json:"cluster_hedged"`
+	// Scaling is Cluster.QPS / Single.QPS: the warm-capacity speedup of the
+	// ring over one backend of the same per-node capacity.
+	Scaling float64 `json:"scaling"`
+}
+
+// shardSet is one benchmark shard: a distinct axiom set and its canned
+// raw-mode request body.
+type shardSet struct {
+	set  *axiom.Set
+	body []byte
+}
+
+// clusterShardSets builds ring-size x engines distinct binary-tree axiom
+// sets (distinct child-field names, hence distinct fingerprints) chosen so
+// the ring over addrs places exactly `engines` of them on every backend.
+func clusterShardSets(addrs []string, engines int) ([]shardSet, int, error) {
+	ring := route.NewRing(addrs)
+	perOwner := map[string]int{}
+	var out []shardSet
+	queries := 0
+	for i := 0; len(out) < len(addrs)*engines; i++ {
+		if i == 1000 {
+			return nil, 0, fmt.Errorf("could not balance %d shards over %d backends in 1000 candidates", len(addrs)*engines, len(addrs))
+		}
+		l, r := fmt.Sprintf("l%d", i), fmt.Sprintf("r%d", i)
+		set := axiom.BinaryTree(l, r)
+		set.StructName = fmt.Sprintf("BinaryTree%d", i)
+		owner := ring.Owner(set.Fingerprint64())
+		if perOwner[owner] >= engines {
+			continue
+		}
+		perOwner[owner]++
+		// The first two queries are deliberately expensive to answer cold —
+		// closure-over-alternation paths force large DFA compilations and a
+		// deep proof search — and deliberately free to answer warm: the
+		// engine's memo and DFA cache answer the identical repeat instantly.
+		// That asymmetry is the warmth the cluster preserves and the single
+		// backend loses to LRU eviction.
+		any := fmt.Sprintf("(%s|%s)+", l, r)
+		raws := []wire.RawQuery{
+			{SHandle: "h", SPath: any, SField: "val", SWrite: true,
+				THandle: "h", TPath: any, TField: "val"},
+			{SHandle: "h", SPath: l + "." + any, SField: "val", SWrite: true,
+				THandle: "h", TPath: r + "." + any, TField: "val", TWrite: true},
+			{SHandle: "h", SPath: l, SField: "val", SWrite: true,
+				THandle: "h", TPath: r, TField: "val"},
+			{SHandle: "h", SPath: l + "+", SField: "val", SWrite: true,
+				THandle: "h", TPath: r, TField: "val"},
+		}
+		queries = len(raws)
+		body, err := json.Marshal(wire.BatchRequest{AxiomSet: set.Source(), AxiomSetName: set.StructName, Raw: raws})
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, shardSet{set: set, body: body})
+	}
+	return out, queries, nil
+}
+
+// clusterNode is one in-process backend or router with its listener.
+type clusterNode struct {
+	addr  string
+	hs    *http.Server
+	drain func(context.Context) error
+}
+
+func (n *clusterNode) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	n.drain(ctx) //nolint:errcheck // best effort at benchmark teardown
+	n.hs.Close()
+}
+
+func bootClusterBackend(engines int) (*clusterNode, error) {
+	srv := serve.New(serve.Config{
+		Workers:       1,
+		MaxEngines:    engines,
+		MaxConcurrent: 4,
+		QueueDepth:    1024,
+		Telemetry:     telemetry.New(telemetry.NewRegistry(), nil),
+	})
+	return bootNode(srv, srv.Drain)
+}
+
+func bootClusterRouter(backends []string, hedge time.Duration) (*clusterNode, *route.Router, error) {
+	rt := route.New(route.Config{
+		Backends:   backends,
+		HedgeDelay: hedge,
+		Telemetry:  telemetry.New(telemetry.NewRegistry(), nil),
+	})
+	n, err := bootNode(rt, rt.Drain)
+	return n, rt, err
+}
+
+func bootNode(h http.Handler, drain func(context.Context) error) (*clusterNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln) //nolint:errcheck // closed at teardown
+	return &clusterNode{addr: "http://" + ln.Addr().String(), hs: hs, drain: drain}, nil
+}
+
+// runClusterPhase fires `total` requests round-robin over the shard bodies
+// with `clients` concurrent workers and returns the phase summary.
+func runClusterPhase(name, base string, shards []shardSet, total, clients, queriesPer int) ClusterPhase {
+	httpCli := &http.Client{Timeout: 2 * serve.DefaultMaxDeadline}
+	// Untimed warmup: touch every shard once so the measured window reflects
+	// steady state.  A warm ring stays warm; the undersized single backend
+	// thrashes on the very next round-robin pass regardless.
+	for i := range shards {
+		if resp, err := httpCli.Post(base+"/v1/batch", "application/json", bytes.NewReader(shards[i].body)); err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+	}
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		ph   = ClusterPhase{Name: name, Requests: total}
+		next = make(chan int)
+		wg   sync.WaitGroup
+	)
+	go func() {
+		for i := 0; i < total; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r0 := time.Now()
+				resp, err := httpCli.Post(base+"/v1/batch", "application/json", bytes.NewReader(shards[i%len(shards)].body))
+				dur := time.Since(r0)
+				if err != nil {
+					mu.Lock()
+					ph.Errors++
+					mu.Unlock()
+					continue
+				}
+				var br wire.BatchResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&br)
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				mu.Lock()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					ph.Errors++
+				} else {
+					ph.OK++
+					lats = append(lats, dur)
+					if br.Stats.ColdEngine {
+						ph.ColdRequests++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	ph.ElapsedMS = elapsed.Milliseconds()
+	if elapsed > 0 {
+		ph.QPS = float64(ph.OK*queriesPer) / elapsed.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ph.P50US = quantileUS(lats, 0.50)
+	ph.P95US = quantileUS(lats, 0.95)
+	ph.P99US = quantileUS(lats, 0.99)
+	return ph
+}
+
+func runClusterBench(cfg clusterBenchConfig, stdout, stderr io.Writer) int {
+	fatalf := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "aptserved: "+format+"\n", fargs...)
+		return 2
+	}
+	if cfg.backends < 2 {
+		return fatalf("-cluster-backends must be at least 2")
+	}
+	if cfg.engines < 1 {
+		return fatalf("-cluster-engines must be at least 1")
+	}
+
+	// Boot the scaled ring's backends first: shard selection is ring-aware,
+	// so the backend addresses must exist before the shards are chosen.
+	var ringNodes []*clusterNode
+	var ringAddrs []string
+	for i := 0; i < cfg.backends; i++ {
+		n, err := bootClusterBackend(cfg.engines)
+		if err != nil {
+			return fatalf("boot backend: %v", err)
+		}
+		defer n.stop()
+		ringNodes = append(ringNodes, n)
+		ringAddrs = append(ringAddrs, n.addr)
+	}
+	shards, queriesPer, err := clusterShardSets(ringAddrs, cfg.engines)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	rep := BenchClusterReport{
+		Shards:            len(shards),
+		EnginesPerBackend: cfg.engines,
+		QueriesPerRequest: queriesPer,
+	}
+	fmt.Fprintf(stdout, "aptserved: cluster bench: %d shards over %d backends (%d warm engines each), %d requests/phase\n",
+		len(shards), cfg.backends, cfg.engines, cfg.requests)
+
+	// Phase 1 — single backend with the same per-node capacity: every
+	// shard contends for `engines` slots, so the LRU thrashes and most
+	// requests pay a cold engine build.
+	single, err := bootClusterBackend(cfg.engines)
+	if err != nil {
+		return fatalf("boot single backend: %v", err)
+	}
+	defer single.stop()
+	r1, _, err := bootClusterRouter([]string{single.addr}, 0)
+	if err != nil {
+		return fatalf("boot router: %v", err)
+	}
+	defer r1.stop()
+	rep.Single = runClusterPhase("single", r1.addr, shards, cfg.requests, cfg.clients, queriesPer)
+	rep.Single.Backends = 1
+	fmt.Fprintf(stdout, "aptserved: single:  %7.0f queries/sec, p99 %6dus, %d cold\n", rep.Single.QPS, rep.Single.P99US, rep.Single.ColdRequests)
+
+	// Phase 2 — the full ring: every backend holds exactly its owned
+	// shards, so after first touch every request is engine-warm.
+	r2, _, err := bootClusterRouter(ringAddrs, 0)
+	if err != nil {
+		return fatalf("boot router: %v", err)
+	}
+	defer r2.stop()
+	rep.Cluster = runClusterPhase("cluster", r2.addr, shards, cfg.requests, cfg.clients, queriesPer)
+	rep.Cluster.Backends = cfg.backends
+	fmt.Fprintf(stdout, "aptserved: cluster: %7.0f queries/sec, p99 %6dus, %d cold\n", rep.Cluster.QPS, rep.Cluster.P99US, rep.Cluster.ColdRequests)
+
+	// Phase 3 — the same warm ring, hedged: the delay defaults to 3x the
+	// unhedged warm p50, so hedges fire only for genuine stragglers.
+	hedge := cfg.hedge
+	if hedge <= 0 {
+		hedge = 3 * time.Duration(rep.Cluster.P50US) * time.Microsecond
+		if hedge < time.Millisecond {
+			hedge = time.Millisecond
+		}
+	}
+	r3, rt3, err := bootClusterRouter(ringAddrs, hedge)
+	if err != nil {
+		return fatalf("boot router: %v", err)
+	}
+	defer r3.stop()
+	rep.ClusterHedged = runClusterPhase("cluster_hedged", r3.addr, shards, cfg.requests, cfg.clients, queriesPer)
+	rep.ClusterHedged.Backends = cfg.backends
+	rep.ClusterHedged.HedgeDelayUS = hedge.Microseconds()
+	z := rt3.StatzSnapshot()
+	rep.ClusterHedged.HedgesWon, rep.ClusterHedged.HedgesLost, rep.ClusterHedged.HedgesSpared = z.HedgesWon, z.HedgesLost, z.HedgesSpared
+	fmt.Fprintf(stdout, "aptserved: hedged:  %7.0f queries/sec, p99 %6dus (hedge %s: %d won, %d lost, %d spared)\n",
+		rep.ClusterHedged.QPS, rep.ClusterHedged.P99US, hedge, z.HedgesWon, z.HedgesLost, z.HedgesSpared)
+
+	if rep.Single.QPS > 0 {
+		rep.Scaling = rep.Cluster.QPS / rep.Single.QPS
+	}
+	fmt.Fprintf(stdout, "aptserved: scaling: %.2fx at %d backends\n", rep.Scaling, cfg.backends)
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Fprintf(stdout, "%s\n", enc)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(enc, '\n'), 0o644); err != nil {
+			return fatalf("%v", err)
+		}
+		fmt.Fprintf(stdout, "aptserved: wrote %s\n", cfg.out)
+	}
+	if rep.Single.Errors+rep.Cluster.Errors+rep.ClusterHedged.Errors > 0 {
+		return 1
+	}
+	return 0
+}

@@ -15,13 +15,24 @@
 // before exiting; SIGQUIT dumps the flight recorder to stderr without
 // stopping.  -access-log writes one JSONL line per request.
 //
+// Router mode turns the same binary into the cluster's routing tier: a
+// consistent-hash router that shards /v1/batch traffic across backends by
+// axiom-set fingerprint, with health probing, failover, optional hedged
+// retries, and warm engine handoff when the ring changes:
+//
+//	aptserved -router -backends 127.0.0.1:8081,127.0.0.1:8082 -addr :8080
+//	aptserved -router -backends ... -hedge 25ms   # hedge tail requests
+//
 // Load-generator mode (also the BENCH_served.json producer):
 //
 //	aptserved -loadgen -self -program testdata/section33.c \
 //	    -queries-file queries.txt -clients 8 -requests 64 -out BENCH_served.json
 //
 // -self starts an in-process server on a loopback port; point -addr at a
-// running daemon instead to drive it remotely.
+// running daemon instead to drive it remotely.  -loadgen -cluster runs the
+// self-contained cluster scaling benchmark (BENCH_cluster.json): single
+// backend vs an N-backend ring vs the same ring with hedging, all booted
+// in-process.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/automata"
+	"repro/internal/route"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -73,6 +85,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flightRing := fs.Int("flight-ring", 0, "degraded requests the flight recorder's ring retains (0 = default)")
 	preload := fs.String("preload", "", "compiled automata artifact `file` (from aptc) preseeding every engine's DFA cache")
 
+	router := fs.Bool("router", false, "run as a consistent-hash cluster router over -backends instead of a single-node server")
+	backends := fs.String("backends", "", "router: comma-separated backend addresses (host:port or http://...)")
+	hedge := fs.Duration("hedge", 0, "router: hedged-retry delay — duplicate a request to the shard's next backend if the owner has not answered within this delay (0 disables)")
+
 	loadgen := fs.Bool("loadgen", false, "run as a load-generating client instead of a server")
 	self := fs.Bool("self", false, "loadgen: start an in-process server on a loopback port and drive it")
 	program := fs.String("program", "", "loadgen: mini-C source `file` to query")
@@ -83,6 +99,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeoutMS := fs.Int64("timeout-ms", 0, "loadgen: per-query timeout_ms field (0 = server default)")
 	deadlineMS := fs.Int64("deadline-ms", 0, "loadgen: per-request deadline_ms field (0 = server cap)")
 	out := fs.String("out", "", "loadgen: write the latency/hit-rate report to `file` (default stdout only)")
+
+	cluster := fs.Bool("cluster", false, "loadgen: run the cluster scaling benchmark (boots its own backends and routers in-process; writes the BENCH_cluster.json schema)")
+	clusterBackends := fs.Int("cluster-backends", 4, "cluster: ring size of the scaled phase")
+	clusterEngines := fs.Int("cluster-engines", 2, "cluster: per-backend warm-engine capacity (MaxEngines); the shard count is capacity x ring size")
+	clusterRequests := fs.Int("cluster-requests", 240, "cluster: requests per phase")
 
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -134,6 +155,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *router && *loadgen {
+		return fatalf("-router and -loadgen are mutually exclusive")
+	}
+	if *router {
+		var addrs []string
+		for _, a := range strings.Split(*backends, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return fatalf("-router needs -backends")
+		}
+		return runRouter(route.Config{
+			Backends:   addrs,
+			HedgeDelay: *hedge,
+			Telemetry:  cfg.Telemetry,
+			AccessLog:  cfg.AccessLog,
+		}, *addr, *portFile, stdout, stderr)
+	}
+	if *loadgen && *cluster {
+		return runClusterBench(clusterBenchConfig{
+			backends: *clusterBackends,
+			engines:  *clusterEngines,
+			requests: *clusterRequests,
+			clients:  *clients,
+			hedge:    *hedge,
+			out:      *out,
+		}, stdout, stderr)
+	}
 	if *loadgen {
 		return runLoadgen(loadgenConfig{
 			addr:       *addr,
@@ -213,6 +264,73 @@ func runServer(cfg serve.Config, addr, portFile string, stdout, stderr io.Writer
 	st := srv.StatzSnapshot()
 	fmt.Fprintf(stdout, "aptserved: drained: %d accepted, %d completed, %d shed, %d refused during drain\n",
 		st.Accepted, st.Completed, st.Shed, st.RefusedDraining)
+	if drainErr != nil {
+		fmt.Fprintf(stderr, "aptserved: drain: %v\n", drainErr)
+		return 1
+	}
+	return 0
+}
+
+// runRouter is runServer's shape for the routing tier: listen, route until
+// SIGTERM/SIGINT, drain in-flight forwards, exit 0 on a clean drain.
+// SIGQUIT dumps the router statz (ring, hedges, per-backend health) to
+// stderr without stopping.
+func runRouter(cfg route.Config, addr, portFile string, stdout, stderr io.Writer) int {
+	rt := route.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "aptserved: listen: %v\n", err)
+		return 2
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(stderr, "aptserved: port-file: %v\n", err)
+			return 2
+		}
+	}
+	fmt.Fprintf(stdout, "aptserved: routing on %s across %d backends\n", ln.Addr(), len(cfg.Backends))
+
+	hs := &http.Server{Handler: rt}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	quitDone := make(chan struct{})
+	go func() {
+		defer close(quitDone)
+		for range quit {
+			enc, err := json.MarshalIndent(rt.StatzSnapshot(), "", "  ")
+			if err != nil {
+				fmt.Fprintf(stderr, "aptserved: statz dump: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stderr, "aptserved: router statz dump (SIGQUIT)\n%s\n", enc)
+		}
+	}()
+	defer func() { signal.Stop(quit); close(quit); <-quitDone }()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "aptserved: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(stdout, "aptserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drainErr := rt.Drain(drainCtx)
+	if err := hs.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	z := rt.StatzSnapshot()
+	fmt.Fprintf(stdout, "aptserved: drained: %d accepted, %d completed, %d shed, %d refused during drain\n",
+		z.Accepted, z.Completed, z.Shed, z.RefusedDraining)
 	if drainErr != nil {
 		fmt.Fprintf(stderr, "aptserved: drain: %v\n", drainErr)
 		return 1

@@ -284,6 +284,167 @@ func TestLoadgenSelfWritesBenchReport(t *testing.T) {
 	}
 }
 
+// TestClusterSmokeAndDrain boots two backend daemons and a router daemon
+// in-process — three run() instances in one process, exactly as three
+// aptserved invocations would run on one host — sends a batch through the
+// router, and then delivers a single SIGTERM: every instance registered the
+// signal, so all three must drain cleanly and exit 0.
+func TestClusterSmokeAndDrain(t *testing.T) {
+	dir := t.TempDir()
+
+	type instance struct {
+		stdout *syncBuffer
+		stderr *syncBuffer
+		done   chan int
+	}
+	start := func(args ...string) *instance {
+		inst := &instance{stdout: &syncBuffer{}, stderr: &syncBuffer{}, done: make(chan int, 1)}
+		go func() { inst.done <- run(args, inst.stdout, inst.stderr) }()
+		return inst
+	}
+	waitPort := func(portFile string, inst *instance) string {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+				return "http://" + string(b)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no port file %s (stderr: %s)", portFile, inst.stderr.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var backends []*instance
+	var backendBases []string
+	for i := 0; i < 2; i++ {
+		portFile := filepath.Join(dir, "backend"+string(rune('1'+i)))
+		inst := start("-addr", "127.0.0.1:0", "-port-file", portFile, "-workers", "1")
+		backends = append(backends, inst)
+		backendBases = append(backendBases, waitPort(portFile, inst))
+	}
+
+	routerPort := filepath.Join(dir, "router")
+	router := start("-router",
+		"-backends", strings.TrimPrefix(backendBases[0], "http://")+","+strings.TrimPrefix(backendBases[1], "http://"),
+		"-addr", "127.0.0.1:0", "-port-file", routerPort)
+	routerBase := waitPort(routerPort, router)
+	if !strings.Contains(router.stdout.String(), "routing on") {
+		t.Errorf("router stdout missing banner:\n%s", router.stdout.String())
+	}
+
+	src, err := os.ReadFile("../../testdata/section33.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.BatchRequest{
+		Program: string(src), Fn: "subr", Queries: []string{"between S T"},
+	})
+	resp, err := http.Post(routerBase+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(br.Results) == 0 {
+		t.Fatalf("batch via router = %d with %d results", resp.StatusCode, len(br.Results))
+	}
+	for i, r := range br.Results {
+		if r.Result != "No" {
+			t.Errorf("results[%d] = %q (%s), want No", i, r.Result, r.Reason)
+		}
+	}
+	via := resp.Header.Get("X-Apt-Backend")
+	if via != backendBases[0] && via != backendBases[1] {
+		t.Errorf("X-Apt-Backend = %q, want one of %v", via, backendBases)
+	}
+
+	// SIGQUIT: the router dumps its statz, the backends their flight
+	// recorders — all without stopping service.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	dumpDeadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(router.stderr.String(), "router statz dump") {
+		if time.Now().After(dumpDeadline) {
+			t.Fatalf("no router statz dump after SIGQUIT (stderr: %s)", router.stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dump := router.stderr.String(); !strings.Contains(dump, `"backends"`) {
+		t.Errorf("router statz dump lacks backends:\n%s", dump)
+	}
+
+	// One SIGTERM reaches all three instances; each must drain and exit 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i, inst := range append([]*instance{router}, backends...) {
+		select {
+		case code := <-inst.done:
+			if code != 0 {
+				t.Fatalf("instance %d exited %d (stderr: %s)", i, code, inst.stderr.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("instance %d did not drain after SIGTERM", i)
+		}
+	}
+	if out := router.stdout.String(); !strings.Contains(out, "drained: 1 accepted, 1 completed") {
+		t.Errorf("router stdout missing drain summary:\n%s", out)
+	}
+}
+
+// TestClusterBenchSmoke runs the three-phase cluster benchmark end to end
+// at a tiny scale and validates the BENCH_cluster.json it writes.
+func TestClusterBenchSmoke(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-loadgen", "-cluster",
+		"-cluster-backends", "2", "-cluster-engines", "1", "-cluster-requests", "8",
+		"-clients", "4", "-out", outFile,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("cluster bench exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchClusterReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report: %v", err)
+	}
+	if rep.Shards != 2 || rep.EnginesPerBackend != 1 {
+		t.Errorf("shards=%d engines=%d, want 2 shards at 1 engine each", rep.Shards, rep.EnginesPerBackend)
+	}
+	for _, ph := range []ClusterPhase{rep.Single, rep.Cluster, rep.ClusterHedged} {
+		if ph.OK != 8 || ph.Errors != 0 {
+			t.Errorf("phase %s: ok=%d errors=%d, want 8/0", ph.Name, ph.OK, ph.Errors)
+		}
+		if ph.QPS <= 0 || ph.P50US <= 0 || ph.P99US < ph.P50US {
+			t.Errorf("phase %s: implausible summary qps=%v p50=%d p99=%d", ph.Name, ph.QPS, ph.P50US, ph.P99US)
+		}
+	}
+	if rep.Cluster.Backends != 2 || rep.ClusterHedged.HedgeDelayUS <= 0 {
+		t.Errorf("cluster backends=%d hedge_delay_us=%d", rep.Cluster.Backends, rep.ClusterHedged.HedgeDelayUS)
+	}
+	// The undersized single backend must report cold rebuilds; the warmed
+	// ring must not.
+	if rep.Single.ColdRequests == 0 {
+		t.Error("single phase reported no cold requests; the LRU thrash never happened")
+	}
+	if rep.Cluster.ColdRequests != 0 {
+		t.Errorf("cluster phase reported %d cold requests after warmup", rep.Cluster.ColdRequests)
+	}
+	if rep.Scaling <= 0 {
+		t.Errorf("scaling = %v", rep.Scaling)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
@@ -294,5 +455,14 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"stray"}, &stdout, &stderr); code != 2 {
 		t.Errorf("stray argument exited %d, want 2", code)
+	}
+	if code := run([]string{"-router"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-router without -backends exited %d, want 2", code)
+	}
+	if code := run([]string{"-router", "-loadgen", "-backends", "x"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-router -loadgen exited %d, want 2", code)
+	}
+	if code := run([]string{"-loadgen", "-cluster", "-cluster-backends", "1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-cluster with one backend exited %d, want 2", code)
 	}
 }

@@ -188,25 +188,29 @@ func (a *analyzer) guardTainted(at guard.Atom) bool {
 	return false
 }
 
-// collectAxioms merges the axiom sets of every struct declared in the
-// program, plus inferred type-disjointness axioms when enabled.
-func (a *analyzer) collectAxioms() {
-	merged := &axiom.Set{StructName: a.fn.Name}
-	for _, s := range a.prog.Structs {
+// CollectAxioms merges the axiom sets of every struct declared in the
+// program, plus inferred type-disjointness axioms when inferTypes is set,
+// naming the merged set after fnName.  This is exactly the axiom set a full
+// Analyze of that function would report — exported separately because the
+// cluster router needs only this (the set's fingerprint decides ring
+// placement) and must not pay for the dataflow walk per routed request.
+func CollectAxioms(prog *lang.Program, fnName string, inferTypes bool) *axiom.Set {
+	merged := &axiom.Set{StructName: fnName}
+	for _, s := range prog.Structs {
 		if s.Axioms == nil {
 			continue
 		}
 		for _, ax := range s.Axioms.Axioms {
 			named := ax
-			if len(a.prog.Structs) > 1 && named.Name != "" {
+			if len(prog.Structs) > 1 && named.Name != "" {
 				named.Name = s.Name + "." + named.Name
 			}
 			merged.Add(named)
 		}
 	}
-	if a.opts.InferTypeAxioms {
+	if inferTypes {
 		structs := make(map[string][]axiom.FieldDecl)
-		for _, s := range a.prog.Structs {
+		for _, s := range prog.Structs {
 			var fds []axiom.FieldDecl
 			for _, f := range s.Fields {
 				if f.Type.IsPointerToStruct() {
@@ -221,7 +225,12 @@ func (a *analyzer) collectAxioms() {
 			merged.Add(ax)
 		}
 	}
-	a.res.Axioms = merged
+	return merged
+}
+
+// collectAxioms records the merged axiom set on the analysis result.
+func (a *analyzer) collectAxioms() {
+	a.res.Axioms = CollectAxioms(a.prog, a.fn.Name, a.opts.InferTypeAxioms)
 }
 
 func (a *analyzer) freshHandle(v string) string {

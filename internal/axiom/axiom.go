@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/pathexpr"
+	"repro/internal/strhash"
 )
 
 // Form distinguishes the three axiom shapes.
@@ -100,6 +101,7 @@ type Set struct {
 		n   int
 		key string
 		id  uint64
+		fp  uint64
 	}
 }
 
@@ -207,6 +209,28 @@ func (s *Set) ID() uint64 {
 	return s.memo.id
 }
 
+// Fingerprint64 returns the set's cross-process-stable identity: the
+// FNV-64a hash of the canonical Key().  Unlike ID() — which is assigned by
+// a process-local append-only registry and therefore depends on interning
+// order — the fingerprint is a pure function of the axiom content, so two
+// processes that never exchanged state agree on it.  It is what may cross
+// the wire: the cluster router's consistent-hash ring places axiom sets on
+// backends by fingerprint, and the warm-handoff snapshot endpoints address
+// engines by it.  (Like Key, it is name- and declaration-order-blind.)
+func (s *Set) Fingerprint64() uint64 {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	s.refreshMemoLocked()
+	return s.memo.fp
+}
+
+// Fingerprint64ForKey hashes a canonical fingerprint string (a Key
+// rendering, possibly produced by another process) the same way
+// Set.Fingerprint64 does.
+func Fingerprint64ForKey(key string) uint64 {
+	return strhash.FNV64a(key)
+}
+
 // refreshMemoLocked recomputes the key/ID memo when the axiom count changed
 // since the last computation.  Caller holds s.memo.mu.
 func (s *Set) refreshMemoLocked() {
@@ -223,6 +247,7 @@ func (s *Set) refreshMemoLocked() {
 	id := internKeyLocked(key)
 	setIDs.mu.Unlock()
 	s.memo.ok, s.memo.n, s.memo.key, s.memo.id = true, len(s.Axioms), key, id
+	s.memo.fp = Fingerprint64ForKey(key)
 }
 
 // WithoutFields returns a new set containing only axioms that mention none
@@ -278,6 +303,41 @@ type axiomFP struct {
 
 func fingerprint(a Axiom) axiomFP {
 	return axiomFP{form: a.Form, re1: pathexpr.InternID(a.RE1), re2: pathexpr.InternID(a.RE2)}
+}
+
+// SourceLine renders the axiom in the ASCII concrete syntax Parse accepts
+// ("forall" and "eps" rather than "∀" and "ε"), without a trailing
+// separator.  Parse(SourceLine(a)) yields an axiom with equal form and
+// expression languages, which is what lets axiom sets travel as text: in
+// struct declarations, in wire-format raw-query requests, and in test
+// fixtures.
+func (a Axiom) SourceLine() string {
+	re1 := strings.ReplaceAll(a.RE1.String(), "ε", "eps")
+	re2 := strings.ReplaceAll(a.RE2.String(), "ε", "eps")
+	name := ""
+	if a.Name != "" {
+		name = a.Name + ": "
+	}
+	switch a.Form {
+	case DiffSrcDisjoint:
+		return fmt.Sprintf("%sforall p <> q, p.%s <> q.%s", name, re1, re2)
+	case SameSrcEqual:
+		return fmt.Sprintf("%sforall p, p.%s = p.%s", name, re1, re2)
+	default:
+		return fmt.Sprintf("%sforall p, p.%s <> p.%s", name, re1, re2)
+	}
+}
+
+// Source renders the whole set as parseable axiom lines: ParseSet(name,
+// s.Source()) reconstructs a set with an equal Key (and therefore equal
+// Fingerprint64), which the wire layer's raw-query mode relies on.
+func (s *Set) Source() string {
+	var b strings.Builder
+	for _, a := range s.Axioms {
+		b.WriteString(a.SourceLine())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // Len returns the number of axioms.

@@ -1,0 +1,672 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/axiom"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// newBackendTS boots one real single-node server — the router composes the
+// very servers the rest of the suite tests.
+func newBackendTS(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 2, MaxConcurrent: 8, QueueDepth: 64}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	rt := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rt.Drain(ctx) //nolint:errcheck
+	})
+	return rt
+}
+
+func postBatch(t *testing.T, url string, req wire.BatchRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, out
+}
+
+// rawTreeReq is a small raw-mode request over the leaf-linked binary tree
+// (two provably independent pairs).
+func rawTreeReq() wire.BatchRequest {
+	tree := axiom.LeafLinkedBinaryTree()
+	return wire.BatchRequest{
+		AxiomSet:     tree.Source(),
+		AxiomSetName: tree.StructName,
+		Raw: []wire.RawQuery{
+			{SHandle: "h", SPath: "L", SField: "val", SWrite: true,
+				THandle: "h", TPath: "R", TField: "val"},
+			{SHandle: "h", SPath: "", SField: "val", SWrite: true,
+				THandle: "k", TPath: "", TField: "val", Relation: "distinct"},
+		},
+	}
+}
+
+// reqFingerprint computes a request's placement key exactly the way the
+// router does (the raw-mode path touches no router state).
+func reqFingerprint(req *wire.BatchRequest) uint64 {
+	return (&Router{}).fingerprint(req)
+}
+
+// rawFromQuery converts one engine workload query to its wire form.  The
+// conversion is lossless: workload queries carry only axioms, accesses, and
+// the handle relation — exactly the raw-mode vocabulary.
+func rawFromQuery(q core.Query) wire.RawQuery {
+	rel := "same"
+	switch q.Relation {
+	case core.DistinctHandles:
+		rel = "distinct"
+	case core.UnknownHandles:
+		rel = "unknown"
+	}
+	if q.S.Handle == q.T.Handle {
+		rel = "same"
+	}
+	return wire.RawQuery{
+		SHandle: q.S.Handle, SPath: q.S.Path.String(), SField: q.S.Field, SWrite: q.S.IsWrite,
+		THandle: q.T.Handle, TPath: q.T.Path.String(), TField: q.T.Field, TWrite: q.T.IsWrite,
+		Relation: rel,
+	}
+}
+
+// TestRouterByteIdenticalVerdicts is the cluster's correctness anchor: the
+// full 228-query engine differential workload, grouped by validity window
+// into raw-mode batches, must answer byte-identically whether it runs
+// against one directly-addressed server or through the consistent-hash
+// router over four backends.  It also pins placement: each window's batch
+// must land on exactly the backend the ring owns it to.
+func TestRouterByteIdenticalVerdicts(t *testing.T) {
+	queries := engine.Workload(1, 0)
+	if len(queries) != 228 {
+		t.Fatalf("workload = %d queries, want 228", len(queries))
+	}
+
+	// Group by window, preserving first-sighting order.
+	type group struct {
+		set  *axiom.Set
+		raws []wire.RawQuery
+	}
+	var order []*group
+	bySet := map[*axiom.Set]*group{}
+	for _, q := range queries {
+		g := bySet[q.Axioms]
+		if g == nil {
+			g = &group{set: q.Axioms}
+			bySet[q.Axioms] = g
+			order = append(order, g)
+		}
+		g.raws = append(g.raws, rawFromQuery(q))
+	}
+
+	direct := newBackendTS(t)
+	var addrs []string
+	for i := 0; i < 4; i++ {
+		addrs = append(addrs, newBackendTS(t).URL)
+	}
+	rt := newRouter(t, Config{Backends: addrs})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	total := 0
+	expected := map[string]int64{} // ring-owner addr → batches owed
+	for _, g := range order {
+		req := wire.BatchRequest{AxiomSet: g.set.Source(), AxiomSetName: g.set.StructName, Raw: g.raws}
+		expected[rt.currentRing().Owner(reqFingerprint(&req))]++
+
+		dResp, dBody := postBatch(t, direct.URL, req)
+		rResp, rBody := postBatch(t, rts.URL, req)
+		if dResp.StatusCode != http.StatusOK || rResp.StatusCode != http.StatusOK {
+			t.Fatalf("window %s: direct=%d routed=%d, want 200/200\ndirect: %s\nrouted: %s",
+				g.set.StructName, dResp.StatusCode, rResp.StatusCode, dBody, rBody)
+		}
+		var dr, rr wire.BatchResponse
+		if err := json.Unmarshal(dBody, &dr); err != nil {
+			t.Fatalf("window %s: direct response: %v", g.set.StructName, err)
+		}
+		if err := json.Unmarshal(rBody, &rr); err != nil {
+			t.Fatalf("window %s: routed response: %v", g.set.StructName, err)
+		}
+		dj, _ := json.Marshal(dr.Results)
+		rj, _ := json.Marshal(rr.Results)
+		if !bytes.Equal(dj, rj) {
+			t.Fatalf("window %s: verdicts differ between direct and routed:\ndirect: %s\nrouted: %s",
+				g.set.StructName, dj, rj)
+		}
+		if dr.Dependent != rr.Dependent {
+			t.Fatalf("window %s: Dependent differs: direct=%v routed=%v", g.set.StructName, dr.Dependent, rr.Dependent)
+		}
+		total += len(rr.Results)
+	}
+	if total != 228 {
+		t.Fatalf("answered %d queries through the router, want 228", total)
+	}
+
+	// Placement check: forwarded counts must equal the ring's ownership —
+	// every batch went to its owner, no failover, no strays.
+	z := rt.StatzSnapshot()
+	for _, b := range z.Backends {
+		if b.Forwarded != expected[b.Addr] {
+			t.Errorf("backend %s forwarded %d batches, ring owes it %d", b.Addr, b.Forwarded, expected[b.Addr])
+		}
+	}
+	if z.Accepted != z.Completed || z.Accepted != int64(len(order)) {
+		t.Errorf("accepted=%d completed=%d, want both %d", z.Accepted, z.Completed, len(order))
+	}
+}
+
+// TestRouterPropagatesRetryAfter: a backend's 429 is the shard owner's
+// considered backpressure estimate — the router must deliver status, body,
+// and the Retry-After header verbatim, not re-derive its own.
+func TestRouterPropagatesRetryAfter(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.Header().Set("Retry-After", "17")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"server busy; retry"}`)
+	}))
+	defer fake.Close()
+
+	rt := newRouter(t, Config{Backends: []string{fake.URL}})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, body := postBatch(t, rts.URL, rawTreeReq())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "17" {
+		t.Errorf("Retry-After = %q, want the backend's own %q", got, "17")
+	}
+	var er wire.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error != "server busy; retry" {
+		t.Errorf("body = %s, want the backend's error verbatim", body)
+	}
+	if got := resp.Header.Get("X-Apt-Backend"); got != fake.URL {
+		t.Errorf("X-Apt-Backend = %q, want %q", got, fake.URL)
+	}
+}
+
+// hedgePair is a two-backend harness: two scriptable fake backends plus a
+// request steered (by content hash) so backend a owns its shard and backend
+// b is the hedge target.  Handlers are fixed at construction, so there is
+// no handler mutation to race with the serving goroutines.
+type hedgePair struct {
+	a, b      *httptest.Server
+	aCanceled chan struct{}
+	bGotReq   chan struct{}
+	bGotOnce  *sync.Once
+	req       wire.BatchRequest
+}
+
+// newHedgePair builds the harness.  aH and bH handle /v1/batch on the owner
+// and the hedge backend; both may use the pair's channels (created before
+// the servers start, so channel operations are the only cross-goroutine
+// communication).
+func newHedgePair(t *testing.T, aH, bH func(p *hedgePair, w http.ResponseWriter, r *http.Request)) *hedgePair {
+	t.Helper()
+	p := &hedgePair{aCanceled: make(chan struct{}, 1), bGotReq: make(chan struct{}), bGotOnce: new(sync.Once)}
+	mk := func(h func(p *hedgePair, w http.ResponseWriter, r *http.Request)) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+			h(p, w, r)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	p.a, p.b = mk(aH), mk(bH)
+
+	// Steer: an unparsable axiom-set body fingerprints as a pure content
+	// hash, so scanning a few variants always finds one owned by a.
+	ring := NewRing([]string{p.a.URL, p.b.URL})
+	for i := 0; ; i++ {
+		if i == 1000 {
+			t.Fatal("no steering fingerprint found in 1000 variants")
+		}
+		req := wire.BatchRequest{
+			AxiomSet: fmt.Sprintf("?steer variant %d?", i),
+			Raw:      []wire.RawQuery{{SHandle: "h", THandle: "h", SField: "v", TField: "v"}},
+		}
+		if _, err := axiom.ParseSet("", req.AxiomSet); err == nil {
+			continue // must stay on the content-hash path
+		}
+		if ring.Owner(reqFingerprint(&req)) == p.a.URL {
+			p.req = req
+			break
+		}
+	}
+	return p
+}
+
+func (p *hedgePair) noteBGotReq() { p.bGotOnce.Do(func() { close(p.bGotReq) }) }
+
+func okBody(who string) string {
+	return fmt.Sprintf(`{"results":[],"dependent":false,"stats":{"axiom_set":%q}}`, who)
+}
+
+// TestHedgeWins: the owner hangs, the hedge answers — the client gets the
+// hedge's verdict, the outcome counts as exactly one won hedge and one
+// completion, and the owner's in-flight request is canceled.
+func TestHedgeWins(t *testing.T) {
+	p := newHedgePair(t,
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			// Drain the body so the server watches the connection: an
+			// HTTP/1.1 server only cancels r.Context() on client disconnect
+			// once the request body has been consumed.
+			io.Copy(io.Discard, r.Body) //nolint:errcheck
+			select {                    // hang until the router cancels the losing attempt
+			case <-r.Context().Done():
+				select {
+				case p.aCanceled <- struct{}{}:
+				default:
+				}
+			case <-time.After(10 * time.Second):
+			}
+		},
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			p.noteBGotReq()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, okBody("hedge"))
+		})
+
+	rt := newRouter(t, Config{Backends: []string{p.a.URL, p.b.URL}, HedgeDelay: 5 * time.Millisecond})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, body := postBatch(t, rts.URL, p.req)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hedge") {
+		t.Fatalf("status=%d body=%s, want the hedge's 200", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Apt-Backend"); got != p.b.URL {
+		t.Errorf("X-Apt-Backend = %q, want hedge backend %q", got, p.b.URL)
+	}
+	select {
+	case <-p.aCanceled:
+	case <-time.After(5 * time.Second):
+		t.Error("losing attempt was never canceled")
+	}
+	z := rt.StatzSnapshot()
+	if z.HedgesWon != 1 || z.HedgesLost != 0 || z.HedgesSpared != 0 {
+		t.Errorf("hedge outcomes won=%d lost=%d spared=%d, want exactly one won", z.HedgesWon, z.HedgesLost, z.HedgesSpared)
+	}
+	if z.Accepted != 1 || z.Completed != 1 {
+		t.Errorf("accepted=%d completed=%d, want 1/1 — a hedge must not double-count the completion", z.Accepted, z.Completed)
+	}
+}
+
+// TestHedgeLoses: the hedge fires but the owner answers first — the owner's
+// verdict is delivered, the hedge attempt is canceled, one lost hedge and
+// one completion are counted.
+func TestHedgeLoses(t *testing.T) {
+	p := newHedgePair(t,
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			<-p.bGotReq // deterministically wait until the hedge is in flight
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, okBody("owner"))
+		},
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body) //nolint:errcheck // enable disconnect detection
+			p.noteBGotReq()
+			select { // lose: hang until canceled
+			case <-r.Context().Done():
+			case <-time.After(10 * time.Second):
+			}
+		})
+
+	rt := newRouter(t, Config{Backends: []string{p.a.URL, p.b.URL}, HedgeDelay: 5 * time.Millisecond})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, body := postBatch(t, rts.URL, p.req)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "owner") {
+		t.Fatalf("status=%d body=%s, want the owner's 200", resp.StatusCode, body)
+	}
+	z := rt.StatzSnapshot()
+	if z.HedgesWon != 0 || z.HedgesLost != 1 || z.HedgesSpared != 0 {
+		t.Errorf("hedge outcomes won=%d lost=%d spared=%d, want exactly one lost", z.HedgesWon, z.HedgesLost, z.HedgesSpared)
+	}
+	if z.Accepted != 1 || z.Completed != 1 {
+		t.Errorf("accepted=%d completed=%d, want 1/1", z.Accepted, z.Completed)
+	}
+}
+
+// TestHedgeSpared: the owner answers well within the hedge delay — no hedge
+// fires, the spared outcome is counted, the hedge backend never sees the
+// request.
+func TestHedgeSpared(t *testing.T) {
+	p := newHedgePair(t,
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, okBody("owner"))
+		},
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			p.noteBGotReq()
+			fmt.Fprint(w, okBody("hedge"))
+		})
+
+	rt := newRouter(t, Config{Backends: []string{p.a.URL, p.b.URL}, HedgeDelay: 10 * time.Second})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, body := postBatch(t, rts.URL, p.req)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "owner") {
+		t.Fatalf("status=%d body=%s, want the owner's 200", resp.StatusCode, body)
+	}
+	select {
+	case <-p.bGotReq:
+		t.Error("hedge backend saw a request despite the owner answering in time")
+	default:
+	}
+	z := rt.StatzSnapshot()
+	if z.HedgesWon != 0 || z.HedgesLost != 0 || z.HedgesSpared != 1 {
+		t.Errorf("hedge outcomes won=%d lost=%d spared=%d, want exactly one spared", z.HedgesWon, z.HedgesLost, z.HedgesSpared)
+	}
+}
+
+// TestHedgeVersusDrain: the owner starts draining (503) while a hedge is in
+// flight.  Exactly one verdict — the hedge's 200 — reaches the client; the
+// 503 is swallowed as a failover, not surfaced alongside.
+func TestHedgeVersusDrain(t *testing.T) {
+	p := newHedgePair(t,
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			<-p.bGotReq // drain verdict lands while the hedge is in flight
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"shutting down; not accepting requests"}`)
+		},
+		func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+			p.noteBGotReq()
+			time.Sleep(20 * time.Millisecond) // answer after the owner's 503
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, okBody("hedge"))
+		})
+
+	rt := newRouter(t, Config{Backends: []string{p.a.URL, p.b.URL}, HedgeDelay: 5 * time.Millisecond})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, body := postBatch(t, rts.URL, p.req)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hedge") {
+		t.Fatalf("status=%d body=%s, want exactly the hedge's 200 verdict", resp.StatusCode, body)
+	}
+	z := rt.StatzSnapshot()
+	if z.Accepted != 1 || z.Completed != 1 {
+		t.Errorf("accepted=%d completed=%d, want 1/1 — one request, one verdict", z.Accepted, z.Completed)
+	}
+	if z.HedgesWon != 1 {
+		t.Errorf("hedges won = %d, want 1 (the hedge delivered while the owner drained)", z.HedgesWon)
+	}
+}
+
+// TestAllBackendsDraining: when every member answers 503 the router
+// propagates the drain answer rather than inventing its own — and still
+// counts exactly one completion.
+func TestAllBackendsDraining(t *testing.T) {
+	drain := func(p *hedgePair, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"shutting down; not accepting requests"}`)
+	}
+	p := newHedgePair(t, drain, drain)
+
+	rt := newRouter(t, Config{Backends: []string{p.a.URL, p.b.URL}})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, body := postBatch(t, rts.URL, p.req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (body %s), want the backends' 503 propagated", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "shutting down") {
+		t.Errorf("body = %s, want the backend's drain error", body)
+	}
+	z := rt.StatzSnapshot()
+	if z.Accepted != 1 || z.Completed != 1 {
+		t.Errorf("accepted=%d completed=%d, want 1/1", z.Accepted, z.Completed)
+	}
+}
+
+// TestFailoverOnDownBackend: the shard owner's listener is gone — the
+// router fails over to the next ring member and marks the owner down.  The
+// owner is chosen deterministically: whichever of the two servers the ring
+// places the request on is the one that gets killed.
+func TestFailoverOnDownBackend(t *testing.T) {
+	s1, s2 := newBackendTS(t), newBackendTS(t)
+	req := rawTreeReq()
+	owner := NewRing([]string{s1.URL, s2.URL}).Owner(reqFingerprint(&req))
+	live := s1
+	dead := s2
+	if owner == s1.URL {
+		live, dead = s2, s1
+	}
+	deadURL := dead.URL
+	dead.Close() // nothing listens on the owner's address anymore
+
+	rt := newRouter(t, Config{Backends: []string{live.URL, deadURL}})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	resp, body := postBatch(t, rts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (body %s), want 200 via failover", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Apt-Backend"); got != live.URL {
+		t.Errorf("X-Apt-Backend = %q, want the live backend %q", got, live.URL)
+	}
+	z := rt.StatzSnapshot()
+	for _, b := range z.Backends {
+		if b.Addr == deadURL && b.Up {
+			t.Error("dead backend still marked up after a failed forward")
+		}
+	}
+}
+
+// TestWarmHandoffOnRingChange is deterministic by construction: with two
+// live servers we let the ring decide which one owns the tree shard under
+// the two-member ring, start the router with only the OTHER member, warm the
+// shard there, then add the owner.  The shard must move, the warm state must
+// ship, and the gaining backend's first request must run engine-warm.
+func TestWarmHandoffOnRingChange(t *testing.T) {
+	s1, s2 := newBackendTS(t), newBackendTS(t)
+	req := rawTreeReq()
+
+	gaining := NewRing([]string{s1.URL, s2.URL}).Owner(reqFingerprint(&req))
+	losing := s1.URL
+	if gaining == s1.URL {
+		losing = s2.URL
+	}
+
+	rt := newRouter(t, Config{Backends: []string{losing}})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	// Warm the shard on the losing member (cold build there).
+	resp, body := postBatch(t, rts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status = %d (body %s)", resp.StatusCode, body)
+	}
+	var br wire.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("warmup response: %v", err)
+	}
+	if !br.Stats.ColdEngine {
+		t.Fatal("warmup request should have built the engine cold")
+	}
+
+	// Ring change: the owner joins; the tree shard moves to it warm.
+	rt.SetBackends([]string{losing, gaining})
+	z := rt.StatzSnapshot()
+	if z.RingMoves < 1 {
+		t.Fatalf("ring moves = %d, want ≥1 — the tree shard's owner changed", z.RingMoves)
+	}
+	if z.WarmHandoffs != 1 {
+		t.Fatalf("warm handoffs = %d, want exactly 1", z.WarmHandoffs)
+	}
+
+	// The moved shard's first request on the gaining backend rides the
+	// shipped artifact: warm engine, not a cold build.
+	resp, body = postBatch(t, rts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-move status = %d (body %s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Apt-Backend"); got != gaining {
+		t.Fatalf("post-move request went to %q, want the gaining owner %q", got, gaining)
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("post-move response: %v", err)
+	}
+	if br.Stats.ColdEngine {
+		t.Error("gaining backend built cold despite the warm handoff")
+	}
+}
+
+// TestRingChangeUnderLoad: concurrent traffic across several shards while
+// members join and leave.  Every request must get exactly one 200 verdict —
+// accepted == completed, nothing shed, nothing lost, nothing in flight at
+// the end.
+func TestRingChangeUnderLoad(t *testing.T) {
+	a, b, c := newBackendTS(t), newBackendTS(t), newBackendTS(t)
+	rt := newRouter(t, Config{Backends: []string{a.URL, b.URL}})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	// A handful of distinct shards: the workload windows all fingerprint
+	// differently.
+	var reqs []wire.BatchRequest
+	for _, set := range engine.WorkloadWindows() {
+		reqs = append(reqs, wire.BatchRequest{
+			AxiomSet:     set.Source(),
+			AxiomSetName: set.StructName,
+			Raw: []wire.RawQuery{
+				{SHandle: "h", SPath: "L", SField: "val", SWrite: true, THandle: "h", TPath: "R", TField: "val"},
+			},
+		})
+	}
+
+	const workers, perWorker = 6, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := reqs[(w+i)%len(reqs)]
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(rts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d req %d: %v", w, i, err)
+					continue
+				}
+				out, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("worker %d req %d: status %d (%s)", w, i, resp.StatusCode, out)
+				}
+			}
+		}(w)
+	}
+
+	// Membership churn while the burst is in flight: grow, shrink, regrow.
+	rt.SetBackends([]string{a.URL, b.URL, c.URL})
+	rt.SetBackends([]string{a.URL, c.URL})
+	rt.SetBackends([]string{a.URL, b.URL, c.URL})
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	z := rt.StatzSnapshot()
+	total := int64(workers * perWorker)
+	if z.Accepted != total || z.Completed != total {
+		t.Errorf("accepted=%d completed=%d, want both %d — no request may be lost across ring changes", z.Accepted, z.Completed, total)
+	}
+	if z.Inflight != 0 {
+		t.Errorf("inflight = %d after the burst, want 0", z.Inflight)
+	}
+	if z.Shed != 0 || z.RefusedDraining != 0 {
+		t.Errorf("shed=%d refused=%d, want 0/0", z.Shed, z.RefusedDraining)
+	}
+}
+
+// TestRouterMetrics: the /metrics exposition parses under the registry's
+// own validator and carries the cluster families the ISSUE names.
+func TestRouterMetrics(t *testing.T) {
+	backend := newBackendTS(t)
+	tel := telemetry.New(telemetry.NewRegistry(), nil)
+	rt := newRouter(t, Config{Backends: []string{backend.URL}, Telemetry: tel})
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	if resp, body := postBatch(t, rts.URL, rawTreeReq()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d (%s)", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(rts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	if err := telemetry.ValidatePrometheus(body); err != nil {
+		t.Fatalf("metrics do not validate: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"apt_backend_up{backend=",
+		"apt_backend_forwarded_total{backend=",
+		`apt_hedge_total{outcome="won"}`,
+		`apt_hedge_total{outcome="lost"}`,
+		`apt_hedge_total{outcome="spared"}`,
+		"apt_ring_moves_total",
+		"apt_ring_warm_handoffs_total",
+		"apt_router_accepted_total",
+		"apt_router_inflight",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -97,22 +97,10 @@ func (f *Family) StructSource() string {
 	return b.String()
 }
 
-// sourceAxiom renders one axiom as a parseable axioms-block line.
+// sourceAxiom renders one axiom as a parseable axioms-block line (the
+// shared ASCII rendering, plus the block's ';' separator).
 func sourceAxiom(a axiom.Axiom) string {
-	re1 := strings.ReplaceAll(a.RE1.String(), "ε", "eps")
-	re2 := strings.ReplaceAll(a.RE2.String(), "ε", "eps")
-	name := ""
-	if a.Name != "" {
-		name = a.Name + ": "
-	}
-	switch a.Form {
-	case axiom.DiffSrcDisjoint:
-		return fmt.Sprintf("%sforall p <> q, p.%s <> q.%s;", name, re1, re2)
-	case axiom.SameSrcEqual:
-		return fmt.Sprintf("%sforall p, p.%s = p.%s;", name, re1, re2)
-	default:
-		return fmt.Sprintf("%sforall p, p.%s <> p.%s;", name, re1, re2)
-	}
+	return a.SourceLine() + ";"
 }
 
 // ConformingHeaps returns every conforming heap shape of the family on 1 to

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/lang"
+	"repro/internal/route"
 	"repro/internal/serve"
 )
 
@@ -126,6 +128,51 @@ func TestFarmServeParity(t *testing.T) {
 	// the "No"-vs-"no" casing), not a genuine timeout.
 	if rep.Softenings != 0 {
 		t.Errorf("%d serve verdicts softened to maybe: %+v", rep.Softenings, rep)
+	}
+}
+
+// Router parity: the farm's -serve cross-check is equally valid against a
+// consistent-hash router front-ending several backends — the routing tier
+// must be invisible to verdicts.  The farm's many distinct programs give
+// distinct fingerprints, so the requests genuinely spread across the ring.
+func TestFarmServeParityThroughRouter(t *testing.T) {
+	b1 := httptest.NewServer(serve.New(serve.Config{}))
+	defer b1.Close()
+	b2 := httptest.NewServer(serve.New(serve.Config{}))
+	defer b2.Close()
+	rt := route.New(route.Config{Backends: []string{b1.URL, b2.URL}})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rt.Drain(ctx) //nolint:errcheck
+	}()
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	f, err := NewFarm(Config{Seed: 2, Programs: 25, ServeURL: front.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, divs, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("divergence [%s]: %s", d.Kind, d.Detail)
+	}
+	if rep.DivergencesByKind[KindServeMismatch] != 0 || rep.Softenings != 0 {
+		t.Errorf("router cross-check degraded verdicts: %+v", rep)
+	}
+	z := rt.StatzSnapshot()
+	if z.Accepted == 0 || z.Accepted != z.Completed {
+		t.Errorf("router accepted=%d completed=%d; farm traffic did not flow through it", z.Accepted, z.Completed)
+	}
+	var forwarded int64
+	for _, b := range z.Backends {
+		forwarded += b.Forwarded
+	}
+	if forwarded < z.Accepted {
+		t.Errorf("backends forwarded %d < accepted %d", forwarded, z.Accepted)
 	}
 }
 

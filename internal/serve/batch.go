@@ -6,95 +6,27 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
-// BatchRequest is the JSON body of POST /v1/batch: a mini-C program, the
-// function to analyze, and query lines in the aptdep -batch format
-// ("between S T", "cross S T", or "loop U").
-type BatchRequest struct {
-	// Program is the mini-C source text (with its struct axiom blocks).
-	Program string `json:"program"`
-	// Fn names the function to analyze; may be empty when the program has
-	// exactly one function.
-	Fn string `json:"fn,omitempty"`
-	// Queries are aptdep -batch lines; '#' comments and blank lines are
-	// accepted and skipped.
-	Queries []string `json:"queries"`
-	// TimeoutMS, when positive, bounds each query's proof search in
-	// milliseconds (capped by the server's MaxDeadline).  Zero selects the
-	// server default.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// DeadlineMS, when positive, bounds the whole request in milliseconds
-	// (capped by the server's MaxDeadline).  Zero selects the server cap.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-	// Verify re-checks every prover-backed No with the independent proof
-	// checker.
-	Verify bool `json:"verify,omitempty"`
-	// AssumeInvariants enables §5's "full" analysis (loops are assumed to
-	// re-establish axioms despite structural modifications).
-	AssumeInvariants bool `json:"assume_invariants,omitempty"`
-}
+// The request/response vocabulary moved to internal/wire when the query
+// plane was split into tiers — clients and the cluster router speak it
+// without importing the execution stack.  These aliases keep the serve API
+// (and every existing caller) source-compatible.
+type (
+	// BatchRequest is the JSON body of POST /v1/batch.
+	BatchRequest = wire.BatchRequest
+	// RawQuery is one fully specified dependence question (raw mode).
+	RawQuery = wire.RawQuery
+	// QueryResult is one expanded dependence query's verdict.
+	QueryResult = wire.QueryResult
+	// BatchStats reports the request's cost and warm-cache state.
+	BatchStats = wire.BatchStats
+	// BatchResponse is the JSON body answering POST /v1/batch.
+	BatchResponse = wire.BatchResponse
 
-// QueryResult is one expanded dependence query's verdict.
-type QueryResult struct {
-	// Line indexes the request's Queries slice this result expands.
-	Line int `json:"line"`
-	// Query echoes the originating query line.
-	Query string `json:"query"`
-	// S and T render the two accesses.
-	S string `json:"s"`
-	T string `json:"t"`
-	// Result is "no" / "maybe" / "yes"; Kind the dependence kind.
-	Result string `json:"result"`
-	Kind   string `json:"kind"`
-	Reason string `json:"reason"`
-}
-
-// BatchStats reports the request's cost and the warm-cache state it ran
-// against.
-type BatchStats struct {
-	Queries   int   `json:"queries"`
-	ElapsedUS int64 `json:"elapsed_us"`
-	// ServiceUS is the server-side service time for the whole request —
-	// parse, analysis, engine acquisition (including a cold build), and the
-	// batch run — excluding admission queueing.  Cold-vs-warm comparisons
-	// should use this rather than client-observed latency, which folds in
-	// queue wait and connection effects.
-	ServiceUS int64 `json:"service_us"`
-	// ColdEngine reports whether this request built the engine (first
-	// sighting of its axiom set since startup or since LRU reclamation).
-	ColdEngine bool   `json:"cold_engine"`
-	AxiomSet   string `json:"axiom_set"`
-	// Engine-cumulative counters (across all requests sharing the axiom
-	// set), for observing warm-up without scraping /statz.
-	MemoHits    int64 `json:"memo_hits"`
-	MemoLookups int64 `json:"memo_lookups"`
-	DFAHits     int64 `json:"dfa_hits"`
-	DFALookups  int64 `json:"dfa_lookups"`
-	Timeouts    int64 `json:"timeouts"`
-	// TraceID identifies this request's trace (the same id the traceparent
-	// response header carries).
-	TraceID string `json:"trace_id,omitempty"`
-	// DegradedQueries counts this request's queries degraded toward Maybe
-	// (all three reasons); DeadlineExpired the subset degraded because the
-	// request deadline passed.
-	DegradedQueries int64 `json:"degraded_queries,omitempty"`
-	DeadlineExpired int64 `json:"deadline_expired,omitempty"`
-}
-
-// BatchResponse is the JSON body answering POST /v1/batch.
-type BatchResponse struct {
-	Results []QueryResult `json:"results"`
-	// Dependent reports whether any query answered other than No (the
-	// aptdep exit-status convention).
-	Dependent bool       `json:"dependent"`
-	Stats     BatchStats `json:"stats"`
-}
-
-// errorResponse is the JSON body of every non-200 answer.
-type errorResponse struct {
-	Error string `json:"error"`
-}
+	errorResponse = wire.ErrorResponse
+)
 
 // expandQueryLines expands aptdep -batch lines against an analysis result,
 // remembering which line each core.Query came from.  Blank lines and '#'

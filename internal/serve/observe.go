@@ -150,13 +150,14 @@ func (s *Server) writePromServer(w io.Writer) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
-	counter("apt_server_accepted_total", "Requests admitted.", s.accepted.Load())
-	counter("apt_server_completed_total", "Requests answered.", s.completed.Load())
-	counter("apt_server_shed_total", "Requests shed with 429 by admission control.", s.shed.Load())
-	counter("apt_server_refused_draining_total", "Requests refused because the server was draining.", s.refused.Load())
+	accepted, completed, shed, refused := s.adm.Counts()
+	counter("apt_server_accepted_total", "Requests admitted.", accepted)
+	counter("apt_server_completed_total", "Requests answered.", completed)
+	counter("apt_server_shed_total", "Requests shed with 429 by admission control.", shed)
+	counter("apt_server_refused_draining_total", "Requests refused because the server was draining.", refused)
 	counter("apt_server_panics_total", "Handler panics isolated into 500s.", s.panics.Load())
 	counter("apt_server_degraded_requests_total", "Requests with at least one query degraded toward Maybe.", s.degradedReqs.Load())
-	counter("apt_server_engines_evicted_total", "Warm engines reclaimed by the pool LRU.", s.pool.evicted.Load())
+	counter("apt_server_engines_evicted_total", "Warm engines reclaimed by the pool LRU.", s.pool.Evicted())
 	gauge("apt_server_inflight", "Requests admitted and not yet completed.", s.gauge.Load())
 	gauge("apt_server_uptime_seconds", "Seconds since the server started.", int64(time.Since(s.start).Seconds()))
 	gauge("apt_server_engines_resident", "Warm engines resident in the pool.", int64(s.pool.len()))
@@ -196,7 +197,7 @@ func (s *Server) writePromServer(w io.Writer) {
 	} {
 		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
 		for i, v := range views {
-			fmt.Fprintf(bw, "%s{axiom_set=\"%s\"} %d\n", m.name, telemetry.PromEscapeLabel(v.name), m.value(statz[i]))
+			fmt.Fprintf(bw, "%s{axiom_set=\"%s\"} %d\n", m.name, telemetry.PromEscapeLabel(v.Name), m.value(statz[i]))
 		}
 	}
 	bw.Flush() //nolint:errcheck // client hangup

@@ -6,6 +6,22 @@
 // request over an axiom set pays the subset constructions, every later one
 // rides the caches.
 //
+// Since the layering refactor the package is a thin composition of the
+// query plane's tiers rather than their home:
+//
+//   - internal/wire — the request/response vocabulary and JSON helpers,
+//     shared with clients and the cluster router;
+//   - internal/admit — the two-channel slots/queue/429 admission machinery
+//     and the drain lifecycle;
+//   - internal/exec — the bounded pool of warm per-axiom-set engines, the
+//     raw-query builder, and warm-state snapshot/preload.
+//
+// What remains here is the composition itself: HTTP endpoint wiring, the
+// program-mode analysis pipeline, tracing/flight-recorder/access-log
+// plumbing, and process warmup.  The cluster router (internal/route) is the
+// other composition of the same tiers — admission in front of forwarding
+// instead of execution.
+//
 // Robustness is the other half of the design:
 //
 //   - admission control: a bounded queue in front of a bounded set of run
@@ -32,18 +48,21 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/analysis"
 	"repro/internal/automata"
+	"repro/internal/axiom"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/lang"
 	"repro/internal/parallel"
 	"repro/internal/pathexpr"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Default limits; every one of them exists to keep a long-lived process
@@ -138,38 +157,51 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// poolConfig projects the server config onto the execution tier's.
+func (c Config) poolConfig() exec.PoolConfig {
+	return exec.PoolConfig{
+		Workers:      c.Workers,
+		QueryTimeout: c.QueryTimeout,
+		MaxEngines:   c.MaxEngines,
+		DFAShardCap:  c.DFAShardCap,
+		MemoShardCap: c.MemoShardCap,
+		VerifyProofs: c.VerifyProofs,
+		Preload:      c.Preload,
+	}
+}
+
+// enginePool adapts exec.Pool to the package-local names the server (and
+// its white-box tests) grew up with.
+type enginePool struct{ *exec.Pool }
+
+func (p enginePool) get(ax *axiom.Set) (*engine.Engine, bool) { return p.Get(ax) }
+func (p enginePool) len() int                                 { return p.Len() }
+func (p enginePool) snapshot() []exec.View                    { return p.Snapshot() }
+
 // Server answers dependence-query batches over warm per-axiom-set engines.
 // It implements http.Handler; cmd/aptserved wires it into an http.Server
 // and the signal lifecycle.
 type Server struct {
 	cfg  Config
 	tel  *telemetry.Set
-	pool *enginePool
+	adm  *admit.Controller
+	pool enginePool
 	mux  *http.ServeMux
 
-	slots chan struct{} // admission tokens: run slots + bounded queue
-	run   chan struct{} // run slots
-
-	mu       sync.Mutex // guards draining vs. inflight.Add
-	draining bool
-	inflight sync.WaitGroup
+	// White-box views into the admission controller — the same channel,
+	// gauge, and completion-window objects adm owns, not copies.  The
+	// package's tests jam the queue and seed the Retry-After estimator
+	// through them.
+	slots       chan struct{} // admission tokens: run slots + bounded queue
+	run         chan struct{} // run slots
+	gauge       *atomic.Int64 // requests admitted and not yet completed
+	completions *telemetry.WindowHistogram
 
 	flight *telemetry.FlightRecorder
 	access *telemetry.TraceWriter
 
-	// completions feeds the Retry-After estimator: one observation per
-	// completed request.  Server-owned (not drawn from cfg.Telemetry, which
-	// may be nil) because shedding must be able to estimate drain rate even
-	// on an uninstrumented server.
-	completions *telemetry.WindowHistogram
-
 	start        time.Time
-	accepted     atomic.Int64
-	completed    atomic.Int64
-	shed         atomic.Int64
-	refused      atomic.Int64 // rejected because draining
 	panics       atomic.Int64
-	gauge        atomic.Int64 // requests admitted and not yet completed
 	degradedReqs atomic.Int64 // requests with ≥1 degraded query
 
 	cRequests  *telemetry.Counter
@@ -191,16 +223,19 @@ func New(cfg Config) *Server {
 func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	tel := cfg.Telemetry
+	adm := admit.New(cfg.MaxConcurrent, cfg.QueueDepth)
 	s := &Server{
 		cfg:         cfg,
 		tel:         tel,
-		pool:        newEnginePool(cfg, tel),
+		adm:         adm,
+		pool:        enginePool{exec.NewPool(cfg.poolConfig(), tel)},
 		mux:         http.NewServeMux(),
-		slots:       make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
-		run:         make(chan struct{}, cfg.MaxConcurrent),
+		slots:       adm.Slots(),
+		run:         adm.Run(),
+		gauge:       adm.Gauge(),
+		completions: adm.Completions(),
 		flight:      telemetry.NewFlightRecorder(cfg.FlightK, cfg.FlightRing),
 		access:      cfg.AccessLog,
-		completions: telemetry.NewWindowHistogram(),
 		start:       time.Now(),
 		cRequests:   tel.Counter("serve.requests"),
 		cShed:       tel.Counter("serve.shed"),
@@ -210,6 +245,8 @@ func newServer(cfg Config) *Server {
 		wRequestNS:  tel.Window("serve.request_ns"),
 	}
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v1/preload", s.handlePreload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
@@ -222,9 +259,7 @@ func newServer(cfg Config) *Server {
 	// request is already engine-warm (Stats.ColdEngine false), which is the
 	// artifact's whole point: warm-equivalent behavior from boot.
 	if cfg.Preload != nil {
-		for _, set := range engine.ArtifactAxiomSets(cfg.Preload) {
-			s.pool.get(set)
-		}
+		s.pool.PreloadArtifact(cfg.Preload)
 		s.replayWarm(cfg.Preload.Replays)
 		// Boot prewarm allocates heavily (engine construction, first parses);
 		// collect now so the first real request inherits a quiet heap instead
@@ -302,70 +337,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Drain stops admitting requests and waits for every in-flight one to be
 // answered, or for ctx to expire.  Safe to call more than once.
-func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("drain interrupted with %d requests in flight: %w", s.gauge.Load(), ctx.Err())
-	}
-}
+func (s *Server) Drain(ctx context.Context) error { return s.adm.Drain(ctx) }
 
 // Draining reports whether Drain has begun.
-func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.adm.Draining() }
 
-// retryAfterWindow is the completion-rate lookback, and retryAfterMax the
-// ceiling: a Retry-After beyond a minute stops being backpressure and
-// starts being an outage announcement.
-const (
-	retryAfterWindow = 10 * time.Second
-	retryAfterMax    = 60
-)
-
-// retryAfterSeconds estimates how long a shed client should wait before the
-// backlog it just bounced off has drained: backlog / recent completion
-// rate, rounded up, clamped to [1, retryAfterMax].  With no completions in
-// the window there is no rate to extrapolate (an idle server that just got
-// burst-filled), so it answers the 1-second floor.
-func (s *Server) retryAfterSeconds() int {
-	backlog := len(s.slots)
-	done := s.completions.Summary(retryAfterWindow).Count
-	if backlog == 0 || done == 0 {
-		return 1
-	}
-	windowSec := int64(retryAfterWindow / time.Second)
-	secs := (int64(backlog)*windowSec + done - 1) / done
-	if secs < 1 {
-		secs = 1
-	}
-	if secs > retryAfterMax {
-		secs = retryAfterMax
-	}
-	return int(secs)
-}
-
-// admit registers one in-flight request unless the server is draining.
-func (s *Server) admit() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return false
-	}
-	s.inflight.Add(1)
-	return true
-}
+// retryAfterSeconds is the admission controller's backlog-over-drain-rate
+// estimate; see admit.Controller.RetryAfterSeconds.
+func (s *Server) retryAfterSeconds() int { return s.adm.RetryAfterSeconds() }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -388,32 +367,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// front of it.  No token free means MaxConcurrent+QueueDepth requests
 	// are already in the building — shed immediately rather than letting
 	// the queue (and every client's latency) grow without bound.
-	select {
-	case s.slots <- struct{}{}:
-	default:
-		s.shed.Add(1)
+	if !s.adm.TryAcquire() {
 		s.cShed.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSONError(w, http.StatusTooManyRequests, "admission queue full; retry")
 		return
 	}
-	defer func() { <-s.slots }()
-	if !s.admit() {
-		s.refused.Add(1)
+	defer s.adm.Release()
+	if !s.adm.Begin() {
 		writeJSONError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	s.gauge.Add(1)
-	s.accepted.Add(1)
 	s.cRequests.Add(1)
 	startWait := time.Now()
 	var meta *flightMeta
 	defer func() {
 		dur := time.Since(startWait)
-		s.gauge.Add(-1)
-		s.completed.Add(1)
-		s.completions.Observe(1)
-		s.inflight.Done()
+		s.adm.Finish()
 		s.hRequestNS.Observe(dur.Nanoseconds())
 		s.wRequestNS.Observe(dur.Nanoseconds())
 		root.End()
@@ -422,16 +392,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Wait for a run slot.  Admitted requests finish even during a drain;
 	// only the client hanging up aborts the wait.
-	adm := rt.StartSpan("serve.admission", root.ID())
-	select {
-	case s.run <- struct{}{}:
-	case <-r.Context().Done():
+	qsp := rt.StartSpan("serve.admission", root.ID())
+	if !s.adm.AcquireRun(r.Context()) {
 		writeJSONError(w, http.StatusServiceUnavailable, "client canceled while queued")
 		return
 	}
-	defer func() { <-s.run }()
+	defer s.adm.ReleaseRun()
 	s.hQueueNS.Observe(time.Since(startWait).Nanoseconds())
-	adm.End()
+	qsp.End()
 
 	var req BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -453,6 +421,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // Spans it opens parent under parent; the engine and prover pick up the
 // trace through the batch context's trace scope.
 func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.RequestTrace, parent telemetry.SpanID) (*BatchResponse, *flightMeta, int, error) {
+	if len(req.Raw) > 0 {
+		return s.answerRaw(ctx, req, rt, parent)
+	}
 	if len(req.Queries) == 0 {
 		return nil, nil, http.StatusBadRequest, fmt.Errorf("no queries")
 	}
@@ -487,7 +458,51 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.Re
 	}
 	asp.End(telemetry.String("fn", fn), telemetry.Int("queries", len(queries)))
 
-	eng, cold := s.pool.get(res.Axioms)
+	echo := func(i int) (int, string) { return origins[i], req.Queries[origins[i]] }
+	return s.runBatch(ctx, req, rt, parent, res.Axioms, queries, echo, svc0)
+}
+
+// answerRaw runs a raw-mode request: the axiom set arrives as text and the
+// queries fully specified, so analysis is skipped entirely.  This is the
+// path routed cluster traffic takes when the client already holds analysis
+// results (and the differential suite's way of replaying engine workloads
+// through HTTP byte-identically).
+func (s *Server) answerRaw(ctx context.Context, req *BatchRequest, rt *telemetry.RequestTrace, parent telemetry.SpanID) (*BatchResponse, *flightMeta, int, error) {
+	if len(req.Queries) > 0 || req.Program != "" {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("raw queries exclude program/queries fields")
+	}
+	if len(req.Raw) > s.cfg.MaxQueries {
+		return nil, nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%d raw queries exceed the per-request limit of %d", len(req.Raw), s.cfg.MaxQueries)
+	}
+	svc0 := time.Now()
+	asp := rt.StartSpan("serve.rawparse", parent)
+	name := req.AxiomSetName
+	if name == "" {
+		name = "raw"
+	}
+	ax, err := axiom.ParseSet(name, req.AxiomSet)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("axiom_set: %v", err)
+	}
+	queries, err := exec.BuildRawQueries(ax, req.Raw)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	asp.End(telemetry.String("axiom_set", name), telemetry.Int("queries", len(queries)))
+
+	echo := func(i int) (int, string) { return i, exec.RenderRawQuery(req.Raw[i]) }
+	return s.runBatch(ctx, req, rt, parent, ax, queries, echo, svc0)
+}
+
+// runBatch is the shared tail of both request modes: acquire the warm
+// engine, run the batch under the request deadline, and assemble the
+// response and flight metadata.  echo maps a result index to the line/echo
+// pair the response reports.
+func (s *Server) runBatch(ctx context.Context, req *BatchRequest, rt *telemetry.RequestTrace, parent telemetry.SpanID,
+	ax *axiom.Set, queries []core.Query, echo func(int) (int, string), svc0 time.Time) (*BatchResponse, *flightMeta, int, error) {
+
+	eng, cold := s.pool.get(ax)
 	deadline := clampMS(req.DeadlineMS, s.cfg.MaxDeadline)
 	perQuery := s.cfg.QueryTimeout
 	if req.TimeoutMS > 0 {
@@ -504,7 +519,7 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.Re
 	elapsed := time.Since(start)
 	st := eng.Stats()
 	bsp.End(
-		telemetry.String("axiom_set", res.Axioms.StructName),
+		telemetry.String("axiom_set", ax.StructName),
 		telemetry.Bool("cold_engine", cold),
 		telemetry.Int("queries", len(outs)),
 	)
@@ -512,9 +527,10 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.Re
 	resp := &BatchResponse{Results: make([]QueryResult, len(outs))}
 	for i, out := range outs {
 		q := queries[i]
+		line, src := echo(i)
 		resp.Results[i] = QueryResult{
-			Line:   origins[i],
-			Query:  req.Queries[origins[i]],
+			Line:   line,
+			Query:  src,
 			S:      q.S.String(),
 			T:      q.T.String(),
 			Result: out.Result.String(),
@@ -531,7 +547,7 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.Re
 		ElapsedUS:       elapsed.Microseconds(),
 		ServiceUS:       time.Since(svc0).Microseconds(),
 		ColdEngine:      cold,
-		AxiomSet:        res.Axioms.StructName,
+		AxiomSet:        ax.StructName,
 		MemoHits:        st.Memo.Hits,
 		MemoLookups:     st.Memo.Lookups,
 		DFAHits:         int64(st.DFA.Hits),
@@ -545,7 +561,7 @@ func (s *Server) answer(ctx context.Context, req *BatchRequest, rt *telemetry.Re
 	// not the engine's lifetime totals, so report the deltas (best-effort:
 	// concurrent requests on the same engine blur them).
 	meta := &flightMeta{
-		AxiomSet:    res.Axioms.StructName,
+		AxiomSet:    ax.StructName,
 		Queries:     len(outs),
 		ColdEngine:  cold,
 		ElapsedUS:   elapsed.Microseconds(),
@@ -620,18 +636,19 @@ type Statz struct {
 // StatzSnapshot assembles the /statz body (exported for the soak tests and
 // the loadgen client).
 func (s *Server) StatzSnapshot() Statz {
+	accepted, completed, shed, refused := s.adm.Counts()
 	z := Statz{
 		UptimeMS:         time.Since(s.start).Milliseconds(),
 		Draining:         s.Draining(),
-		Accepted:         s.accepted.Load(),
-		Completed:        s.completed.Load(),
+		Accepted:         accepted,
+		Completed:        completed,
 		Inflight:         s.gauge.Load(),
-		Shed:             s.shed.Load(),
-		RefusedDraining:  s.refused.Load(),
+		Shed:             shed,
+		RefusedDraining:  refused,
 		Panics:           s.panics.Load(),
 		DegradedRequests: s.degradedReqs.Load(),
 		EnginesResident:  s.pool.len(),
-		EnginesEvicted:   s.pool.evicted.Load(),
+		EnginesEvicted:   s.pool.Evicted(),
 		InternedExprs:    pathexpr.InternedExprs(),
 	}
 	for _, e := range s.pool.snapshot() {
@@ -640,12 +657,12 @@ func (s *Server) StatzSnapshot() Statz {
 	return z
 }
 
-func engineStatz(v engineView) EngineStatz {
-	st := v.eng.Stats()
-	dfas := v.eng.DFACache()
+func engineStatz(v exec.View) EngineStatz {
+	st := v.Eng.Stats()
+	dfas := v.Eng.DFACache()
 	out := EngineStatz{
-		AxiomSet:        v.name,
-		Uses:            v.uses,
+		AxiomSet:        v.Name,
+		Uses:            v.Uses,
 		Batches:         st.Batches,
 		Queries:         st.Queries,
 		Timeouts:        st.Timeouts,
@@ -676,30 +693,15 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatzSnapshot())
 }
 
-// clampMS converts a client-supplied millisecond budget to a duration in
-// (0, max]; non-positive selects max.
-func clampMS(ms int64, max time.Duration) time.Duration {
-	if ms <= 0 {
-		return max
-	}
-	d := time.Duration(ms) * time.Millisecond
-	if d > max {
-		return max
-	}
-	return d
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the client hanging up is its problem
-}
+// The JSON/clamp helpers live in the wire layer now; these bindings keep
+// the package-local call sites (and the handlers' shape) unchanged.
+func writeJSON(w http.ResponseWriter, code int, v any) { wire.WriteJSON(w, code, v) }
 
 func writeJSONError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+	wire.WriteJSONError(w, code, msg)
 }
+
+func clampMS(ms int64, max time.Duration) time.Duration { return wire.ClampMS(ms, max) }
 
 func defaultConcurrency() int {
 	n := runtime.GOMAXPROCS(0)

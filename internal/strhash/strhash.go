@@ -20,3 +20,19 @@ func FNV32a(s string) uint32 {
 	}
 	return h
 }
+
+// FNV64a returns the 64-bit FNV-1a hash of s.  The cluster layer hashes
+// axiom-set fingerprints and ring vnode labels through it, so — like FNV32a
+// above — the constants are pinned by test against the standard library.
+func FNV64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

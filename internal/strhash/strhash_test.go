@@ -17,3 +17,13 @@ func TestMatchesStdlib(t *testing.T) {
 		}
 	}
 }
+
+func TestFNV64aMatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "ab", "shard-key\x00with NULs", "∀p, p.next+ <> p.ε", "127.0.0.1:8080#17"} {
+		ref := fnv.New64a()
+		ref.Write([]byte(s))
+		if got, want := FNV64a(s), ref.Sum64(); got != want {
+			t.Errorf("FNV64a(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
